@@ -1,0 +1,44 @@
+//! Criterion macro-benchmark: event throughput of the discrete-event
+//! simulator under an 8-to-1 incast at a trimming switch.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use trimgrad::netsim::crosstraffic::install_incast;
+use trimgrad::netsim::sim::Simulator;
+use trimgrad::netsim::switch::QueuePolicy;
+use trimgrad::netsim::time::{gbps, SimTime};
+use trimgrad::netsim::topology::Topology;
+use trimgrad::netsim::NodeId;
+
+fn run_incast(policy: QueuePolicy) -> u64 {
+    let mut topo = Topology::new();
+    let recv = topo.add_host();
+    let sw = topo.add_switch(policy);
+    topo.link(recv, sw, gbps(10.0), SimTime::from_micros(1));
+    let senders: Vec<NodeId> = (0..8)
+        .map(|_| {
+            let h = topo.add_host();
+            topo.link(h, sw, gbps(10.0), SimTime::from_micros(1));
+            h
+        })
+        .collect();
+    let mut sim = Simulator::new(topo);
+    install_incast(&mut sim, &senders, recv, 150_000, 1500, 0);
+    sim.run_until(SimTime::from_secs(1));
+    sim.stats().delivered_packets() + sim.stats().dropped_total()
+}
+
+fn bench_incast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim_incast_8to1");
+    // 800 packets, each traversing 2 hops → ~3200 port events.
+    g.throughput(Throughput::Elements(800));
+    g.bench_function("trim_switch", |b| {
+        b.iter(|| run_incast(QueuePolicy::trim_default()));
+    });
+    g.bench_function("droptail_switch", |b| {
+        b.iter(|| run_incast(QueuePolicy::droptail_default()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_incast);
+criterion_main!(benches);

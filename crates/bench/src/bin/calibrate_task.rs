@@ -1,0 +1,71 @@
+//! Internal calibration helper: sweeps task hardness and reports where the
+//! encodings separate (not part of the paper's figures; used to pick the
+//! standard task for Figs 3–4).
+//!
+//! Run: `cargo run --release -p trimgrad-bench --bin calibrate_task -- [spread]`
+
+use trimgrad::collective::hooks::{AggregateHook, BaselineHook, TrimmableHook};
+use trimgrad::mltrain::data::gaussian_mixture;
+use trimgrad::mltrain::optim::StepLr;
+use trimgrad::mltrain::parallel::{DataParallelTrainer, ParallelConfig};
+use trimgrad::Scheme;
+
+fn run(lr: f32, workers: usize, hook: Box<dyn AggregateHook>, epochs: u32) -> (String, f64, Vec<f64>) {
+    let name = hook.name();
+    let (train, test) = gaussian_mixture(10, 32, 120, 2.0, 1.4, 7).split(0.8, 7);
+    let cfg = ParallelConfig {
+        workers,
+        batch_size: 32,
+        schedule: StepLr {
+            initial_lr: lr,
+            step_size: 30,
+            gamma: 0.5,
+        },
+        momentum: 0.9,
+        rounds_per_epoch: 20,
+        seed: 7,
+    };
+    let mut t = DataParallelTrainer::new(&[32, 64, 64, 10], train, test, hook, cfg);
+    let mut best = 0.0f64;
+    let mut curve = Vec::new();
+    for _ in 0..epochs {
+        let s = t.run_epoch();
+        best = best.max(s.top1);
+        curve.push(s.top1);
+    }
+    (name, best, curve)
+}
+
+fn main() {
+    let lr: f32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let workers = 4;
+    let epochs: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(50);
+    println!("lr={lr} workers={workers} epochs={epochs}");
+    let mut results = vec![run(lr, workers, Box::new(BaselineHook::new(workers)), epochs)];
+    for (scheme, rate) in [
+        (Scheme::SignMagnitude, 0.02),
+        (Scheme::SignMagnitude, 0.10),
+        (Scheme::SignMagnitude, 0.30),
+        (Scheme::SignMagnitude, 0.50),
+        (Scheme::Stochastic, 0.50),
+        (Scheme::SubtractiveDither, 0.10),
+        (Scheme::SubtractiveDither, 0.50),
+        (Scheme::RhtOneBit, 0.10),
+        (Scheme::RhtOneBit, 0.50),
+    ] {
+        let (name, best, curve) = run(
+            lr,
+            workers,
+            Box::new(TrimmableHook::new(scheme, workers, rate, 0.0, 1 << 12, 99)),
+            epochs,
+        );
+        results.push((format!("{name}@{:.0}%", rate * 100.0), best, curve));
+    }
+    for (name, best, curve) in &results {
+        let last5: f64 = curve.iter().rev().take(5).sum::<f64>() / 5.0;
+        println!("{name:>14}: best {best:.3}  last5 {last5:.3}");
+    }
+}

@@ -1,0 +1,41 @@
+//! Internal diagnostic: settled accuracy per scheme × trim rate × seed
+//! (used to tune the Fig 3/4 configurations; not a paper figure).
+//!
+//! Run: `cargo run --release -p trimgrad-bench --bin diag_settled`
+
+use trimgrad_bench::{run_training, ExpConfig, SCHEMES};
+use trimgrad::mltrain::timemodel::TimeModel;
+
+fn main() {
+    let tm = TimeModel::default();
+    let epochs = 100;
+    for rate in [0.1f64, 0.5] {
+        println!("trim {:.0}%:", rate * 100.0);
+        for scheme in std::iter::once(None).chain(SCHEMES.iter().copied().map(Some)) {
+            let name = scheme.map_or("baseline".to_string(), |s| s.name().to_string());
+            let settled: Vec<f64> = [7u64, 8, 9, 10, 11]
+                .iter()
+                .map(|&seed| {
+                    run_training(
+                        &ExpConfig {
+                            scheme,
+                            congestion: rate,
+                            seed,
+                        },
+                        epochs,
+                        &tm,
+                    )
+                    .settled_top1()
+                })
+                .collect();
+            println!(
+                "  {name:>9}: {}",
+                settled
+                    .iter()
+                    .map(|s| format!("{s:.3}"))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            );
+        }
+    }
+}

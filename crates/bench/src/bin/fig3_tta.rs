@@ -1,0 +1,51 @@
+//! Regenerates **Figure 3**: Time-To-Accuracy curves.
+//!
+//! For each trim rate (panel) and each encoding (series), trains the
+//! standard task and prints top-1 accuracy as a function of modeled wall
+//! clock. The paper's qualitative claims to check:
+//!
+//! * sign-magnitude diverges (or stalls far below baseline) at rates ≥ 2%;
+//! * RHT is slower per epoch but reaches higher accuracy at high trim rates;
+//! * at 50%, RHT is the only scheme near baseline accuracy.
+//!
+//! Run: `cargo run --release -p trimgrad-bench --bin fig3_tta`
+
+use trimgrad_bench::{run_training, ExpConfig, FIG3_TRIM_RATES, SCHEMES};
+use trimgrad::mltrain::timemodel::TimeModel;
+
+fn main() {
+    let epochs = 100;
+    let tm = TimeModel::default();
+    println!("# Figure 3: top-1 accuracy vs wall-clock (modeled) per trim rate");
+    println!("# columns: trim_rate scheme epoch wall_s top1 top5 loss");
+    for &rate in &FIG3_TRIM_RATES {
+        // The uncompressed baseline experiences the same congestion as drops.
+        let mut configs = vec![ExpConfig {
+            scheme: None,
+            congestion: rate,
+            seed: 7,
+        }];
+        configs.extend(SCHEMES.iter().map(|&s| ExpConfig {
+            scheme: Some(s),
+            congestion: rate,
+            seed: 7,
+        }));
+        for cfg in configs {
+            let r = run_training(&cfg, epochs, &tm);
+            let name = cfg
+                .scheme
+                .map_or("baseline".to_string(), |s| s.name().to_string());
+            for p in &r.trajectory {
+                println!(
+                    "{:.4} {} {} {:.3} {:.4} {:.4} {:.4}",
+                    rate, name, p.epoch, p.wall_s, p.top1, p.top5, p.loss
+                );
+            }
+            if r.diverged {
+                println!("# {} DIVERGED at trim rate {:.1}%", name, rate * 100.0);
+            }
+        }
+        println!();
+    }
+    eprintln!("fig3_tta: done");
+}

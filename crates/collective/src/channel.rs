@@ -1,0 +1,236 @@
+//! The channel abstraction collectives run over.
+//!
+//! A [`GradChannel`] moves one gradient segment from one worker to another
+//! and returns what the receiver decodes. The two implementations bracket
+//! the paper's design space:
+//!
+//! * [`LosslessChannel`] — the uncompressed baseline (bit-exact, counts raw
+//!   bytes);
+//! * [`TrimmingChannel`] — encode with a [`MessageCodec`], pass through a
+//!   [`TrimInjector`] (the simulated congested fabric), decode on the far
+//!   side. Counts the bytes that actually crossed the wire (trimmed packets
+//!   are small — that is the whole point).
+
+use crate::chunk::MessageCodec;
+use crate::trim_inject::{InjectStats, TrimInjector};
+use trimgrad_wire::packet::STACK_OVERHEAD;
+use trimgrad_wire::payload::{max_coords_for_budget, PayloadLayout};
+
+/// A point-to-point gradient transfer.
+pub trait GradChannel {
+    /// Transfers `data`, returning the receiver-side view of it.
+    fn transfer(&mut self, data: &[f32], epoch: u32, msg_id: u32) -> Vec<f32>;
+
+    /// Wire bytes consumed so far (headers included).
+    fn bytes_sent(&self) -> u64;
+}
+
+impl<T: GradChannel + ?Sized> GradChannel for Box<T> {
+    fn transfer(&mut self, data: &[f32], epoch: u32, msg_id: u32) -> Vec<f32> {
+        (**self).transfer(data, epoch, msg_id)
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        (**self).bytes_sent()
+    }
+}
+
+/// The uncompressed, lossless baseline channel.
+#[derive(Debug, Default)]
+pub struct LosslessChannel {
+    bytes: u64,
+}
+
+impl LosslessChannel {
+    /// Creates the channel.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl GradChannel for LosslessChannel {
+    fn transfer(&mut self, data: &[f32], _epoch: u32, _msg_id: u32) -> Vec<f32> {
+        // Raw f32 payload in MTU packets: 4 B/coordinate plus header stack.
+        let per_packet = (1500 - 20 - 8) / 4;
+        let packets = data.len().div_ceil(per_packet).max(usize::from(!data.is_empty()));
+        self.bytes += (data.len() * 4 + packets * (STACK_OVERHEAD - 28)) as u64;
+        data.to_vec()
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Encode → inject trimming → decode.
+#[derive(Debug)]
+pub struct TrimmingChannel {
+    codec: MessageCodec,
+    injector: TrimInjector,
+    bytes: u64,
+    stats: InjectStats,
+}
+
+impl TrimmingChannel {
+    /// Creates the channel.
+    #[must_use]
+    pub fn new(codec: MessageCodec, injector: TrimInjector) -> Self {
+        Self {
+            codec,
+            injector,
+            bytes: 0,
+            stats: InjectStats::default(),
+        }
+    }
+
+    /// Cumulative injection outcomes.
+    #[must_use]
+    pub fn inject_stats(&self) -> InjectStats {
+        self.stats
+    }
+
+    /// The codec in use.
+    #[must_use]
+    pub fn codec(&self) -> &MessageCodec {
+        &self.codec
+    }
+
+    /// Wire bytes for one packet-chunk of `coords` coordinates at `depth`.
+    fn chunk_wire_bytes(&self, coords: usize, depth: usize) -> u64 {
+        let part_bits = self.codec.scheme_id().part_bits();
+        let layout = PayloadLayout::new(part_bits, coords);
+        let payload = if depth == 0 {
+            return 0; // dropped before the last hop; approximate as zero
+        } else {
+            layout.trim_point(depth.min(part_bits.len()))
+        };
+        (STACK_OVERHEAD + payload) as u64
+    }
+}
+
+impl GradChannel for TrimmingChannel {
+    fn transfer(&mut self, data: &[f32], epoch: u32, msg_id: u32) -> Vec<f32> {
+        if data.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(data.len());
+        let part_bits = self.codec.scheme_id().part_bits();
+        let budget = 1500 - 20 - 8 - 28;
+        let per_packet = max_coords_for_budget(part_bits, budget).unwrap_or(1);
+        for (row_id, row) in data.chunks(self.codec.row_len()).enumerate() {
+            let seed = self.codec.row_seed(epoch, msg_id, row_id as u32);
+            let enc = self.codec.scheme().encode(row, seed);
+            let (depths, stats) = self.injector.draw_depths(&enc);
+            self.stats.merge(stats);
+            // Wire accounting per packet-chunk.
+            for chunk in depths.chunks(per_packet) {
+                self.bytes += self.chunk_wire_bytes(chunk.len(), chunk[0]);
+            }
+            // Metadata packet (reliable).
+            self.bytes += (STACK_OVERHEAD - 28 + trimgrad_wire::meta::PAYLOAD_LEN) as u64;
+            let view = enc.view_with_depths(&depths);
+            let dec = self
+                .codec
+                .scheme()
+                .decode(&view, &enc.meta, seed)
+                .expect("injected view is structurally valid");
+            out.extend(dec);
+        }
+        out
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgrad_hadamard::prng::Xoshiro256StarStar;
+    use trimgrad_quant::SchemeId;
+
+    fn blob(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        (0..n).map(|_| rng.next_f32_range(-1.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn lossless_is_identity_and_counts_bytes() {
+        let mut ch = LosslessChannel::new();
+        let b = blob(1000, 1);
+        let out = ch.transfer(&b, 0, 0);
+        assert_eq!(out, b);
+        // ≥ 4000 payload bytes plus 3 packet headers.
+        assert!(ch.bytes_sent() >= 4000);
+        assert!(ch.bytes_sent() < 4600);
+    }
+
+    #[test]
+    fn trimming_channel_lossless_when_prob_zero() {
+        let codec = MessageCodec::with_row_len(SchemeId::SignMagnitude, 3, 512);
+        let mut ch = TrimmingChannel::new(codec, TrimInjector::new(0.0, 1));
+        let b = blob(1000, 2);
+        let out = ch.transfer(&b, 1, 2);
+        for (d, v) in out.iter().zip(&b) {
+            assert_eq!(d.to_bits(), v.to_bits());
+        }
+        assert_eq!(ch.inject_stats().trimmed, 0);
+    }
+
+    #[test]
+    fn trimming_reduces_wire_bytes() {
+        let mk = |p| {
+            let codec = MessageCodec::with_row_len(SchemeId::RhtOneBit, 3, 1024);
+            TrimmingChannel::new(codec, TrimInjector::new(p, 1))
+        };
+        let b = blob(8192, 3);
+        let mut clean = mk(0.0);
+        let mut trimmed = mk(1.0);
+        let _ = clean.transfer(&b, 0, 0);
+        let _ = trimmed.transfer(&b, 0, 0);
+        assert!(
+            trimmed.bytes_sent() < clean.bytes_sent() / 5,
+            "full trimming must slash bytes: {} vs {}",
+            trimmed.bytes_sent(),
+            clean.bytes_sent()
+        );
+        assert_eq!(trimmed.inject_stats().intact, 0);
+    }
+
+    #[test]
+    fn trimming_decode_quality_degrades_gracefully() {
+        let b = blob(4096, 4);
+        let mut errs = Vec::new();
+        for p in [0.0, 0.5, 1.0] {
+            let codec = MessageCodec::with_row_len(SchemeId::RhtOneBit, 3, 1024);
+            let mut ch = TrimmingChannel::new(codec, TrimInjector::new(p, 7));
+            let out = ch.transfer(&b, 0, 0);
+            errs.push(trimgrad_quant::error::nmse(&out, &b));
+        }
+        assert!(errs[0] < 1e-6);
+        assert!(errs[0] < errs[1] && errs[1] < errs[2], "{errs:?}");
+        assert!(errs[2] < 1.0, "heads-only still informative");
+    }
+
+    #[test]
+    fn empty_transfer() {
+        let codec = MessageCodec::new(SchemeId::Stochastic, 0);
+        let mut ch = TrimmingChannel::new(codec, TrimInjector::new(0.5, 0));
+        assert!(ch.transfer(&[], 0, 0).is_empty());
+        assert_eq!(ch.bytes_sent(), 0);
+    }
+
+    #[test]
+    fn multi_row_messages_roundtrip() {
+        let codec = MessageCodec::with_row_len(SchemeId::SubtractiveDither, 5, 100);
+        let mut ch = TrimmingChannel::new(codec, TrimInjector::new(0.0, 1));
+        let b = blob(350, 5); // 4 rows
+        let out = ch.transfer(&b, 2, 9);
+        assert_eq!(out.len(), b.len());
+        for (d, v) in out.iter().zip(&b) {
+            assert_eq!(d.to_bits(), v.to_bits());
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Blob ↔ row chunking and per-row seed derivation.
+//!
+//! A collective message (a gradient bucket, e.g. PyTorch DDP's 25 MB default)
+//! is split into rows of `row_len` coordinates (2¹⁵ by default, per §3.2 of
+//! the paper); each row is encoded independently with a seed derived from
+//! `(base_seed, epoch, msg_id, row_id)`, so both sides regenerate identical
+//! randomness without communicating it and trimming damage stays independent
+//! across rows.
+
+use trimgrad_hadamard::prng::derive_seed;
+use trimgrad_quant::scheme::{EncodedRow, PartialRow, RowMeta};
+use trimgrad_quant::{scheme_for, SchemeId, TrimmableScheme};
+
+/// Default row length: 2¹⁵ coordinates (the paper's GPU-L1-sized rows).
+pub const DEFAULT_ROW_LEN: usize = 1 << 15;
+
+/// Splits blobs into rows and encodes/decodes them with a scheme.
+pub struct MessageCodec {
+    scheme: Box<dyn TrimmableScheme>,
+    scheme_id: SchemeId,
+    row_len: usize,
+    base_seed: u64,
+}
+
+impl MessageCodec {
+    /// Creates a codec with the paper's default row length.
+    #[must_use]
+    pub fn new(scheme: SchemeId, base_seed: u64) -> Self {
+        Self::with_row_len(scheme, base_seed, DEFAULT_ROW_LEN)
+    }
+
+    /// Creates a codec with an explicit row length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_len` is zero.
+    #[must_use]
+    pub fn with_row_len(scheme: SchemeId, base_seed: u64, row_len: usize) -> Self {
+        assert!(row_len > 0, "zero row length");
+        Self {
+            scheme: scheme_for(scheme),
+            scheme_id: scheme,
+            row_len,
+            base_seed,
+        }
+    }
+
+    /// The configured scheme.
+    #[must_use]
+    pub fn scheme_id(&self) -> SchemeId {
+        self.scheme_id
+    }
+
+    /// The scheme implementation.
+    #[must_use]
+    pub fn scheme(&self) -> &dyn TrimmableScheme {
+        self.scheme.as_ref()
+    }
+
+    /// Row length in coordinates.
+    #[must_use]
+    pub fn row_len(&self) -> usize {
+        self.row_len
+    }
+
+    /// Number of rows for a blob of `len` coordinates.
+    #[must_use]
+    pub fn rows_for(&self, len: usize) -> usize {
+        len.div_ceil(self.row_len)
+    }
+
+    /// The shared seed for one row of one message.
+    #[must_use]
+    pub fn row_seed(&self, epoch: u32, msg_id: u32, row_id: u32) -> u64 {
+        let msg_seed = derive_seed(self.base_seed, u64::from(epoch), u64::from(msg_id));
+        derive_seed(msg_seed, u64::from(row_id), 1)
+    }
+
+    /// Encodes a blob into rows.
+    #[must_use]
+    pub fn encode_message(&self, blob: &[f32], epoch: u32, msg_id: u32) -> Vec<EncodedRow> {
+        if blob.is_empty() {
+            return Vec::new();
+        }
+        blob.chunks(self.row_len)
+            .enumerate()
+            .map(|(row_id, row)| {
+                self.scheme
+                    .encode(row, self.row_seed(epoch, msg_id, row_id as u32))
+            })
+            .collect()
+    }
+
+    /// Decodes one row view back into coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`trimgrad_quant::scheme::DecodeError`].
+    pub fn decode_row(
+        &self,
+        row: &PartialRow<'_>,
+        meta: &RowMeta,
+        epoch: u32,
+        msg_id: u32,
+        row_id: u32,
+    ) -> Result<Vec<f32>, trimgrad_quant::scheme::DecodeError> {
+        self.scheme
+            .decode(row, meta, self.row_seed(epoch, msg_id, row_id))
+    }
+
+    /// Decodes a full (untrimmed) message: the lossless inverse of
+    /// [`encode_message`](Self::encode_message).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`trimgrad_quant::scheme::DecodeError`].
+    pub fn decode_message_full(
+        &self,
+        rows: &[EncodedRow],
+        epoch: u32,
+        msg_id: u32,
+    ) -> Result<Vec<f32>, trimgrad_quant::scheme::DecodeError> {
+        let mut out = Vec::new();
+        for (row_id, enc) in rows.iter().enumerate() {
+            out.extend(self.decode_row(
+                &enc.full_view(),
+                &enc.meta,
+                epoch,
+                msg_id,
+                row_id as u32,
+            )?);
+        }
+        Ok(out)
+    }
+
+    /// Total encoded payload bits of a message (excluding metadata).
+    #[must_use]
+    pub fn encoded_bits(&self, rows: &[EncodedRow]) -> usize {
+        rows.iter().map(EncodedRow::total_bits).sum()
+    }
+}
+
+impl core::fmt::Debug for MessageCodec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("MessageCodec")
+            .field("scheme", &self.scheme_id)
+            .field("row_len", &self.row_len)
+            .field("base_seed", &self.base_seed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgrad_hadamard::prng::Xoshiro256StarStar;
+
+    fn blob(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        (0..n).map(|_| rng.next_f32_range(-1.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn row_counting() {
+        let c = MessageCodec::with_row_len(SchemeId::RhtOneBit, 0, 100);
+        assert_eq!(c.rows_for(0), 0);
+        assert_eq!(c.rows_for(100), 1);
+        assert_eq!(c.rows_for(101), 2);
+        assert_eq!(MessageCodec::new(SchemeId::RhtOneBit, 0).row_len(), 32_768);
+    }
+
+    #[test]
+    fn seeds_differ_across_all_coordinates() {
+        let c = MessageCodec::new(SchemeId::RhtOneBit, 7);
+        let s = c.row_seed(1, 2, 3);
+        assert_ne!(s, c.row_seed(2, 2, 3));
+        assert_ne!(s, c.row_seed(1, 3, 3));
+        assert_ne!(s, c.row_seed(1, 2, 4));
+        assert_eq!(s, c.row_seed(1, 2, 3));
+        let c2 = MessageCodec::new(SchemeId::RhtOneBit, 8);
+        assert_ne!(s, c2.row_seed(1, 2, 3));
+    }
+
+    #[test]
+    fn multi_row_roundtrip_all_schemes() {
+        for scheme in SchemeId::ALL {
+            let c = MessageCodec::with_row_len(scheme, 11, 64);
+            let b = blob(200, 3); // 4 rows: 64+64+64+8
+            let rows = c.encode_message(&b, 5, 9);
+            assert_eq!(rows.len(), 4);
+            let back = c.decode_message_full(&rows, 5, 9).unwrap();
+            assert_eq!(back.len(), b.len());
+            for (d, v) in back.iter().zip(&b) {
+                assert!(
+                    (d - v).abs() < 1e-4 + 1e-5 * v.abs(),
+                    "{scheme}: {d} vs {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_context_fails_to_reconstruct_rht() {
+        let c = MessageCodec::with_row_len(SchemeId::RhtOneBit, 11, 64);
+        let b = blob(64, 4);
+        let rows = c.encode_message(&b, 5, 9);
+        // Decoding under a different epoch uses different rotation seeds.
+        let bad = c.decode_message_full(&rows, 6, 9).unwrap();
+        let err: f32 = bad.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(err > 0.5, "wrong epoch should not invert (err {err})");
+    }
+
+    #[test]
+    fn empty_blob() {
+        let c = MessageCodec::new(SchemeId::SubtractiveDither, 0);
+        let rows = c.encode_message(&[], 0, 0);
+        assert!(rows.is_empty());
+        assert!(c.decode_message_full(&rows, 0, 0).unwrap().is_empty());
+        assert_eq!(c.encoded_bits(&rows), 0);
+    }
+
+    #[test]
+    fn encoded_bits_accounting() {
+        let c = MessageCodec::with_row_len(SchemeId::SignMagnitude, 0, 64);
+        let rows = c.encode_message(&blob(130, 5), 0, 0);
+        // 64 + 64 + 2 coordinates at 32 bits each.
+        assert_eq!(c.encoded_bits(&rows), 130 * 32);
+    }
+}

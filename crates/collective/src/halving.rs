@@ -1,0 +1,160 @@
+//! Recursive-doubling all-reduce.
+//!
+//! The latency-optimal collective for small messages: `log₂(W)` rounds, in
+//! round `k` worker `w` exchanges its full partial sum with partner
+//! `w XOR 2^k` and adds. Each worker transmits `log₂(W)` blob copies (more
+//! bandwidth than ring, fewer rounds), which is why real \*ccl stacks switch
+//! between the two by message size.
+
+use crate::channel::GradChannel;
+
+/// Runs recursive-doubling all-reduce (sum) in place.
+///
+/// `channels[w]` carries every message worker `w` sends (to whichever
+/// partner the round dictates).
+///
+/// # Panics
+///
+/// Panics unless `workers.len()` is a power of two (pad the worker set or
+/// use [`crate::ring::ring_all_reduce`] otherwise), blobs agree in length,
+/// and `channels.len() == workers.len()`.
+pub fn recursive_doubling_all_reduce<C: GradChannel>(
+    workers: &mut [Vec<f32>],
+    channels: &mut [C],
+    epoch: u32,
+    base_msg_id: u32,
+) {
+    let w = workers.len();
+    assert!(w.is_power_of_two(), "worker count {w} must be a power of two");
+    assert_eq!(channels.len(), w, "one channel per worker");
+    if w == 1 {
+        return;
+    }
+    let len = workers[0].len();
+    assert!(
+        workers.iter().all(|g| g.len() == len),
+        "worker blobs must agree in length"
+    );
+    let rounds = w.trailing_zeros();
+    for k in 0..rounds {
+        // Exchange with partner w ^ 2^k: compute all outgoing payloads
+        // first (through each sender's channel), then apply.
+        let mut incoming: Vec<Vec<f32>> = Vec::with_capacity(w);
+        for (i, chan) in channels.iter_mut().enumerate() {
+            let msg_id = base_msg_id + k * w as u32 + i as u32;
+            incoming.push(chan.transfer(&workers[i], epoch, msg_id));
+        }
+        #[allow(clippy::needless_range_loop)] // i indexes both workers and incoming
+        for i in 0..w {
+            let partner = i ^ (1 << k);
+            // Worker i receives partner's payload.
+            let payload = &incoming[partner];
+            for (acc, v) in workers[i].iter_mut().zip(payload) {
+                *acc += v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{LosslessChannel, TrimmingChannel};
+    use crate::chunk::MessageCodec;
+    use crate::trim_inject::TrimInjector;
+    use trimgrad_hadamard::prng::Xoshiro256StarStar;
+    use trimgrad_quant::SchemeId;
+
+    fn lossless(n: usize) -> Vec<Box<dyn GradChannel>> {
+        (0..n)
+            .map(|_| Box::new(LosslessChannel::new()) as Box<dyn GradChannel>)
+            .collect()
+    }
+
+    fn random_grads(w: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        (0..w)
+            .map(|_| (0..len).map(|_| rng.next_f32_range(-1.0, 1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn computes_exact_sum_for_powers_of_two() {
+        for w in [1usize, 2, 4, 8] {
+            let len = 37;
+            let mut workers = random_grads(w, len, w as u64);
+            let expected: Vec<f32> = (0..len)
+                .map(|j| workers.iter().map(|g| g[j]).sum())
+                .collect();
+            let mut chans = lossless(w);
+            recursive_doubling_all_reduce(&mut workers, &mut chans, 0, 0);
+            for worker in &workers {
+                for (a, e) in worker.iter().zip(&expected) {
+                    assert!((a - e).abs() < 1e-4, "w={w}: {a} vs {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut workers = random_grads(3, 4, 1);
+        let mut chans = lossless(3);
+        recursive_doubling_all_reduce(&mut workers, &mut chans, 0, 0);
+    }
+
+    #[test]
+    fn agrees_with_ring_on_lossless_channels() {
+        let w = 4;
+        let len = 64;
+        let mut a = random_grads(w, len, 3);
+        let mut b = a.clone();
+        let mut ca = lossless(w);
+        let mut cb = lossless(w);
+        recursive_doubling_all_reduce(&mut a, &mut ca, 0, 0);
+        crate::ring::ring_all_reduce(&mut b, &mut cb, 0, 0);
+        for (x, y) in a.iter().flatten().zip(b.iter().flatten()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transmits_log_w_blob_copies() {
+        let w = 8;
+        let len = 1000;
+        let mut workers = random_grads(w, len, 4);
+        let mut chans = lossless(w);
+        recursive_doubling_all_reduce(&mut workers, &mut chans, 0, 0);
+        for c in &chans {
+            let coords = c.bytes_sent() / 4;
+            let expect = (3 * len) as u64; // log2(8) = 3 copies
+            assert!(
+                coords >= expect && coords < expect + expect / 5,
+                "coords {coords} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_channels_still_approximate() {
+        let w = 4;
+        let len = 2048;
+        let mut workers = random_grads(w, len, 5);
+        let expected: Vec<f32> = (0..len)
+            .map(|j| workers.iter().map(|g| g[j]).sum())
+            .collect();
+        let mut chans: Vec<Box<dyn GradChannel>> = (0..w)
+            .map(|i| {
+                let codec = MessageCodec::with_row_len(SchemeId::RhtOneBit, 1, 1024);
+                Box::new(TrimmingChannel::new(codec, TrimInjector::new(0.2, i as u64)))
+                    as Box<dyn GradChannel>
+            })
+            .collect();
+        recursive_doubling_all_reduce(&mut workers, &mut chans, 0, 0);
+        for worker in &workers {
+            let nmse = trimgrad_quant::error::nmse(worker, &expected);
+            assert!(nmse < 0.5, "nmse {nmse}");
+        }
+    }
+}

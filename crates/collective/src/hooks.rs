@@ -1,0 +1,317 @@
+//! DDP-style gradient aggregation hooks.
+//!
+//! The paper's prototype plugs into PyTorch DDP's communication-hook
+//! interface "to modify the gradient aggregation communication step". The
+//! trainer in `trimgrad-mltrain` does the same through [`AggregateHook`]:
+//! given every worker's local gradient, produce each worker's view of the
+//! *averaged* gradient. The hook is where encoding, simulated trimming, and
+//! decoding happen.
+
+use crate::channel::{GradChannel, LosslessChannel, TrimmingChannel};
+use crate::chunk::MessageCodec;
+use crate::ring::ring_all_reduce_mean;
+use crate::trim_inject::{InjectStats, TrimInjector};
+use trimgrad_quant::SchemeId;
+
+/// Aggregates per-worker gradients into per-worker averaged views.
+pub trait AggregateHook: Send {
+    /// Performs the exchange for one training round. `grads[w]` is worker
+    /// `w`'s local gradient; the result is each worker's (possibly
+    /// approximate) copy of the mean gradient.
+    fn aggregate(&mut self, grads: &[Vec<f32>], epoch: u32, round: u32) -> Vec<Vec<f32>>;
+
+    /// Wire bytes per ring edge so far.
+    fn bytes_sent(&self) -> u64;
+
+    /// Display name for experiment output.
+    fn name(&self) -> String;
+}
+
+/// The uncompressed baseline: exact mean over lossless channels.
+pub struct BaselineHook {
+    channels: Vec<LosslessChannel>,
+}
+
+impl BaselineHook {
+    /// Creates the hook for `workers` participants.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self {
+            channels: (0..workers).map(|_| LosslessChannel::new()).collect(),
+        }
+    }
+}
+
+impl AggregateHook for BaselineHook {
+    fn aggregate(&mut self, grads: &[Vec<f32>], epoch: u32, round: u32) -> Vec<Vec<f32>> {
+        let mut workers = grads.to_vec();
+        ring_all_reduce_mean(&mut workers, &mut self.channels, epoch, round * 1024);
+        workers
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.channels.iter().map(|c| c.bytes_sent()).sum()
+    }
+
+    fn name(&self) -> String {
+        "baseline".into()
+    }
+}
+
+/// Trimmable-gradient aggregation: every ring transfer is encoded, passed
+/// through the probabilistic trim injector, and decoded.
+pub struct TrimmableHook {
+    scheme: SchemeId,
+    channels: Vec<TrimmingChannel>,
+}
+
+impl TrimmableHook {
+    /// Creates the hook: `trim_prob`/`drop_prob` apply per simulated packet
+    /// on every ring edge, with deterministic per-edge seeds derived from
+    /// `seed`.
+    #[must_use]
+    pub fn new(
+        scheme: SchemeId,
+        workers: usize,
+        trim_prob: f64,
+        drop_prob: f64,
+        row_len: usize,
+        seed: u64,
+    ) -> Self {
+        let channels = (0..workers)
+            .map(|i| {
+                let codec = MessageCodec::with_row_len(scheme, seed, row_len);
+                let injector = TrimInjector::new(trim_prob, seed ^ (i as u64).wrapping_mul(0x9E37))
+                    .with_drop_prob(drop_prob);
+                TrimmingChannel::new(codec, injector)
+            })
+            .collect();
+        Self { scheme, channels }
+    }
+
+    /// Aggregated injection outcomes across all edges.
+    #[must_use]
+    pub fn inject_stats(&self) -> InjectStats {
+        let mut total = InjectStats::default();
+        for c in &self.channels {
+            total.merge(c.inject_stats());
+        }
+        total
+    }
+
+    /// The scheme in use.
+    #[must_use]
+    pub fn scheme(&self) -> SchemeId {
+        self.scheme
+    }
+}
+
+impl AggregateHook for TrimmableHook {
+    /// Broadcast-style aggregation, matching the paper's DDP prototype:
+    /// every worker's gradient is encoded **once**, crosses the (simulated)
+    /// trimming fabric once, and each receiver averages its own exact
+    /// gradient with the decoded remote ones. Encoding once per exchange is
+    /// essential — re-encoding partial sums at every ring hop compounds the
+    /// quantization error multiplicatively (see [`RingTrimmableHook`], kept
+    /// as an ablation).
+    fn aggregate(&mut self, grads: &[Vec<f32>], epoch: u32, round: u32) -> Vec<Vec<f32>> {
+        let w = grads.len();
+        assert_eq!(w, self.channels.len(), "one channel per worker");
+        let decoded: Vec<Vec<f32>> = grads
+            .iter()
+            .zip(self.channels.iter_mut())
+            .enumerate()
+            .map(|(i, (g, ch))| ch.transfer(g, epoch, round * w as u32 + i as u32))
+            .collect();
+        (0..w)
+            .map(|v| {
+                (0..grads[0].len())
+                    .map(|j| {
+                        let mut acc = 0.0f32;
+                        for (u, dec) in decoded.iter().enumerate() {
+                            acc += if u == v { grads[v][j] } else { dec[j] };
+                        }
+                        acc / w as f32
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.channels.iter().map(|c| c.bytes_sent()).sum()
+    }
+
+    fn name(&self) -> String {
+        self.scheme.name().into()
+    }
+}
+
+/// Ablation variant: trimmable encoding applied at **every ring hop**, so
+/// partial sums are re-encoded repeatedly. Exists to demonstrate why the
+/// paper's design encodes each gradient once — per-hop requantization
+/// compounds the error across the `2(W−1)` transfers (the motivation behind
+/// homomorphic-compression designs like THC).
+pub struct RingTrimmableHook {
+    scheme: SchemeId,
+    channels: Vec<TrimmingChannel>,
+}
+
+impl RingTrimmableHook {
+    /// Creates the per-hop ring hook (same parameters as [`TrimmableHook`]).
+    #[must_use]
+    pub fn new(
+        scheme: SchemeId,
+        workers: usize,
+        trim_prob: f64,
+        drop_prob: f64,
+        row_len: usize,
+        seed: u64,
+    ) -> Self {
+        let channels = (0..workers)
+            .map(|i| {
+                let codec = MessageCodec::with_row_len(scheme, seed, row_len);
+                let injector = TrimInjector::new(trim_prob, seed ^ (i as u64).wrapping_mul(0x9E37))
+                    .with_drop_prob(drop_prob);
+                TrimmingChannel::new(codec, injector)
+            })
+            .collect();
+        Self { scheme, channels }
+    }
+}
+
+impl AggregateHook for RingTrimmableHook {
+    fn aggregate(&mut self, grads: &[Vec<f32>], epoch: u32, round: u32) -> Vec<Vec<f32>> {
+        let mut workers = grads.to_vec();
+        ring_all_reduce_mean(&mut workers, &mut self.channels, epoch, round * 1024);
+        workers
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.channels.iter().map(|c| c.bytes_sent()).sum()
+    }
+
+    fn name(&self) -> String {
+        format!("{}-ring", self.scheme.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgrad_hadamard::prng::Xoshiro256StarStar;
+
+    fn grads(w: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        (0..w)
+            .map(|_| (0..len).map(|_| rng.next_f32_range(-1.0, 1.0)).collect())
+            .collect()
+    }
+
+    fn exact_mean(grads: &[Vec<f32>]) -> Vec<f32> {
+        let w = grads.len() as f32;
+        (0..grads[0].len())
+            .map(|j| grads.iter().map(|g| g[j]).sum::<f32>() / w)
+            .collect()
+    }
+
+    #[test]
+    fn baseline_is_exact() {
+        let g = grads(4, 100, 1);
+        let mean = exact_mean(&g);
+        let mut hook = BaselineHook::new(4);
+        let out = hook.aggregate(&g, 0, 0);
+        assert_eq!(out.len(), 4);
+        for view in &out {
+            for (a, e) in view.iter().zip(&mean) {
+                assert!((a - e).abs() < 1e-5);
+            }
+        }
+        assert!(hook.bytes_sent() > 0);
+        assert_eq!(hook.name(), "baseline");
+    }
+
+    #[test]
+    fn trimmable_untrimmed_matches_mean_closely() {
+        let g = grads(4, 1024, 2);
+        let mean = exact_mean(&g);
+        let mut hook = TrimmableHook::new(SchemeId::RhtOneBit, 4, 0.0, 0.0, 512, 7);
+        let out = hook.aggregate(&g, 0, 0);
+        for view in &out {
+            let nmse = trimgrad_quant::error::nmse(view, &mean);
+            assert!(nmse < 1e-6, "nmse {nmse}");
+        }
+        assert_eq!(hook.inject_stats().trimmed, 0);
+        assert_eq!(hook.name(), "rht");
+    }
+
+    #[test]
+    fn trimmable_with_trimming_stays_useful() {
+        let g = grads(4, 2048, 3);
+        let mean = exact_mean(&g);
+        let mut hook = TrimmableHook::new(SchemeId::RhtOneBit, 4, 0.5, 0.0, 1024, 9);
+        let out = hook.aggregate(&g, 1, 5);
+        assert!(hook.inject_stats().trimmed > 0);
+        for view in &out {
+            let nmse = trimgrad_quant::error::nmse(view, &mean);
+            assert!(nmse < 0.6, "nmse {nmse} too large at 50% trimming");
+        }
+    }
+
+    #[test]
+    fn signmag_heads_decode_is_biased_toward_sigma() {
+        // The flawed scheme the paper warns about. On benign uniform data
+        // ±σ decoding is actually fine (every |v| ≈ σ); its failure mode is
+        // heavy-tailed gradients — the realistic case — where every small
+        // coordinate gets inflated to ±σ. Build spiky gradients accordingly.
+        let mut rng = Xoshiro256StarStar::new(4);
+        let g: Vec<Vec<f32>> = (0..4)
+            .map(|_| {
+                (0..2048)
+                    .map(|_| {
+                        let u = rng.next_f32_range(-1.0, 1.0);
+                        u * u * u * u * u // heavy-tailed: most mass near zero
+                    })
+                    .collect()
+            })
+            .collect();
+        let mean = exact_mean(&g);
+        let run = |scheme| {
+            let mut hook = TrimmableHook::new(scheme, 4, 1.0, 0.0, 1024, 5);
+            let out = hook.aggregate(&g, 0, 0);
+            trimgrad_quant::error::nmse(&out[0], &mean)
+        };
+        let sm = run(SchemeId::SignMagnitude);
+        let rht = run(SchemeId::RhtOneBit);
+        assert!(
+            rht < sm,
+            "RHT ({rht}) must beat sign-magnitude ({sm}) at full trimming"
+        );
+    }
+
+    #[test]
+    fn per_hop_ring_compounds_error() {
+        // The ablation: re-encoding at every ring hop must be strictly worse
+        // than encode-once broadcast aggregation.
+        let g = grads(4, 2048, 7);
+        let mean = exact_mean(&g);
+        let mut once = TrimmableHook::new(SchemeId::RhtOneBit, 4, 1.0, 0.0, 1024, 3);
+        let mut per_hop = RingTrimmableHook::new(SchemeId::RhtOneBit, 4, 1.0, 0.0, 1024, 3);
+        let e_once = trimgrad_quant::error::nmse(&once.aggregate(&g, 0, 0)[0], &mean);
+        let e_hop = trimgrad_quant::error::nmse(&per_hop.aggregate(&g, 0, 0)[0], &mean);
+        assert!(
+            e_once < e_hop,
+            "encode-once ({e_once}) must beat per-hop ({e_hop})"
+        );
+        assert_eq!(per_hop.name(), "rht-ring");
+    }
+
+    #[test]
+    fn rounds_use_fresh_randomness() {
+        let g = grads(2, 512, 6);
+        let mut hook = TrimmableHook::new(SchemeId::RhtOneBit, 2, 0.5, 0.0, 512, 1);
+        let a = hook.aggregate(&g, 0, 0);
+        let b = hook.aggregate(&g, 0, 1);
+        assert_ne!(a, b, "different rounds must draw different trim patterns");
+    }
+}

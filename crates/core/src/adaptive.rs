@@ -1,0 +1,170 @@
+//! Adaptive scheme selection (paper §4.2).
+//!
+//! "A promising direction is … to dynamically choose the quantization method
+//! based on the anticipated congestion/trim rates." The evaluation gives the
+//! decision boundaries:
+//!
+//! * trim rate ≲ 0.5% — everything works; sign-magnitude is the cheapest
+//!   ("a quick solution for when the trimming rate is low");
+//! * 0.5% – 20% — sign-magnitude diverges from ~2%; the computationally
+//!   light SQ/SD "offer faster training than the RHT-based one";
+//! * ≳ 20% — "the improved decoding accuracy of the RHT-based compression
+//!   comes in handy", and at 50% it is the only one that reaches baseline
+//!   accuracy.
+
+use trimgrad_quant::SchemeId;
+
+/// Decision boundaries (fractions of packets trimmed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptivePolicy {
+    /// Below this, sign-magnitude is safe and cheapest.
+    pub low_threshold: f64,
+    /// Above this, switch to RHT.
+    pub high_threshold: f64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        Self {
+            low_threshold: 0.005,
+            high_threshold: 0.20,
+        }
+    }
+}
+
+impl AdaptivePolicy {
+    /// Recommends an encoding for an anticipated trim rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics for rates outside `[0, 1]`.
+    #[must_use]
+    pub fn recommend(&self, anticipated_trim_rate: f64) -> SchemeId {
+        assert!(
+            (0.0..=1.0).contains(&anticipated_trim_rate),
+            "trim rate out of range"
+        );
+        if anticipated_trim_rate < self.low_threshold {
+            SchemeId::SignMagnitude
+        } else if anticipated_trim_rate < self.high_threshold {
+            SchemeId::SubtractiveDither
+        } else {
+            SchemeId::RhtOneBit
+        }
+    }
+}
+
+/// An exponentially-weighted trim-rate tracker driving an [`AdaptivePolicy`].
+///
+/// Feed it the per-round observed trim fraction (from
+/// [`trimgrad_collective::InjectStats::trim_fraction`] or the netsim
+/// receiver); query [`scheme`](Self::scheme) before encoding the next round.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSelector {
+    policy: AdaptivePolicy,
+    ewma: f64,
+    alpha: f64,
+    observations: u64,
+}
+
+impl AdaptiveSelector {
+    /// Creates a selector with smoothing factor `alpha` (0 < α ≤ 1).
+    #[must_use]
+    pub fn new(policy: AdaptivePolicy, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range");
+        Self {
+            policy,
+            ewma: 0.0,
+            alpha,
+            observations: 0,
+        }
+    }
+
+    /// Records one round's observed trim fraction.
+    pub fn observe(&mut self, trim_fraction: f64) {
+        assert!((0.0..=1.0).contains(&trim_fraction), "fraction out of range");
+        if self.observations == 0 {
+            self.ewma = trim_fraction;
+        } else {
+            self.ewma = self.alpha * trim_fraction + (1.0 - self.alpha) * self.ewma;
+        }
+        self.observations += 1;
+    }
+
+    /// The smoothed trim-rate estimate.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        self.ewma
+    }
+
+    /// The currently recommended scheme.
+    #[must_use]
+    pub fn scheme(&self) -> SchemeId {
+        self.policy.recommend(self.ewma)
+    }
+}
+
+impl Default for AdaptiveSelector {
+    fn default() -> Self {
+        Self::new(AdaptivePolicy::default(), 0.2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_match_the_paper() {
+        let p = AdaptivePolicy::default();
+        assert_eq!(p.recommend(0.0), SchemeId::SignMagnitude);
+        assert_eq!(p.recommend(0.001), SchemeId::SignMagnitude);
+        assert_eq!(p.recommend(0.01), SchemeId::SubtractiveDither);
+        assert_eq!(p.recommend(0.1), SchemeId::SubtractiveDither);
+        assert_eq!(p.recommend(0.2), SchemeId::RhtOneBit);
+        assert_eq!(p.recommend(0.5), SchemeId::RhtOneBit);
+        assert_eq!(p.recommend(1.0), SchemeId::RhtOneBit);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_rate() {
+        let _ = AdaptivePolicy::default().recommend(1.5);
+    }
+
+    #[test]
+    fn selector_tracks_changing_congestion() {
+        let mut s = AdaptiveSelector::default();
+        assert_eq!(s.scheme(), SchemeId::SignMagnitude); // no congestion yet
+        // Calm network.
+        for _ in 0..10 {
+            s.observe(0.001);
+        }
+        assert_eq!(s.scheme(), SchemeId::SignMagnitude);
+        // Congestion ramps up.
+        for _ in 0..10 {
+            s.observe(0.08);
+        }
+        assert_eq!(s.scheme(), SchemeId::SubtractiveDither);
+        // Heavy incast.
+        for _ in 0..20 {
+            s.observe(0.6);
+        }
+        assert_eq!(s.scheme(), SchemeId::RhtOneBit);
+        assert!(s.estimate() > 0.4);
+        // And back down.
+        for _ in 0..40 {
+            s.observe(0.0);
+        }
+        assert_eq!(s.scheme(), SchemeId::SignMagnitude);
+    }
+
+    #[test]
+    fn first_observation_initializes_ewma() {
+        let mut s = AdaptiveSelector::new(AdaptivePolicy::default(), 0.01);
+        s.observe(0.5);
+        // Even with tiny alpha, the first observation seeds the estimate.
+        assert!((s.estimate() - 0.5).abs() < 1e-12);
+        assert_eq!(s.scheme(), SchemeId::RhtOneBit);
+    }
+}

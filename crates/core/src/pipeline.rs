@@ -1,0 +1,354 @@
+//! The end-to-end trimmable-gradient pipeline: blob ↔ packets.
+
+use trimgrad_collective::chunk::MessageCodec;
+use trimgrad_quant::SchemeId;
+use trimgrad_wire::meta::RowMetaPacket;
+use trimgrad_wire::packet::{GradPacket, NetAddrs};
+use trimgrad_wire::packetize::{packetize_row, PacketizeConfig};
+use trimgrad_wire::reassemble::RowAssembler;
+use trimgrad_wire::WireError;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Encoding scheme.
+    pub scheme: SchemeId,
+    /// Row length in coordinates (2¹⁵ in the paper).
+    pub row_len: usize,
+    /// IP MTU for packetization.
+    pub mtu: usize,
+    /// Shared base seed.
+    pub base_seed: u64,
+}
+
+impl PipelineConfig {
+    /// Starts a builder with the paper's defaults
+    /// (RHT, 2¹⁵ rows, 1500 MTU).
+    #[must_use]
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder::default()
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfigBuilder::default().build()
+    }
+}
+
+/// Builder for [`PipelineConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfigBuilder {
+    scheme: SchemeId,
+    row_len: usize,
+    mtu: usize,
+    base_seed: u64,
+}
+
+impl Default for PipelineConfigBuilder {
+    fn default() -> Self {
+        Self {
+            scheme: SchemeId::RhtOneBit,
+            row_len: 1 << 15,
+            mtu: 1500,
+            base_seed: 0x7472_696D,
+        }
+    }
+}
+
+impl PipelineConfigBuilder {
+    /// Sets the encoding scheme.
+    #[must_use]
+    pub fn scheme(mut self, s: SchemeId) -> Self {
+        self.scheme = s;
+        self
+    }
+
+    /// Sets the row length.
+    #[must_use]
+    pub fn row_len(mut self, n: usize) -> Self {
+        self.row_len = n;
+        self
+    }
+
+    /// Sets the MTU.
+    #[must_use]
+    pub fn mtu(mut self, m: usize) -> Self {
+        self.mtu = m;
+        self
+    }
+
+    /// Sets the shared base seed.
+    #[must_use]
+    pub fn base_seed(mut self, s: u64) -> Self {
+        self.base_seed = s;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero row length or an MTU too small for headers.
+    #[must_use]
+    pub fn build(self) -> PipelineConfig {
+        assert!(self.row_len > 0, "zero row length");
+        assert!(self.mtu > 100, "MTU too small for the header stack");
+        PipelineConfig {
+            scheme: self.scheme,
+            row_len: self.row_len,
+            mtu: self.mtu,
+            base_seed: self.base_seed,
+        }
+    }
+}
+
+/// Sender-side output of [`TrimmablePipeline::encode`].
+#[derive(Debug)]
+pub struct TxMessage {
+    /// Trimmable data packets (all rows, in row/chunk order).
+    pub packets: Vec<GradPacket>,
+    /// Reliable per-row metadata packets.
+    pub metas: Vec<RowMetaPacket>,
+    /// Original blob length.
+    pub blob_len: usize,
+}
+
+impl TxMessage {
+    /// Total wire bytes of the untrimmed message (data + metadata frames,
+    /// Ethernet included).
+    #[must_use]
+    pub fn wire_bytes(&self) -> usize {
+        let data: usize = self.packets.iter().map(GradPacket::wire_len).sum();
+        // Metadata frame: Ethernet+IP+UDP + 24-byte payload.
+        data + self.metas.len() * (14 + 20 + 8 + trimgrad_wire::meta::PAYLOAD_LEN)
+    }
+}
+
+/// The end-to-end pipeline.
+#[derive(Debug, Clone)]
+pub struct TrimmablePipeline {
+    cfg: PipelineConfig,
+}
+
+impl TrimmablePipeline {
+    /// Creates the pipeline.
+    #[must_use]
+    pub fn new(cfg: PipelineConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    fn codec(&self) -> MessageCodec {
+        MessageCodec::with_row_len(self.cfg.scheme, self.cfg.base_seed, self.cfg.row_len)
+    }
+
+    /// Encodes and packetizes one gradient blob.
+    #[must_use]
+    pub fn encode(
+        &self,
+        blob: &[f32],
+        epoch: u32,
+        msg_id: u32,
+        src_host: u32,
+        dst_host: u32,
+    ) -> TxMessage {
+        let codec = self.codec();
+        let rows = codec.encode_message(blob, epoch, msg_id);
+        let net = NetAddrs::between_hosts(src_host, dst_host);
+        let mut packets = Vec::new();
+        let mut metas = Vec::with_capacity(rows.len());
+        for (row_id, enc) in rows.iter().enumerate() {
+            let pr = packetize_row(
+                enc,
+                &PacketizeConfig {
+                    mtu: self.cfg.mtu,
+                    net,
+                    msg_id,
+                    row_id: row_id as u32,
+                    epoch,
+                },
+            );
+            packets.extend(pr.packets);
+            metas.push(pr.meta);
+        }
+        TxMessage {
+            packets,
+            metas,
+            blob_len: blob.len(),
+        }
+    }
+
+    /// Reassembles and decodes a message from whatever packets arrived.
+    /// Packets may be trimmed to any depth, duplicated, or missing entirely
+    /// (lost coordinates decode to 0); metadata packets must all be present
+    /// (they are the reliable channel).
+    ///
+    /// # Errors
+    ///
+    /// Wire-level errors from malformed packets, or
+    /// [`WireError::BadField`] when a packet belongs to a different message.
+    pub fn decode(
+        &self,
+        packets: &[GradPacket],
+        metas: &[RowMetaPacket],
+        epoch: u32,
+        msg_id: u32,
+    ) -> Result<Vec<f32>, WireError> {
+        let codec = self.codec();
+        // Index assemblers by the row id the metadata declares, so metadata
+        // arrival order does not matter.
+        let mut assemblers: Vec<Option<RowAssembler>> = vec![None; metas.len()];
+        for meta in metas {
+            let idx = meta.row_id as usize;
+            if idx >= assemblers.len() {
+                return Err(WireError::BadField("row_id"));
+            }
+            assemblers[idx] = Some(RowAssembler::from_meta(meta));
+        }
+        let mut assemblers: Vec<RowAssembler> = assemblers
+            .into_iter()
+            .map(|a| a.ok_or(WireError::BadField("missing row meta")))
+            .collect::<Result<_, _>>()?;
+        for pkt in packets {
+            let fields = pkt.quick_fields()?;
+            if fields.msg_id != msg_id {
+                return Err(WireError::BadField("msg_id"));
+            }
+            let row = fields.row_id as usize;
+            if row >= assemblers.len() {
+                return Err(WireError::BadField("row_id"));
+            }
+            assemblers[row].ingest(pkt)?;
+        }
+        let mut out = Vec::new();
+        for (row_id, asm) in assemblers.iter().enumerate() {
+            let meta = asm.meta().ok_or(WireError::BadField("meta"))?;
+            let dec = codec
+                .decode_row(&asm.partial_row(), meta, epoch, msg_id, row_id as u32)
+                .map_err(|_| WireError::BadField("row decode"))?;
+            out.extend(dec);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgrad_hadamard::prng::Xoshiro256StarStar;
+
+    fn blob(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        (0..n).map(|_| rng.next_f32_range(-1.0, 1.0)).collect()
+    }
+
+    fn pipe(scheme: SchemeId) -> TrimmablePipeline {
+        TrimmablePipeline::new(
+            PipelineConfig::builder()
+                .scheme(scheme)
+                .row_len(1024)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.scheme, SchemeId::RhtOneBit);
+        assert_eq!(c.row_len, 32_768);
+        assert_eq!(c.mtu, 1500);
+    }
+
+    #[test]
+    #[should_panic(expected = "MTU too small")]
+    fn builder_rejects_tiny_mtu() {
+        let _ = PipelineConfig::builder().mtu(50).build();
+    }
+
+    #[test]
+    fn lossless_roundtrip_all_schemes() {
+        for scheme in SchemeId::ALL {
+            let p = pipe(scheme);
+            let b = blob(2500, 1);
+            let tx = p.encode(&b, 3, 7, 1, 2);
+            assert_eq!(tx.metas.len(), 3); // ⌈2500/1024⌉
+            assert!(tx.wire_bytes() > 2500 * 4); // payload + headers
+            let dec = p.decode(&tx.packets, &tx.metas, 3, 7).unwrap();
+            assert_eq!(dec.len(), b.len());
+            for (d, v) in dec.iter().zip(&b) {
+                assert!((d - v).abs() < 1e-4, "{scheme}: {d} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn trimmed_roundtrip_degrades_gracefully() {
+        let p = pipe(SchemeId::RhtOneBit);
+        let b = blob(4096, 2);
+        let tx = p.encode(&b, 0, 0, 1, 2);
+        let mut errs = Vec::new();
+        for trim_every in [usize::MAX, 2, 1] {
+            let mut packets = tx.packets.clone();
+            for (i, pkt) in packets.iter_mut().enumerate() {
+                if trim_every != usize::MAX && i % trim_every == 0 {
+                    pkt.trim_to_depth(1).unwrap();
+                }
+            }
+            let dec = p.decode(&packets, &tx.metas, 0, 0).unwrap();
+            errs.push(trimgrad_quant::error::nmse(&dec, &b));
+        }
+        assert!(errs[0] < 1e-6, "untrimmed {}", errs[0]);
+        assert!(errs[0] < errs[1] && errs[1] < errs[2], "{errs:?}");
+        assert!(errs[2] < 1.0, "fully trimmed still informative");
+    }
+
+    #[test]
+    fn lost_packets_decode_to_zero() {
+        let p = pipe(SchemeId::SignMagnitude);
+        let b = blob(1000, 3);
+        let tx = p.encode(&b, 0, 0, 1, 2);
+        // Drop every packet: decode is all zeros but correct length.
+        let dec = p.decode(&[], &tx.metas, 0, 0).unwrap();
+        assert_eq!(dec.len(), b.len());
+        assert!(dec.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn rejects_foreign_message() {
+        let p = pipe(SchemeId::SignMagnitude);
+        let b = blob(100, 4);
+        let tx = p.encode(&b, 0, 1, 1, 2);
+        assert_eq!(
+            p.decode(&tx.packets, &tx.metas, 0, 2).unwrap_err(),
+            WireError::BadField("msg_id")
+        );
+    }
+
+    #[test]
+    fn empty_blob() {
+        let p = pipe(SchemeId::RhtOneBit);
+        let tx = p.encode(&[], 0, 0, 1, 2);
+        assert!(tx.packets.is_empty());
+        assert!(tx.metas.is_empty());
+        assert!(p.decode(&tx.packets, &tx.metas, 0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_packets_are_harmless() {
+        let p = pipe(SchemeId::SubtractiveDither);
+        let b = blob(500, 5);
+        let tx = p.encode(&b, 1, 1, 1, 2);
+        let mut dup = tx.packets.clone();
+        dup.extend(tx.packets.iter().cloned());
+        let dec = p.decode(&dup, &tx.metas, 1, 1).unwrap();
+        for (d, v) in dec.iter().zip(&b) {
+            assert_eq!(d.to_bits(), v.to_bits());
+        }
+    }
+}

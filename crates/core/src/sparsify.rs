@@ -1,0 +1,219 @@
+//! Top-k sparsification composed with trimmable encoding (paper §5.2/§5.3).
+//!
+//! "If we use gradient sparsification, the sender can first discard a
+//! certain ratio of gradient coordinates according to the congestion control
+//! signal and subsequently send them using RHT-based trimmable encoding."
+//!
+//! [`TopKSparsifier`] keeps the largest-magnitude `keep_frac` of the
+//! coordinates and zeroes the rest — *with error feedback*: the discarded
+//! mass is accumulated in a residual and re-added before the next round's
+//! selection, the standard trick that keeps sparsified SGD convergent (the
+//! same family as MLT's observation that the smallest 20% of coordinates
+//! are droppable). The sparsified (still dense-shaped) blob then flows
+//! through the ordinary trimmable pipeline, so ahead-of-time sparsification
+//! and just-in-time trimming stack.
+
+/// Top-k magnitude sparsifier with an error-feedback residual.
+#[derive(Debug, Clone)]
+pub struct TopKSparsifier {
+    keep_frac: f64,
+    residual: Vec<f32>,
+}
+
+impl TopKSparsifier {
+    /// Creates a sparsifier keeping `keep_frac ∈ (0, 1]` of coordinates for
+    /// gradients of `len` coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics for fractions outside `(0, 1]`.
+    #[must_use]
+    pub fn new(keep_frac: f64, len: usize) -> Self {
+        assert!(
+            keep_frac > 0.0 && keep_frac <= 1.0,
+            "keep fraction out of (0, 1]"
+        );
+        Self {
+            keep_frac,
+            residual: vec![0.0; len],
+        }
+    }
+
+    /// The configured keep fraction.
+    #[must_use]
+    pub fn keep_frac(&self) -> f64 {
+        self.keep_frac
+    }
+
+    /// Adjusts the keep fraction (e.g. from a congestion-control signal).
+    ///
+    /// # Panics
+    ///
+    /// Panics for fractions outside `(0, 1]`.
+    pub fn set_keep_frac(&mut self, f: f64) {
+        assert!(f > 0.0 && f <= 1.0, "keep fraction out of (0, 1]");
+        self.keep_frac = f;
+    }
+
+    /// Number of coordinates kept for the configured gradient size.
+    #[must_use]
+    pub fn kept_count(&self) -> usize {
+        ((self.residual.len() as f64 * self.keep_frac).ceil() as usize)
+            .clamp(1, self.residual.len().max(1))
+    }
+
+    /// Sparsifies one gradient in place of transmission: returns the dense
+    /// vector with all but the top-k coordinates (of gradient + residual)
+    /// zeroed, and updates the residual with the discarded mass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len()` differs from the construction length.
+    #[must_use]
+    pub fn sparsify(&mut self, grad: &[f32]) -> Vec<f32> {
+        assert_eq!(grad.len(), self.residual.len(), "gradient length changed");
+        if grad.is_empty() {
+            return Vec::new();
+        }
+        // Compensated gradient.
+        let comp: Vec<f32> = grad.iter().zip(&self.residual).map(|(g, r)| g + r).collect();
+        let k = self.kept_count();
+        // Threshold = k-th largest magnitude (via select_nth on a copy).
+        let mut mags: Vec<f32> = comp.iter().map(|v| v.abs()).collect();
+        let idx = mags.len() - k;
+        mags.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("finite"));
+        let threshold = mags[idx];
+        let mut out = vec![0.0f32; comp.len()];
+        let mut kept = 0usize;
+        for (i, &v) in comp.iter().enumerate() {
+            // Keep at- or above-threshold magnitudes until k are placed
+            // (ties beyond k fall to the residual like everything else).
+            if kept < k && v.abs() >= threshold {
+                out[i] = v;
+                kept += 1;
+                self.residual[i] = 0.0;
+            } else {
+                self.residual[i] = v;
+            }
+        }
+        out
+    }
+
+    /// The current residual (accumulated discarded gradient mass).
+    #[must_use]
+    pub fn residual(&self) -> &[f32] {
+        &self.residual
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_exactly_k_largest() {
+        let mut s = TopKSparsifier::new(0.3, 10);
+        let g = [0.1f32, -0.9, 0.2, 0.8, -0.05, 0.0, 0.7, -0.3, 0.15, 0.25];
+        let out = s.sparsify(&g);
+        let kept: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(kept, vec![1, 3, 6]); // |−0.9|, |0.8|, |0.7|
+        assert_eq!(out[1], -0.9);
+    }
+
+    #[test]
+    fn residual_captures_discarded_mass() {
+        let mut s = TopKSparsifier::new(0.5, 4);
+        let g = [1.0f32, 0.1, -2.0, 0.2];
+        let out = s.sparsify(&g);
+        // Kept: indices 0 and 2. Residual: the rest.
+        assert_eq!(out, vec![1.0, 0.0, -2.0, 0.0]);
+        assert_eq!(s.residual(), &[0.0, 0.1, 0.0, 0.2]);
+        // Next round, the residual is compensated in.
+        let out2 = s.sparsify(&[0.0, 0.15, 0.0, 0.0]);
+        // comp = [0, 0.25, 0, 0.2]; top-2 = indices 1 and 3.
+        assert_eq!(out2, vec![0.0, 0.25, 0.0, 0.2]);
+        assert_eq!(s.residual(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn error_feedback_conserves_gradient_mass() {
+        // Over many rounds, sum(sent) + residual == sum(supplied gradients).
+        let mut s = TopKSparsifier::new(0.2, 50);
+        let mut supplied = vec![0.0f64; 50];
+        let mut sent = vec![0.0f64; 50];
+        for round in 0..30u64 {
+            let g: Vec<f32> = (0..50)
+                .map(|i| (((i as u64 * 31 + round * 17) % 100) as f32 - 50.0) / 50.0)
+                .collect();
+            for (acc, &v) in supplied.iter_mut().zip(&g) {
+                *acc += f64::from(v);
+            }
+            for (acc, v) in sent.iter_mut().zip(s.sparsify(&g)) {
+                *acc += f64::from(v);
+            }
+        }
+        for i in 0..50 {
+            let conserved = sent[i] + f64::from(s.residual()[i]);
+            assert!(
+                (conserved - supplied[i]).abs() < 1e-3,
+                "coordinate {i}: {conserved} vs {supplied:?}",
+                supplied = supplied[i]
+            );
+        }
+    }
+
+    #[test]
+    fn keep_frac_one_is_identity() {
+        let mut s = TopKSparsifier::new(1.0, 5);
+        let g = [1.0f32, -2.0, 3.0, 0.0, 0.5];
+        assert_eq!(s.sparsify(&g), g.to_vec());
+        assert!(s.residual().iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn kept_count_bounds() {
+        assert_eq!(TopKSparsifier::new(0.001, 100).kept_count(), 1);
+        assert_eq!(TopKSparsifier::new(1.0, 100).kept_count(), 100);
+        assert_eq!(TopKSparsifier::new(0.205, 100).kept_count(), 21);
+    }
+
+    #[test]
+    fn congestion_signal_adjusts_fraction() {
+        let mut s = TopKSparsifier::new(0.5, 10);
+        s.set_keep_frac(0.1);
+        assert_eq!(s.kept_count(), 1);
+        let out = s.sparsify(&[1.0; 10]);
+        assert_eq!(out.iter().filter(|&&v| v != 0.0).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 1]")]
+    fn rejects_zero_fraction() {
+        let _ = TopKSparsifier::new(0.0, 10);
+    }
+
+    #[test]
+    fn composes_with_trimmable_encoding() {
+        use trimgrad_quant::rht1bit::RhtOneBit;
+        use trimgrad_quant::TrimmableScheme;
+        let mut s = TopKSparsifier::new(0.25, 512);
+        let g: Vec<f32> = (0..512).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let sparse = s.sparsify(&g);
+        let scheme = RhtOneBit;
+        let enc = scheme.encode(&sparse, 3);
+        // Full-precision decode of the sparsified blob is exact (within
+        // rotation rounding); heads-only still correlates with it.
+        let dec = scheme.decode(&enc.full_view(), &enc.meta, 3).unwrap();
+        for (d, v) in dec.iter().zip(&sparse) {
+            assert!((d - v).abs() < 1e-4);
+        }
+        let heads = scheme.decode(&enc.trimmed_view(1), &enc.meta, 3).unwrap();
+        let cos = trimgrad_quant::error::cosine_similarity(&heads, &sparse);
+        assert!(cos > 0.5, "cosine {cos}");
+    }
+}

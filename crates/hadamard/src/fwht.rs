@@ -1,0 +1,244 @@
+//! The in-place fast Walsh–Hadamard transform (FWHT).
+//!
+//! The Walsh–Hadamard transform of a vector `x` of length `n = 2^k` is
+//! `H_n · x`, where `H_n` is the ±1 Hadamard matrix defined recursively by
+//! `H_1 = [1]`, `H_{2n} = [[H_n, H_n], [H_n, -H_n]]`. The fast algorithm is a
+//! butterfly network identical in structure to a radix-2 FFT, costing
+//! `n·log2(n)` additions and no multiplications.
+//!
+//! Two normalizations are provided:
+//!
+//! * [`fwht_inplace`] — the raw ±1 transform; applying it twice multiplies
+//!   the input by `n`.
+//! * [`fwht_orthonormal`] — scales by `1/√n`, making the transform an
+//!   *orthogonal involution*: it preserves the ℓ₂ norm exactly and is its own
+//!   inverse. This is the normalization the RHT layer builds on.
+
+use crate::{Error, Result};
+
+/// Validates that `data.len()` is a non-zero power of two.
+fn check_pow2(data: &[f32]) -> Result<()> {
+    if data.is_empty() {
+        return Err(Error::Empty);
+    }
+    if !data.len().is_power_of_two() {
+        return Err(Error::NotPowerOfTwo { len: data.len() });
+    }
+    Ok(())
+}
+
+/// Applies the unnormalized Walsh–Hadamard transform in place.
+///
+/// After the call, `data` holds `H_n · data`. Requires `data.len()` to be a
+/// power of two.
+///
+/// # Errors
+///
+/// [`Error::Empty`] for an empty slice, [`Error::NotPowerOfTwo`] otherwise
+/// when the length is not a power of two.
+pub fn fwht_inplace(data: &mut [f32]) -> Result<()> {
+    check_pow2(data)?;
+    let n = data.len();
+    let mut h = 1;
+    while h < n {
+        // Butterflies over blocks of width 2h; the inner loops are written so
+        // the compiler can auto-vectorize the add/sub pairs.
+        for block in data.chunks_exact_mut(2 * h) {
+            let (lo, hi) = block.split_at_mut(h);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let x = *a;
+                let y = *b;
+                *a = x + y;
+                *b = x - y;
+            }
+        }
+        h *= 2;
+    }
+    Ok(())
+}
+
+/// Applies the orthonormal Walsh–Hadamard transform `(1/√n)·H_n` in place.
+///
+/// This version preserves the ℓ₂ norm and is an involution: applying it twice
+/// returns the original vector (up to floating-point rounding).
+///
+/// # Errors
+///
+/// Same conditions as [`fwht_inplace`].
+pub fn fwht_orthonormal(data: &mut [f32]) -> Result<()> {
+    fwht_inplace(data)?;
+    let scale = 1.0 / (data.len() as f32).sqrt();
+    for v in data.iter_mut() {
+        *v *= scale;
+    }
+    Ok(())
+}
+
+/// Computes one entry of the Hadamard matrix, `H_n[row, col] ∈ {+1, -1}`,
+/// via the parity of `row & col` (Sylvester construction).
+///
+/// Useful for testing the fast transform against the naive definition and for
+/// documentation; O(1) per entry.
+#[must_use]
+pub fn hadamard_entry(row: usize, col: usize) -> f32 {
+    if (row & col).count_ones().is_multiple_of(2) {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Naive O(n²) Walsh–Hadamard transform, used as a test oracle.
+///
+/// # Errors
+///
+/// Same conditions as [`fwht_inplace`].
+pub fn wht_naive(data: &[f32]) -> Result<Vec<f32>> {
+    check_pow2(data)?;
+    let n = data.len();
+    let mut out = vec![0.0f32; n];
+    for (r, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0f64;
+        for (c, &v) in data.iter().enumerate() {
+            acc += f64::from(hadamard_entry(r, c)) * f64::from(v);
+        }
+        *o = acc as f32;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn l2(x: &[f32]) -> f64 {
+        x.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(fwht_inplace(&mut []), Err(Error::Empty));
+        assert_eq!(fwht_orthonormal(&mut []), Err(Error::Empty));
+        assert_eq!(wht_naive(&[]).unwrap_err(), Error::Empty);
+    }
+
+    #[test]
+    fn rejects_non_pow2() {
+        let mut v = vec![1.0; 3];
+        assert_eq!(fwht_inplace(&mut v), Err(Error::NotPowerOfTwo { len: 3 }));
+        let mut v = vec![1.0; 12];
+        assert_eq!(
+            fwht_orthonormal(&mut v),
+            Err(Error::NotPowerOfTwo { len: 12 })
+        );
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let mut v = vec![3.25];
+        fwht_inplace(&mut v).unwrap();
+        assert_eq!(v, vec![3.25]);
+        fwht_orthonormal(&mut v).unwrap();
+        assert_eq!(v, vec![3.25]);
+    }
+
+    #[test]
+    fn length_two_matches_definition() {
+        let mut v = vec![1.0, 2.0];
+        fwht_inplace(&mut v).unwrap();
+        assert_eq!(v, vec![3.0, -1.0]); // [x+y, x-y]
+    }
+
+    #[test]
+    fn known_h4_transform() {
+        // H_4 * [1,0,0,0]^T = first column of H_4 = [1,1,1,1].
+        let mut v = vec![1.0, 0.0, 0.0, 0.0];
+        fwht_inplace(&mut v).unwrap();
+        assert_eq!(v, vec![1.0, 1.0, 1.0, 1.0]);
+        // H_4 * [0,1,0,0]^T = second column = [1,-1,1,-1].
+        let mut v = vec![0.0, 1.0, 0.0, 0.0];
+        fwht_inplace(&mut v).unwrap();
+        assert_eq!(v, vec![1.0, -1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn hadamard_entry_sylvester_h2() {
+        // H_2 = [[1, 1], [1, -1]]
+        assert_eq!(hadamard_entry(0, 0), 1.0);
+        assert_eq!(hadamard_entry(0, 1), 1.0);
+        assert_eq!(hadamard_entry(1, 0), 1.0);
+        assert_eq!(hadamard_entry(1, 1), -1.0);
+    }
+
+    #[test]
+    fn matches_naive_oracle() {
+        let data: Vec<f32> = (0..64).map(|i| ((i * 37) % 101) as f32 - 50.0).collect();
+        let expect = wht_naive(&data).unwrap();
+        let mut got = data.clone();
+        fwht_inplace(&mut got).unwrap();
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-3, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn double_transform_scales_by_n() {
+        let data: Vec<f32> = (0..32).map(|i| (i as f32).sin()).collect();
+        let mut v = data.clone();
+        fwht_inplace(&mut v).unwrap();
+        fwht_inplace(&mut v).unwrap();
+        for (a, b) in v.iter().zip(&data) {
+            assert!((a - 32.0 * b).abs() < 1e-3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn orthonormal_is_involution(
+            raw in proptest::collection::vec(-1000.0f32..1000.0, 1..=256)
+        ) {
+            let n = raw.len().next_power_of_two();
+            let mut v = raw.clone();
+            v.resize(n, 0.0);
+            let orig = v.clone();
+            fwht_orthonormal(&mut v).unwrap();
+            fwht_orthonormal(&mut v).unwrap();
+            for (a, b) in v.iter().zip(&orig) {
+                prop_assert!((a - b).abs() <= 1e-2 + 1e-4 * b.abs(),
+                    "involution failed: {a} vs {b}");
+            }
+        }
+
+        #[test]
+        fn orthonormal_preserves_l2_norm(
+            raw in proptest::collection::vec(-1000.0f32..1000.0, 1..=256)
+        ) {
+            let n = raw.len().next_power_of_two();
+            let mut v = raw.clone();
+            v.resize(n, 0.0);
+            let before = l2(&v);
+            fwht_orthonormal(&mut v).unwrap();
+            let after = l2(&v);
+            prop_assert!((before - after).abs() <= 1e-3 * (1.0 + before),
+                "norm changed: {before} -> {after}");
+        }
+
+        #[test]
+        fn linearity(
+            raw in proptest::collection::vec(-100.0f32..100.0, 8..=8),
+            raw2 in proptest::collection::vec(-100.0f32..100.0, 8..=8)
+        ) {
+            // H(x + y) == Hx + Hy
+            let mut sum: Vec<f32> = raw.iter().zip(&raw2).map(|(a, b)| a + b).collect();
+            fwht_inplace(&mut sum).unwrap();
+            let mut x = raw.clone();
+            let mut y = raw2.clone();
+            fwht_inplace(&mut x).unwrap();
+            fwht_inplace(&mut y).unwrap();
+            for ((s, a), b) in sum.iter().zip(&x).zip(&y) {
+                prop_assert!((s - (a + b)).abs() < 1e-2);
+            }
+        }
+    }
+}

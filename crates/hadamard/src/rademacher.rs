@@ -1,0 +1,126 @@
+//! Seeded Rademacher (±1) diagonals.
+//!
+//! The Randomized Hadamard Transform multiplies the input by a random
+//! diagonal matrix `D_s = diag(d_0, …, d_{n-1})`, `d_i ∈ {+1, −1}`, before
+//! the Hadamard butterfly. Both the sender (encode) and receiver (decode)
+//! regenerate the same diagonal from the shared seed `s`, so the diagonal is
+//! never transmitted.
+
+use crate::prng::Xoshiro256StarStar;
+
+/// A lazily-generated Rademacher diagonal bound to a seed.
+///
+/// Iterating yields `+1.0` / `−1.0` values; the sequence for a given seed is
+/// stable forever (see [`crate::prng`]).
+#[derive(Debug, Clone)]
+pub struct RademacherDiagonal {
+    rng: Xoshiro256StarStar,
+}
+
+impl RademacherDiagonal {
+    /// Creates the diagonal generator for `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Xoshiro256StarStar::new(seed),
+        }
+    }
+
+    /// Returns the next diagonal entry (`+1.0` or `−1.0`).
+    pub fn next_sign(&mut self) -> f32 {
+        self.rng.next_sign()
+    }
+
+    /// Fills `out` with the first `out.len()` diagonal entries.
+    pub fn fill(&mut self, out: &mut [f32]) {
+        for v in out.iter_mut() {
+            *v = self.next_sign();
+        }
+    }
+
+    /// Multiplies `data[i] *= d_i` in place, consuming `data.len()` entries
+    /// of the diagonal.
+    pub fn apply(&mut self, data: &mut [f32]) {
+        for v in data.iter_mut() {
+            *v *= self.next_sign();
+        }
+    }
+}
+
+impl Iterator for RademacherDiagonal {
+    type Item = f32;
+
+    fn next(&mut self) -> Option<f32> {
+        Some(self.next_sign())
+    }
+}
+
+/// Generates the first `n` entries of the seed-`s` Rademacher diagonal.
+#[must_use]
+pub fn rademacher_vec(seed: u64, n: usize) -> Vec<f32> {
+    let mut d = RademacherDiagonal::new(seed);
+    let mut out = vec![0.0; n];
+    d.fill(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_are_plus_minus_one() {
+        for v in rademacher_vec(3, 4096) {
+            assert!(v == 1.0 || v == -1.0, "unexpected entry {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(rademacher_vec(17, 100), rademacher_vec(17, 100));
+        assert_ne!(rademacher_vec(17, 100), rademacher_vec(18, 100));
+    }
+
+    #[test]
+    fn prefix_consistency() {
+        // The first k entries do not depend on how many are requested.
+        let long = rademacher_vec(5, 1000);
+        let short = rademacher_vec(5, 10);
+        assert_eq!(&long[..10], &short[..]);
+    }
+
+    #[test]
+    fn apply_matches_elementwise_product() {
+        let seed = 99;
+        let diag = rademacher_vec(seed, 64);
+        let data: Vec<f32> = (0..64).map(|i| i as f32 - 32.0).collect();
+        let mut applied = data.clone();
+        RademacherDiagonal::new(seed).apply(&mut applied);
+        for ((a, d), x) in applied.iter().zip(&diag).zip(&data) {
+            assert_eq!(*a, d * x);
+        }
+    }
+
+    #[test]
+    fn apply_twice_is_identity() {
+        let data: Vec<f32> = (0..128).map(|i| (i as f32).cos()).collect();
+        let mut v = data.clone();
+        RademacherDiagonal::new(7).apply(&mut v);
+        RademacherDiagonal::new(7).apply(&mut v);
+        assert_eq!(v, data); // d_i^2 == 1 exactly in f32
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let from_iter: Vec<f32> = RademacherDiagonal::new(1).take(32).collect();
+        assert_eq!(from_iter, rademacher_vec(1, 32));
+    }
+
+    #[test]
+    fn signs_roughly_balanced() {
+        let n = 100_000;
+        let pos = rademacher_vec(123, n).iter().filter(|&&v| v > 0.0).count();
+        let frac = pos as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
+    }
+}

@@ -1,0 +1,215 @@
+//! The seeded Randomized Hadamard Transform (RHT) and its inverse.
+//!
+//! Forward: `R_s(V) = (1/√n) · H_n · D_s · V` where `D_s` is the seed-`s`
+//! Rademacher diagonal ([`crate::rademacher`]) and `H_n` the Hadamard matrix.
+//! Because `(1/√n)·H_n` is orthogonal and symmetric, and `D_s` is orthogonal
+//! and its own inverse, the inverse transform is
+//! `V = D_s · (1/√n) · H_n · R_s(V)` — the same butterfly followed by the
+//! same diagonal, applied in the opposite order.
+//!
+//! After the rotation, each coordinate of `R_s(V)` is a ±-signed sum of all
+//! input coordinates and is approximately normally distributed with zero mean
+//! (for non-adversarial inputs), which is exactly what makes 1-bit sign
+//! quantization of the rotated vector accurate (DRIVE, NeurIPS '21).
+
+use crate::fwht::fwht_orthonormal;
+use crate::rademacher::RademacherDiagonal;
+use crate::Result;
+
+/// A Randomized Hadamard Transform bound to a seed.
+///
+/// The seed is shared between sender and receiver (derived from training
+/// epoch and message id, see [`crate::prng::derive_seed`]); construction is
+/// free, the diagonal is regenerated on each call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomizedHadamard {
+    seed: u64,
+}
+
+impl RandomizedHadamard {
+    /// Creates the transform for a shared seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Returns the seed this transform is bound to.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Applies the forward RHT in place: `data ← (1/√n)·H·D_s·data`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `data.len()` is empty or not a power of two; use
+    /// [`forward_padded`](Self::forward_padded) for arbitrary lengths.
+    pub fn forward(&self, data: &mut [f32]) -> Result<()> {
+        let mut diag = RademacherDiagonal::new(self.seed);
+        diag.apply(data);
+        // If the butterfly rejects the length we must undo the diagonal so a
+        // failed call leaves the caller's buffer untouched.
+        if let Err(e) = fwht_orthonormal(data) {
+            RademacherDiagonal::new(self.seed).apply(data);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Applies the inverse RHT in place: `data ← D_s·(1/√n)·H·data`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `data.len()` is empty or not a power of two.
+    pub fn inverse(&self, data: &mut [f32]) -> Result<()> {
+        fwht_orthonormal(data)?;
+        RademacherDiagonal::new(self.seed).apply(data);
+        Ok(())
+    }
+
+    /// Forward RHT of a slice of arbitrary length: zero-pads to the next
+    /// power of two and returns the rotated (padded) vector.
+    ///
+    /// The receiver must know the original length to invert; see
+    /// [`inverse_padded`](Self::inverse_padded).
+    #[must_use]
+    pub fn forward_padded(&self, data: &[f32]) -> Vec<f32> {
+        let n = crate::next_pow2(data.len());
+        let mut buf = Vec::with_capacity(n);
+        buf.extend_from_slice(data);
+        buf.resize(n, 0.0);
+        self.forward(&mut buf)
+            .expect("padded length is a power of two");
+        buf
+    }
+
+    /// Inverts a padded rotation and truncates back to `original_len`.
+    ///
+    /// `rotated.len()` must be a power of two and `original_len <= rotated.len()`.
+    #[must_use]
+    pub fn inverse_padded(&self, rotated: &[f32], original_len: usize) -> Vec<f32> {
+        assert!(
+            original_len <= rotated.len(),
+            "original_len {original_len} exceeds rotated length {}",
+            rotated.len()
+        );
+        let mut buf = rotated.to_vec();
+        self.inverse(&mut buf)
+            .expect("rotated input must have power-of-two length");
+        buf.truncate(original_len);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn l2(x: &[f32]) -> f64 {
+        x.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn forward_then_inverse_is_identity() {
+        let rht = RandomizedHadamard::new(77);
+        let data: Vec<f32> = (0..256).map(|i| (i as f32 * 0.37).sin() * 10.0).collect();
+        let mut v = data.clone();
+        rht.forward(&mut v).unwrap();
+        rht.inverse(&mut v).unwrap();
+        for (a, b) in v.iter().zip(&data) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn failed_forward_leaves_buffer_untouched() {
+        let rht = RandomizedHadamard::new(5);
+        let data = vec![1.0, 2.0, 3.0]; // not a power of two
+        let mut v = data.clone();
+        assert!(rht.forward(&mut v).is_err());
+        assert_eq!(v, data);
+    }
+
+    #[test]
+    fn seed_matters() {
+        let data: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let mut a = data.clone();
+        let mut b = data.clone();
+        RandomizedHadamard::new(1).forward(&mut a).unwrap();
+        RandomizedHadamard::new(2).forward(&mut b).unwrap();
+        assert_ne!(a, b);
+        // Wrong-seed inverse does not recover the input.
+        RandomizedHadamard::new(2).inverse(&mut a).unwrap();
+        let err: f32 = a.iter().zip(&data).map(|(x, y)| (x - y).abs()).sum();
+        assert!(err > 1.0, "wrong seed should not invert (err={err})");
+    }
+
+    #[test]
+    fn padded_roundtrip_arbitrary_length() {
+        let rht = RandomizedHadamard::new(123);
+        for len in [1usize, 2, 3, 5, 17, 100, 365, 1000] {
+            let data: Vec<f32> = (0..len).map(|i| (i as f32) - (len as f32) / 2.0).collect();
+            let rot = rht.forward_padded(&data);
+            assert!(rot.len().is_power_of_two());
+            assert!(rot.len() >= len);
+            let back = rht.inverse_padded(&rot, len);
+            assert_eq!(back.len(), len);
+            for (a, b) in back.iter().zip(&data) {
+                assert!((a - b).abs() < 1e-3, "len={len}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds rotated length")]
+    fn inverse_padded_rejects_overlong_original() {
+        let rht = RandomizedHadamard::new(1);
+        let rot = vec![0.0; 4];
+        let _ = rht.inverse_padded(&rot, 5);
+    }
+
+    #[test]
+    fn rotation_concentrates_spiky_vector() {
+        // A one-hot vector has all its energy in one coordinate; after the
+        // rotation the max |coordinate| should shrink by ~sqrt(n), the
+        // "smoothing" property 1-bit quantization relies on.
+        let n = 1024;
+        let mut v = vec![0.0f32; n];
+        v[7] = 100.0;
+        RandomizedHadamard::new(4).forward(&mut v).unwrap();
+        let max = v.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        assert!(
+            max < 100.0 / (n as f32).sqrt() * 1.5,
+            "rotated max {max} not concentrated"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn preserves_l2_norm(
+            raw in proptest::collection::vec(-100.0f32..100.0, 1..=300),
+            seed in any::<u64>()
+        ) {
+            let rht = RandomizedHadamard::new(seed);
+            let rot = rht.forward_padded(&raw);
+            let before = l2(&raw);
+            let after = l2(&rot);
+            prop_assert!((before - after).abs() <= 1e-3 * (1.0 + before));
+        }
+
+        #[test]
+        fn roundtrip_identity(
+            raw in proptest::collection::vec(-100.0f32..100.0, 1..=300),
+            seed in any::<u64>()
+        ) {
+            let rht = RandomizedHadamard::new(seed);
+            let rot = rht.forward_padded(&raw);
+            let back = rht.inverse_padded(&rot, raw.len());
+            for (a, b) in back.iter().zip(&raw) {
+                prop_assert!((a - b).abs() <= 1e-2 + 1e-4 * b.abs());
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Data-parallel ML training substrate for the trimmable-gradients
+//! reproduction.
+//!
+//! The paper evaluates its encodings by training a real network (VGG-19 on
+//! CIFAR-100 with PyTorch DDP) while injecting trimming into the gradient
+//! exchange. This crate supplies the equivalent, laptop-scale stack in pure
+//! Rust — real SGD on real (synthetic) classification tasks, with the
+//! gradient exchange routed through `trimgrad-collective` hooks:
+//!
+//! * [`tensor`] — row-major `f32` matrices with the handful of ops backprop
+//!   needs,
+//! * [`layers`] — linear layers, ReLU, fused softmax + cross-entropy,
+//! * [`model`] — multi-layer perceptrons with flat parameter/gradient views
+//!   (the "gradient blob" the collective layer ships),
+//! * [`optim`] — SGD with momentum and a StepLR schedule (the paper's
+//!   optimizer shape),
+//! * [`data`] — seeded synthetic datasets (Gaussian mixtures, two-spirals),
+//! * [`metrics`] — top-1 / top-5 accuracy,
+//! * [`parallel`] — the data-parallel trainer: `W` workers, per-round
+//!   gradient aggregation through any
+//!   [`trimgrad_collective::hooks::AggregateHook`],
+//! * [`timemodel`] — the wall-clock model composing compute, encoding, and
+//!   communication time per round (the paper's Fig 5 decomposition), with a
+//!   retransmission-delay model for the lossy reliable baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod fsdp;
+pub mod layers;
+pub mod metrics;
+pub mod model;
+pub mod optim;
+pub mod parallel;
+pub mod tensor;
+pub mod timemodel;
+
+pub use model::Mlp;
+pub use parallel::{DataParallelTrainer, ParallelConfig};
+pub use tensor::Matrix;

@@ -1,0 +1,271 @@
+//! Minimal row-major `f32` matrices.
+//!
+//! Exactly the operations backprop through an MLP needs — general matrix
+//! multiply plus the two transposed variants — written with an i-k-j loop
+//! order so the inner loop streams contiguously and auto-vectorizes.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wraps existing data (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Row count.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element `(r, c)`.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The backing slice (row-major).
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The mutable backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `self · other` — shapes `(m×k) · (k×n) = (m×n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[p * n..(p + 1) * n];
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` — shapes `(k×m)ᵀ · (k×n) = (m×n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let arow = &self.data[p * m..(p + 1) * m];
+            let brow = &other.data[p * n..(p + 1) * n];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` — shapes `(m×k) · (n×k)ᵀ = (m×n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Adds `v` to every row (broadcast bias add).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn add_row_vec(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            for (x, &b) in self.row_mut(r).iter_mut().zip(v) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Sum over rows: returns a `cols`-length vector.
+    #[must_use]
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &x) in out.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let mut a = Matrix::zeros(2, 3);
+        assert_eq!((a.rows(), a.cols()), (2, 3));
+        a.set(1, 2, 5.0);
+        assert_eq!(a.get(1, 2), 5.0);
+        assert_eq!(a.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(a.as_slice().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn from_vec_checks_shape() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // 3×2
+        let b = m(3, 4, &(0..12).map(|i| i as f32).collect::<Vec<_>>()); // 3×4
+        // aᵀ·b via t_matmul vs manual transpose.
+        let at = m(2, 3, &[1.0, 3.0, 5.0, 2.0, 4.0, 6.0]);
+        assert_eq!(a.t_matmul(&b).as_slice(), at.matmul(&b).as_slice());
+        // a·cᵀ via matmul_t vs manual transpose.
+        let c = m(5, 2, &(0..10).map(|i| i as f32).collect::<Vec<_>>()); // 5×2
+        let ct = {
+            let mut t = Matrix::zeros(2, 5);
+            for r in 0..5 {
+                for cc in 0..2 {
+                    t.set(cc, r, c.get(r, cc));
+                }
+            }
+            t
+        };
+        assert_eq!(a.matmul_t(&c).as_slice(), a.matmul(&ct).as_slice());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = m(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i).as_slice(), a.as_slice());
+        assert_eq!(i.matmul(&a).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let _ = Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn bias_add_and_col_sums() {
+        let mut a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        a.add_row_vec(&[10.0, 20.0, 30.0]);
+        assert_eq!(a.as_slice(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        assert_eq!(a.col_sums(), vec![25.0, 47.0, 69.0]);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let a = Matrix::zeros(0, 3);
+        assert_eq!(a.col_sums(), vec![0.0; 3]);
+        let b = Matrix::zeros(3, 0);
+        let c = a.matmul(&Matrix::zeros(3, 2));
+        assert_eq!((c.rows(), c.cols()), (0, 2));
+        let d = b.matmul(&Matrix::zeros(0, 4));
+        assert_eq!((d.rows(), d.cols()), (3, 4));
+        assert!(d.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,212 @@
+//! The deterministic event calendar.
+//!
+//! Events fire in (time, insertion-sequence) order, so two events scheduled
+//! for the same instant run in the order they were scheduled — simulations
+//! are bit-reproducible regardless of hash seeds or allocator behavior.
+
+use crate::time::SimTime;
+use crate::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A packet finishes propagating and arrives at `node` via the link from
+    /// `from`.
+    Arrive {
+        /// Receiving node.
+        node: NodeId,
+        /// Sending neighbor (identifies the ingress link).
+        from: NodeId,
+        /// The packet.
+        packet: crate::packet::Packet,
+    },
+    /// An egress port of `node` toward `to` finishes serializing its current
+    /// packet and may start the next one.
+    PortFree {
+        /// The node owning the port.
+        node: NodeId,
+        /// The neighbor the port faces.
+        to: NodeId,
+    },
+    /// An application timer on `node` fires with an app-chosen token.
+    AppTimer {
+        /// The host whose app scheduled the timer.
+        node: NodeId,
+        /// Opaque app token.
+        token: u64,
+    },
+    /// The periodic statistics sampler.
+    StatsSample,
+}
+
+/// One scheduled event.
+#[derive(Debug)]
+pub struct Event {
+    /// When it fires.
+    pub at: SimTime,
+    seq: u64,
+    /// What fires.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic min-heap of events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    scheduled: u64,
+    fired: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        let e = self.heap.pop().map(|Reverse(e)| e);
+        if e.is_some() {
+            self.fired += 1;
+        }
+        e
+    }
+
+    /// The firing time of the earliest event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events scheduled over the queue's lifetime.
+    #[must_use]
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total events fired over the queue's lifetime.
+    #[must_use]
+    pub fn total_fired(&self) -> u64 {
+        self.fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: usize, token: u64) -> EventKind {
+        EventKind::AppTimer {
+            node: NodeId(node),
+            token,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), timer(0, 3));
+        q.schedule(SimTime(10), timer(0, 1));
+        q.schedule(SimTime(20), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::AppTimer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for token in 0..100 {
+            q.schedule(SimTime(5), timer(0, token));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::AppTimer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime(7), timer(1, 0));
+        q.schedule(SimTime(3), timer(1, 1));
+        assert_eq!(q.peek_time(), Some(SimTime(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_scheduled(), 2);
+        let _ = q.pop();
+        assert_eq!(q.total_fired(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stay_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), timer(0, 10));
+        q.schedule(SimTime(5), timer(0, 5));
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::AppTimer { token: 5, .. }
+        ));
+        // Schedule something earlier than the remaining event.
+        q.schedule(SimTime(7), timer(0, 7));
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::AppTimer { token: 7, .. }
+        ));
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::AppTimer { token: 10, .. }
+        ));
+        assert!(q.pop().is_none());
+    }
+}

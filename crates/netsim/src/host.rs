@@ -1,0 +1,177 @@
+//! Host applications.
+//!
+//! Endpoint logic — transports, collective workers, traffic generators —
+//! implements [`App`] and is installed on a host with
+//! [`crate::sim::Simulator::install_app`]. Apps interact with the network
+//! exclusively through the buffered [`HostApi`] handed to each callback:
+//! sends and timers take effect when the callback returns, which keeps the
+//! event loop free of re-entrancy.
+
+use crate::packet::{Packet, PacketSpec};
+use crate::time::SimTime;
+use crate::NodeId;
+
+/// The per-callback interface an app uses to act on the network.
+#[derive(Debug)]
+pub struct HostApi {
+    now: SimTime,
+    node: NodeId,
+    pub(crate) outbox: Vec<PacketSpec>,
+    pub(crate) timers: Vec<(SimTime, u64)>,
+    pub(crate) completed_flows: Vec<crate::FlowId>,
+}
+
+impl HostApi {
+    pub(crate) fn new(now: SimTime, node: NodeId) -> Self {
+        Self {
+            now,
+            node,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            completed_flows: Vec::new(),
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The host this app runs on.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Hands a packet to the NIC (enqueued on the egress port when the
+    /// callback returns).
+    pub fn send(&mut self, spec: PacketSpec) {
+        self.outbox.push(spec);
+    }
+
+    /// Schedules [`App::on_timer`] to fire `delay` from now with `token`.
+    pub fn timer_in(&mut self, delay: SimTime, token: u64) {
+        self.timers.push((self.now + delay, token));
+    }
+
+    /// Records a flow/message as complete (for FCT statistics).
+    pub fn complete_flow(&mut self, flow: crate::FlowId) {
+        self.completed_flows.push(flow);
+    }
+}
+
+/// Endpoint logic installed on a host.
+pub trait App: Send {
+    /// Upcast for result extraction after a run
+    /// ([`crate::sim::Simulator::app_ref`]).
+    fn as_any(&self) -> &dyn core::any::Any;
+
+    /// Mutable upcast.
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any;
+
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, api: &mut HostApi) {
+        let _ = api;
+    }
+
+    /// Called when a packet addressed to this host is delivered.
+    fn on_packet(&mut self, pkt: Packet, api: &mut HostApi);
+
+    /// Called when a timer set via [`HostApi::timer_in`] fires.
+    fn on_timer(&mut self, token: u64, api: &mut HostApi) {
+        let _ = (token, api);
+    }
+}
+
+/// An app that counts deliveries and otherwise discards packets — the
+/// default sink for hosts without installed logic.
+///
+/// It also detects flow completion: a flow whose final packet carries
+/// [`Packet::fin`] at sequence `s` completes once all `s + 1` packets have
+/// been delivered in any order (trimming reorders packets through the
+/// priority queue, so arrival order is not completion order).
+#[derive(Debug, Default)]
+pub struct SinkApp {
+    /// Packets received.
+    pub received: u64,
+    /// Bytes received.
+    pub bytes: u64,
+    /// Trimmed packets among them.
+    pub trimmed: u64,
+    flows: std::collections::HashMap<crate::FlowId, (u64, Option<u64>)>,
+}
+
+impl App for SinkApp {
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+
+    fn on_packet(&mut self, pkt: Packet, api: &mut HostApi) {
+        self.received += 1;
+        self.bytes += u64::from(pkt.size);
+        if pkt.trimmed {
+            self.trimmed += 1;
+        }
+        let entry = self.flows.entry(pkt.flow).or_insert((0, None));
+        entry.0 += 1;
+        if pkt.fin {
+            entry.1 = Some(pkt.seq + 1);
+        }
+        if entry.1 == Some(entry.0) {
+            api.complete_flow(pkt.flow);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketSpec;
+    use crate::FlowId;
+
+    #[test]
+    fn api_buffers_actions() {
+        let mut api = HostApi::new(SimTime::from_micros(5), NodeId(3));
+        assert_eq!(api.now(), SimTime::from_micros(5));
+        assert_eq!(api.node(), NodeId(3));
+        api.send(PacketSpec::synthetic(NodeId(1), FlowId(2), 100, 0));
+        api.timer_in(SimTime::from_micros(10), 42);
+        api.complete_flow(FlowId(2));
+        assert_eq!(api.outbox.len(), 1);
+        assert_eq!(api.timers, vec![(SimTime::from_micros(15), 42)]);
+        assert_eq!(api.completed_flows, vec![FlowId(2)]);
+    }
+
+    #[test]
+    fn sink_counts() {
+        let mut sink = SinkApp::default();
+        let mut api = HostApi::new(SimTime::ZERO, NodeId(0));
+        let mut pkt = crate::packet::Packet {
+            id: 1,
+            flow: FlowId(1),
+            src: NodeId(1),
+            dst: NodeId(0),
+            size: 500,
+            priority: false,
+            reliable: false,
+            trimmed: false,
+            ecn: false,
+            seq: 0,
+            fin: false,
+            sent_at: SimTime::ZERO,
+            body: crate::packet::PacketBody::Synthetic,
+        };
+        sink.on_packet(pkt.clone(), &mut api);
+        pkt.trimmed = true;
+        pkt.size = 64;
+        sink.on_packet(pkt, &mut api);
+        assert_eq!(sink.received, 2);
+        assert_eq!(sink.bytes, 564);
+        assert_eq!(sink.trimmed, 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Discrete-event data-center network simulator with packet trimming.
+//!
+//! This crate is the substrate for the paper's networking claims: it models
+//! hosts, links, and shallow-buffer output-queued switches that can react to
+//! congestion by **trimming** packets (keeping a short prefix and forwarding
+//! it in a high-priority queue, as in NDP / EODS / Ultra Ethernet), by
+//! dropping (the tail-drop baseline), or by ECN marking.
+//!
+//! # Architecture
+//!
+//! * [`time`] — nanosecond simulated clock and rate arithmetic.
+//! * [`event`] — deterministic calendar queue (time, then FIFO sequence).
+//! * [`packet`] — the simulator's packet: size + priority + a typed body
+//!   (real TrimGrad frames from `trimgrad-wire`, or synthetic cross-traffic).
+//! * [`link`] / [`switch`] / [`topology`] — the dataplane: store-and-forward
+//!   output-queued switches, two priority queues per port, a configurable
+//!   full-queue policy, static shortest-path routing with ECMP by flow hash.
+//! * [`host`] — the [`host::App`] trait: endpoint logic (transports,
+//!   collectives, traffic generators) runs as apps installed on hosts.
+//! * [`sim`] — the event loop.
+//! * [`transport`] — message-level services on top of packets: a reliable
+//!   retransmitting transport (the "NCCL baseline") and the trimming
+//!   transport (no payload retransmission; trimmed heads are final).
+//! * [`crosstraffic`] — on/off bursts and incast generators.
+//! * [`stats`] — flow completion times, queue depths, trim/drop/retransmit
+//!   counters, conservation checks.
+//!
+//! # Example
+//!
+//! ```
+//! use trimgrad_netsim::topology::Topology;
+//! use trimgrad_netsim::sim::Simulator;
+//! use trimgrad_netsim::switch::QueuePolicy;
+//! use trimgrad_netsim::crosstraffic::BulkSenderApp;
+//! use trimgrad_netsim::time::{SimTime, gbps};
+//!
+//! // Two hosts across one switch; 10 Gbps links, trimming switch.
+//! let mut topo = Topology::new();
+//! let h = [topo.add_host(), topo.add_host()];
+//! let s = topo.add_switch(QueuePolicy::trim_default());
+//! topo.link(h[0], s, gbps(10.0), SimTime::from_micros(1));
+//! topo.link(h[1], s, gbps(10.0), SimTime::from_micros(1));
+//! let mut sim = Simulator::new(topo);
+//! sim.install_app(h[0], Box::new(BulkSenderApp::new(h[1], 100_000, 1500, 1)));
+//! sim.run_until(SimTime::from_millis(100));
+//! assert_eq!(sim.stats().delivered_packets(), 67); // ⌈100000 / 1500⌉
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crosstraffic;
+pub mod event;
+pub mod host;
+pub mod link;
+pub mod packet;
+pub mod sim;
+pub mod stats;
+pub mod switch;
+pub mod time;
+pub mod topology;
+pub mod transport;
+
+/// Identifies a node (host or switch) in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a flow (sender-chosen; used for ECMP hashing and statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+impl core::fmt::Display for FlowId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}

@@ -1,0 +1,70 @@
+//! Link parameters.
+//!
+//! Links are full-duplex and symmetric: `Topology::link(a, b, …)` creates
+//! two independent unidirectional channels with the same rate and delay.
+//! Each direction serializes packets at `rate` (one at a time, modeled by
+//! the egress port) and then propagates them after `delay`.
+//!
+//! `drop_prob` injects random, congestion-independent loss on the channel —
+//! the knob used to reproduce §4.4's baseline tolerance numbers ("0.15%-0.25%
+//! packet drops") without constructing a congestive cause for each loss.
+
+use crate::time::{Rate, SimTime};
+
+/// Parameters of one (unidirectional) link channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Serialization rate.
+    pub rate: Rate,
+    /// Propagation delay.
+    pub delay: SimTime,
+    /// Independent per-packet drop probability in `[0, 1]`
+    /// (0 for a perfect link). Reliable packets are *not* exempt —
+    /// transports must recover them.
+    pub drop_prob: f64,
+}
+
+impl LinkParams {
+    /// A perfect link: no random loss.
+    #[must_use]
+    pub fn new(rate: Rate, delay: SimTime) -> Self {
+        Self {
+            rate,
+            delay,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Adds random loss.
+    #[must_use]
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability {p} out of range");
+        self.drop_prob = p;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::gbps;
+
+    #[test]
+    fn constructor_defaults() {
+        let l = LinkParams::new(gbps(100.0), SimTime::from_micros(1));
+        assert_eq!(l.drop_prob, 0.0);
+        assert_eq!(l.delay, SimTime::from_micros(1));
+    }
+
+    #[test]
+    fn with_drop_prob_sets_value() {
+        let l = LinkParams::new(gbps(10.0), SimTime::ZERO).with_drop_prob(0.02);
+        assert_eq!(l.drop_prob, 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_probability() {
+        let _ = LinkParams::new(gbps(10.0), SimTime::ZERO).with_drop_prob(1.5);
+    }
+}

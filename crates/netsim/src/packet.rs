@@ -1,0 +1,338 @@
+//! The simulator's packet representation.
+//!
+//! A [`Packet`] is what queues, links, and switches handle: a size, a
+//! priority class, trimming attributes, and a typed [`PacketBody`]. Gradient
+//! experiments carry real `trimgrad-wire` frames so that the switch's trim
+//! operation exercises the actual byte-level truncation; cross-traffic and
+//! transport-control packets are synthetic.
+
+use crate::time::SimTime;
+use crate::{FlowId, NodeId};
+use trimgrad_wire::meta::RowMetaPacket;
+use trimgrad_wire::packet::GradPacket;
+
+/// Wire size of a trimmed synthetic packet (the surviving "header"):
+/// Ethernet 14 + IPv4 20 + UDP 8 + a 22-byte stub ≈ NDP's trimmed header.
+pub const SYNTHETIC_TRIM_STUB: u32 = 64;
+
+/// Wire size of a transport control packet (ACK/NACK/pull).
+pub const CONTROL_SIZE: u32 = 64;
+
+/// Transport-level control messages (carried reliably, high priority).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlMsg {
+    /// Acknowledges receipt of `seq` on the flow (reliable transport).
+    Ack {
+        /// Acknowledged sequence number.
+        seq: u64,
+    },
+    /// Cumulative acknowledgment: everything below `upto` received.
+    CumAck {
+        /// One past the highest contiguously received sequence.
+        upto: u64,
+    },
+    /// Asks the sender to retransmit `seq` (receiver-driven, NDP-style,
+    /// triggered by a trimmed-synthetic arrival under the reliable model).
+    Nack {
+        /// Missing sequence number.
+        seq: u64,
+    },
+    /// Tells the receiver the flow comprises `total` packets.
+    FlowStart {
+        /// Number of data packets in the flow/message.
+        total: u64,
+    },
+}
+
+/// Packet payloads.
+#[derive(Debug, Clone)]
+pub enum PacketBody {
+    /// Opaque bytes (cross-traffic, reliable-transport test data).
+    Synthetic,
+    /// A real trimmable gradient data frame.
+    GradData(GradPacket),
+    /// A reliable row-metadata packet.
+    GradMeta(RowMetaPacket),
+    /// A transport control message.
+    Control(ControlMsg),
+}
+
+/// One simulated packet.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Globally unique id, assigned by the simulator at send time.
+    pub id: u64,
+    /// Flow this packet belongs to (ECMP hash + statistics key).
+    pub flow: FlowId,
+    /// Originating host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Current wire size in bytes (shrinks when trimmed).
+    pub size: u32,
+    /// High-priority queue class (control, metadata, trimmed packets).
+    pub priority: bool,
+    /// Policy-protected: never trimmed (transports retransmit it on loss).
+    pub reliable: bool,
+    /// Whether a switch has trimmed this packet.
+    pub trimmed: bool,
+    /// ECN congestion-experienced mark.
+    pub ecn: bool,
+    /// Transport sequence number within the flow.
+    pub seq: u64,
+    /// Marks the highest-sequence packet of its flow (flow comprises
+    /// sequences `0..=seq`); receivers use it to detect flow completion.
+    pub fin: bool,
+    /// When the source host handed it to its NIC.
+    pub sent_at: SimTime,
+    /// Payload.
+    pub body: PacketBody,
+}
+
+/// What an application specifies when sending (the simulator fills in
+/// identity and timing).
+#[derive(Debug, Clone)]
+pub struct PacketSpec {
+    /// Destination host.
+    pub dst: NodeId,
+    /// Flow id.
+    pub flow: FlowId,
+    /// Wire size in bytes.
+    pub size: u32,
+    /// High-priority class.
+    pub priority: bool,
+    /// Policy-protected from trimming.
+    pub reliable: bool,
+    /// Transport sequence number.
+    pub seq: u64,
+    /// Flow-final marker (see [`Packet::fin`]).
+    pub fin: bool,
+    /// Payload.
+    pub body: PacketBody,
+}
+
+impl PacketSpec {
+    /// Marks this packet as the final sequence of its flow.
+    #[must_use]
+    pub fn with_fin(mut self) -> Self {
+        self.fin = true;
+        self
+    }
+
+    /// A synthetic bulk-data packet (trimmable, low priority).
+    #[must_use]
+    pub fn synthetic(dst: NodeId, flow: FlowId, size: u32, seq: u64) -> Self {
+        Self {
+            dst,
+            flow,
+            size,
+            priority: false,
+            reliable: false,
+            seq,
+            fin: false,
+            body: PacketBody::Synthetic,
+        }
+    }
+
+    /// A control packet (reliable, high priority, fixed small size).
+    #[must_use]
+    pub fn control(dst: NodeId, flow: FlowId, msg: ControlMsg) -> Self {
+        Self {
+            dst,
+            flow,
+            size: CONTROL_SIZE,
+            priority: true,
+            reliable: true,
+            seq: 0,
+            fin: false,
+            body: PacketBody::Control(msg),
+        }
+    }
+
+    /// A gradient data packet; size is the frame's wire length.
+    #[must_use]
+    pub fn grad_data(dst: NodeId, flow: FlowId, seq: u64, frame: GradPacket) -> Self {
+        Self {
+            dst,
+            flow,
+            size: frame.wire_len() as u32,
+            priority: false,
+            reliable: false,
+            seq,
+            fin: false,
+            body: PacketBody::GradData(frame),
+        }
+    }
+
+    /// A gradient metadata packet (reliable, high priority).
+    #[must_use]
+    pub fn grad_meta(dst: NodeId, flow: FlowId, seq: u64, meta: RowMetaPacket) -> Self {
+        Self {
+            dst,
+            flow,
+            // Frame length of a metadata packet: full header stack + 24 B.
+            size: (trimgrad_wire::packet::STACK_OVERHEAD
+                - trimgrad_wire::trimhdr::HEADER_LEN
+                + trimgrad_wire::meta::PAYLOAD_LEN) as u32,
+            priority: true,
+            reliable: true,
+            seq,
+            fin: false,
+            body: PacketBody::GradMeta(meta),
+        }
+    }
+}
+
+impl Packet {
+    /// Attempts the in-switch trim. Returns `true` if the packet shrank (it
+    /// is then re-classified high priority), `false` if it must not be
+    /// trimmed (reliable, already at minimum, or a control body).
+    ///
+    /// `grad_depth` is the part depth gradient frames are trimmed to
+    /// (1 = heads only).
+    pub fn trim(&mut self, grad_depth: u8) -> bool {
+        if self.reliable {
+            return false;
+        }
+        match &mut self.body {
+            PacketBody::Synthetic => {
+                if self.size <= SYNTHETIC_TRIM_STUB {
+                    return false;
+                }
+                self.size = SYNTHETIC_TRIM_STUB;
+            }
+            PacketBody::GradData(frame) => {
+                if frame.trim_to_depth(grad_depth).is_err() {
+                    return false;
+                }
+                let new_size = frame.wire_len() as u32;
+                if new_size >= self.size {
+                    return false; // already at (or below) this depth
+                }
+                self.size = new_size;
+            }
+            PacketBody::GradMeta(_) | PacketBody::Control(_) => return false,
+        }
+        self.trimmed = true;
+        self.priority = true;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgrad_quant::scheme::TrimmableScheme;
+    use trimgrad_quant::signmag::SignMagnitude;
+    use trimgrad_wire::packet::NetAddrs;
+    use trimgrad_wire::packetize::{packetize_row, PacketizeConfig};
+
+    fn pkt(spec: PacketSpec) -> Packet {
+        Packet {
+            id: 1,
+            flow: spec.flow,
+            src: NodeId(0),
+            dst: spec.dst,
+            size: spec.size,
+            priority: spec.priority,
+            reliable: spec.reliable,
+            trimmed: false,
+            ecn: false,
+            seq: spec.seq,
+            fin: spec.fin,
+            sent_at: SimTime::ZERO,
+            body: spec.body,
+        }
+    }
+
+    fn grad_frame() -> GradPacket {
+        let row: Vec<f32> = (0..360).map(|i| i as f32 - 180.0).collect();
+        let enc = SignMagnitude.encode(&row, 0);
+        let cfg = PacketizeConfig {
+            mtu: 1500,
+            net: NetAddrs::between_hosts(1, 2),
+            msg_id: 0,
+            row_id: 0,
+            epoch: 0,
+        };
+        packetize_row(&enc, &cfg).packets.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn synthetic_trim_shrinks_to_stub() {
+        let mut p = pkt(PacketSpec::synthetic(NodeId(1), FlowId(1), 1500, 0));
+        assert!(p.trim(1));
+        assert_eq!(p.size, SYNTHETIC_TRIM_STUB);
+        assert!(p.trimmed && p.priority);
+        // Second trim is refused (already minimal).
+        assert!(!p.trim(1));
+    }
+
+    #[test]
+    fn tiny_synthetic_refuses_trim() {
+        let mut p = pkt(PacketSpec::synthetic(NodeId(1), FlowId(1), 64, 0));
+        assert!(!p.trim(1));
+        assert!(!p.trimmed);
+    }
+
+    #[test]
+    fn control_and_meta_never_trim() {
+        let mut c = pkt(PacketSpec::control(
+            NodeId(1),
+            FlowId(1),
+            ControlMsg::Ack { seq: 3 },
+        ));
+        assert!(!c.trim(1));
+        let meta = RowMetaPacket {
+            scheme: trimgrad_quant::SchemeId::RhtOneBit,
+            msg_id: 1,
+            row_id: 1,
+            original_len: 10,
+            scale: 1.0,
+            epoch: 0,
+        };
+        let mut m = pkt(PacketSpec::grad_meta(NodeId(1), FlowId(1), 0, meta));
+        assert!(m.reliable && m.priority);
+        assert!(!m.trim(1));
+    }
+
+    #[test]
+    fn grad_data_trim_performs_real_truncation() {
+        let frame = grad_frame();
+        let full_len = frame.wire_len() as u32;
+        let mut p = pkt(PacketSpec::grad_data(NodeId(2), FlowId(9), 0, frame));
+        assert_eq!(p.size, full_len);
+        assert!(p.trim(1));
+        assert!(p.size < full_len / 10);
+        // The carried frame is genuinely trimmed and still parses.
+        if let PacketBody::GradData(f) = &p.body {
+            let parsed = f.parse().unwrap();
+            assert_eq!(parsed.fields.trim_depth, 1);
+        } else {
+            panic!("body changed type");
+        }
+        // Re-trimming to the same depth is refused (no further shrink).
+        assert!(!p.trim(1));
+    }
+
+    #[test]
+    fn reliable_flag_blocks_trim_regardless_of_body() {
+        let mut p = pkt(PacketSpec::synthetic(NodeId(1), FlowId(1), 1500, 0));
+        p.reliable = true;
+        assert!(!p.trim(1));
+    }
+
+    #[test]
+    fn meta_packet_size_is_small() {
+        let meta = RowMetaPacket {
+            scheme: trimgrad_quant::SchemeId::RhtOneBit,
+            msg_id: 0,
+            row_id: 0,
+            original_len: 0,
+            scale: 0.0,
+            epoch: 0,
+        };
+        let spec = PacketSpec::grad_meta(NodeId(1), FlowId(1), 0, meta);
+        assert_eq!(spec.size as usize, 14 + 20 + 8 + 24);
+    }
+}

@@ -1,0 +1,585 @@
+//! The event loop.
+//!
+//! [`Simulator`] owns the topology, routing tables, every egress-port queue,
+//! the installed apps, and the statistics. Time advances strictly
+//! monotonically through the deterministic [`crate::event::EventQueue`];
+//! identical inputs (topology, apps, seed) produce bit-identical runs.
+
+use crate::event::{EventKind, EventQueue};
+use crate::host::{App, HostApi, SinkApp};
+use crate::packet::{Packet, PacketSpec};
+use crate::stats::Stats;
+use crate::switch::{EnqueueOutcome, PortState, QueuePolicy};
+use crate::time::SimTime;
+use crate::topology::{NodeKind, Routes, Topology};
+use crate::NodeId;
+use std::collections::HashMap;
+use trimgrad_hadamard::prng::Xoshiro256StarStar;
+
+/// The host NIC queue policy: deep FIFO, no trimming (the sending host can
+/// hold its own backlog; congestion logic lives in the fabric's switches).
+fn host_nic_policy() -> QueuePolicy {
+    QueuePolicy {
+        data_capacity: 1 << 30,
+        prio_capacity: 1 << 30,
+        ecn_threshold: None,
+        action: crate::switch::FullAction::DropTail,
+    }
+}
+
+/// The discrete-event network simulator.
+pub struct Simulator {
+    topo: Topology,
+    routes: Routes,
+    ports: HashMap<(usize, usize), PortState>,
+    apps: Vec<Option<Box<dyn App>>>,
+    started: bool,
+    queue: EventQueue,
+    now: SimTime,
+    stats: Stats,
+    next_pkt_id: u64,
+    in_flight: u64,
+    rng: Xoshiro256StarStar,
+    queue_sample_interval: Option<SimTime>,
+}
+
+impl Simulator {
+    /// Builds a simulator over `topo` (routes are computed here) with the
+    /// default loss-RNG seed.
+    #[must_use]
+    pub fn new(topo: Topology) -> Self {
+        Self::with_seed(topo, 0x7261_6E64)
+    }
+
+    /// Builds with an explicit seed for the random-loss generator.
+    #[must_use]
+    pub fn with_seed(topo: Topology, seed: u64) -> Self {
+        let routes = topo.build_routes();
+        let n = topo.len();
+        let mut apps: Vec<Option<Box<dyn App>>> = Vec::with_capacity(n);
+        for i in 0..n {
+            apps.push(match topo.kind(NodeId(i)) {
+                NodeKind::Host => Some(Box::new(SinkApp::default()) as Box<dyn App>),
+                NodeKind::Switch(_) => None,
+            });
+        }
+        Self {
+            topo,
+            routes,
+            ports: HashMap::new(),
+            apps,
+            started: false,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            stats: Stats::new(),
+            next_pkt_id: 0,
+            in_flight: 0,
+            rng: Xoshiro256StarStar::new(seed),
+            queue_sample_interval: None,
+        }
+    }
+
+    /// Installs `app` on a host (replacing the default sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is a switch or the simulation already started.
+    pub fn install_app(&mut self, node: NodeId, app: Box<dyn App>) {
+        assert!(
+            matches!(self.topo.kind(node), NodeKind::Host),
+            "{node} is not a host"
+        );
+        assert!(!self.started, "apps must be installed before the first run");
+        self.apps[node.0] = Some(app);
+    }
+
+    /// Enables periodic sampling of every data queue's depth into
+    /// [`Stats::max_queue_bytes`].
+    pub fn enable_queue_sampling(&mut self, interval: SimTime) {
+        assert!(interval > SimTime::ZERO, "zero sampling interval");
+        self.queue_sample_interval = Some(interval);
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Packets currently inside the network (queued or propagating).
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// The topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Borrows an installed app, downcast to its concrete type.
+    #[must_use]
+    pub fn app_ref<T: 'static>(&self, node: NodeId) -> Option<&T> {
+        self.apps[node.0]
+            .as_deref()
+            .and_then(|a| a.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutably borrows an installed app, downcast to its concrete type.
+    #[must_use]
+    pub fn app_mut<T: 'static>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.apps[node.0]
+            .as_deref_mut()
+            .and_then(|a| a.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Runs until the event queue drains or `t_end` is reached, whichever is
+    /// first. Returns the simulated time afterwards.
+    pub fn run_until(&mut self, t_end: SimTime) -> SimTime {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.apps.len() {
+                if self.apps[i].is_some() {
+                    self.with_app(NodeId(i), |app, api| app.on_start(api));
+                }
+            }
+            if let Some(interval) = self.queue_sample_interval {
+                self.queue.schedule(self.now + interval, EventKind::StatsSample);
+            }
+        }
+        while let Some(at) = self.queue.peek_time() {
+            if at > t_end {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            self.dispatch(ev.kind);
+        }
+        // If the queue drained before t_end, time still advances to t_end.
+        if self.queue.peek_time().is_none() && self.now < t_end {
+            self.now = t_end;
+        }
+        self.now
+    }
+
+    /// Runs until no events remain (bounded by `limit` as a safety stop).
+    /// Returns the time of the last event.
+    pub fn run_to_quiescence(&mut self, limit: SimTime) -> SimTime {
+        self.run_until(limit);
+        self.now
+    }
+
+    /// Verifies packet conservation (see [`Stats::conservation_holds`]).
+    #[must_use]
+    pub fn conservation_holds(&self) -> bool {
+        self.stats.conservation_holds(self.in_flight)
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Arrive { node, from, packet } => self.handle_arrive(node, from, packet),
+            EventKind::PortFree { node, to } => {
+                if let Some(p) = self.ports.get_mut(&(node.0, to.0)) {
+                    p.busy = false;
+                }
+                self.port_try_start(node, to);
+            }
+            EventKind::AppTimer { node, token } => {
+                self.with_app(node, |app, api| app.on_timer(token, api));
+            }
+            EventKind::StatsSample => {
+                let depths: Vec<u32> = self.ports.values().map(PortState::low_bytes).collect();
+                for d in depths {
+                    self.stats.observe_queue(d);
+                }
+                if let Some(interval) = self.queue_sample_interval {
+                    if !self.queue.is_empty() {
+                        self.queue.schedule(self.now + interval, EventKind::StatsSample);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_arrive(&mut self, node: NodeId, _from: NodeId, packet: Packet) {
+        match self.topo.kind(node) {
+            NodeKind::Host => {
+                assert_eq!(packet.dst, node, "misrouted packet reached a host");
+                self.in_flight -= 1;
+                self.stats
+                    .on_delivered(packet.flow, packet.size, packet.trimmed);
+                self.with_app(node, |app, api| app.on_packet(packet, api));
+            }
+            NodeKind::Switch(policy) => {
+                self.stats.on_forwarded();
+                let Some(next) = self.routes.next_hop(node, packet.dst, packet.flow) else {
+                    // Unreachable destination: count as a drop.
+                    self.in_flight -= 1;
+                    self.stats.on_dropped_data_full();
+                    return;
+                };
+                self.enqueue_on_port(node, next, packet, &policy);
+            }
+        }
+    }
+
+    fn enqueue_on_port(&mut self, node: NodeId, to: NodeId, packet: Packet, policy: &QueuePolicy) {
+        let was_ecn = packet.ecn;
+        let port = self.ports.entry((node.0, to.0)).or_default();
+        let outcome = port.enqueue(packet, policy);
+        let low = port.low_bytes();
+        self.stats.observe_queue(low);
+        match outcome {
+            EnqueueOutcome::Data | EnqueueOutcome::Priority => {}
+            EnqueueOutcome::Trimmed => self.stats.on_trimmed(),
+            EnqueueOutcome::DroppedDataFull => {
+                self.in_flight -= 1;
+                self.stats.on_dropped_data_full();
+                return;
+            }
+            EnqueueOutcome::DroppedPrioFull => {
+                self.in_flight -= 1;
+                self.stats.on_dropped_prio_full();
+                return;
+            }
+        }
+        // ECN accounting: count fresh marks only.
+        if !was_ecn {
+            if let Some(thresh) = policy.ecn_threshold {
+                if low > thresh {
+                    self.stats.on_ecn_marked();
+                }
+            }
+        }
+        self.port_try_start(node, to);
+    }
+
+    fn port_try_start(&mut self, node: NodeId, to: NodeId) {
+        let Some(port) = self.ports.get_mut(&(node.0, to.0)) else {
+            return;
+        };
+        if port.busy {
+            return;
+        }
+        let Some(packet) = port.dequeue() else {
+            return;
+        };
+        port.busy = true;
+        let params = self.topo.link_params(node, to);
+        let ser = params.rate.serialize_time(packet.size as usize);
+        self.queue
+            .schedule(self.now + ser, EventKind::PortFree { node, to });
+        // Random in-flight loss.
+        if params.drop_prob > 0.0 && f64::from(self.rng.next_f32()) < params.drop_prob {
+            self.in_flight -= 1;
+            self.stats.on_dropped_random();
+            return;
+        }
+        self.queue.schedule(
+            self.now + ser + params.delay,
+            EventKind::Arrive {
+                node: to,
+                from: node,
+                packet,
+            },
+        );
+    }
+
+    /// Runs `f` on the app installed at `node`, then applies the buffered
+    /// API actions (sends, timers, completions).
+    fn with_app<F: FnOnce(&mut dyn App, &mut HostApi)>(&mut self, node: NodeId, f: F) {
+        let Some(mut app) = self.apps[node.0].take() else {
+            return;
+        };
+        let mut api = HostApi::new(self.now, node);
+        f(app.as_mut(), &mut api);
+        self.apps[node.0] = Some(app);
+        let HostApi {
+            outbox,
+            timers,
+            completed_flows,
+            ..
+        } = api;
+        for (at, token) in timers {
+            self.queue.schedule(at, EventKind::AppTimer { node, token });
+        }
+        for flow in completed_flows {
+            self.stats.on_flow_complete(flow, self.now);
+        }
+        for spec in outbox {
+            self.send_from_host(node, spec);
+        }
+    }
+
+    fn send_from_host(&mut self, node: NodeId, spec: PacketSpec) {
+        let Some(next) = self.routes.next_hop(node, spec.dst, spec.flow) else {
+            // No route: the send is silently dropped before entering the
+            // network (counted so conservation still holds).
+            self.stats.on_sent(spec.flow, self.now);
+            self.stats.on_dropped_data_full();
+            return;
+        };
+        let packet = Packet {
+            id: self.next_pkt_id,
+            flow: spec.flow,
+            src: node,
+            dst: spec.dst,
+            size: spec.size,
+            priority: spec.priority,
+            reliable: spec.reliable,
+            trimmed: false,
+            ecn: false,
+            seq: spec.seq,
+            fin: spec.fin,
+            sent_at: self.now,
+            body: spec.body,
+        };
+        self.next_pkt_id += 1;
+        self.stats.on_sent(packet.flow, self.now);
+        self.in_flight += 1;
+        let policy = host_nic_policy();
+        self.enqueue_on_port(node, next, packet, &policy);
+    }
+}
+
+impl core::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("nodes", &self.topo.len())
+            .field("in_flight", &self.in_flight)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crosstraffic::BulkSenderApp;
+    use crate::switch::FullAction;
+    use crate::time::gbps;
+    use crate::FlowId;
+
+    fn line_topology(policy: QueuePolicy) -> (Topology, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_host();
+        let b = t.add_host();
+        let s = t.add_switch(policy);
+        t.link(a, s, gbps(10.0), SimTime::from_micros(1));
+        t.link(s, b, gbps(10.0), SimTime::from_micros(1));
+        (t, a, b)
+    }
+
+    #[test]
+    fn single_packet_end_to_end_latency() {
+        let (t, a, b) = line_topology(QueuePolicy::trim_default());
+        let mut sim = Simulator::new(t);
+        sim.install_app(a, Box::new(BulkSenderApp::new(b, 1500, 1500, 7)));
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.stats().delivered_packets(), 1);
+        assert!(sim.conservation_holds());
+        // Latency = 2 × (serialization 1.2 µs + propagation 1 µs) = 4.4 µs.
+        let rec = sim.stats().flow(FlowId(7)).unwrap();
+        let fct = rec.fct().expect("bulk sender completes");
+        assert_eq!(fct, SimTime::from_nanos(4_400));
+    }
+
+    #[test]
+    fn store_and_forward_pipeline_throughput() {
+        let (t, a, b) = line_topology(QueuePolicy::trim_default());
+        let mut sim = Simulator::new(t);
+        // 100 packets of 1500 B at 10 Gbps: bottleneck serialization is
+        // 1.2 µs per packet → last delivery ≈ 100 × 1.2 µs + overheads.
+        sim.install_app(a, Box::new(BulkSenderApp::new(b, 150_000, 1500, 1)));
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.stats().delivered_packets(), 100);
+        let fct = sim.stats().flow(FlowId(1)).unwrap().fct().unwrap();
+        let expect_ns = 100 * 1200 + 1200 + 2000; // pipeline + 1 extra ser + props
+        assert!(
+            (fct.as_nanos() as i64 - expect_ns).unsigned_abs() < 3000,
+            "fct {fct} vs expected ≈{expect_ns}ns"
+        );
+        assert!(sim.conservation_holds());
+    }
+
+    #[test]
+    fn incast_with_droptail_loses_packets() {
+        // 8 senders × 150 KB into one 10 Gbps egress with a 150 KB buffer:
+        // tail drop must occur.
+        let mut t = Topology::new();
+        let recv = t.add_host();
+        let s = t.add_switch(QueuePolicy::droptail_default());
+        t.link(recv, s, gbps(10.0), SimTime::from_micros(1));
+        let senders: Vec<NodeId> = (0..8)
+            .map(|_| {
+                let h = t.add_host();
+                t.link(h, s, gbps(10.0), SimTime::from_micros(1));
+                h
+            })
+            .collect();
+        let mut sim = Simulator::new(t);
+        for (i, &h) in senders.iter().enumerate() {
+            sim.install_app(h, Box::new(BulkSenderApp::new(recv, 150_000, 1500, i as u64)));
+        }
+        sim.run_until(SimTime::from_millis(100));
+        assert!(sim.stats().dropped_data_full() > 0, "incast must overflow");
+        assert_eq!(sim.stats().trimmed_packets(), 0);
+        assert!(sim.conservation_holds());
+    }
+
+    #[test]
+    fn incast_with_trimming_loses_nothing() {
+        let mut t = Topology::new();
+        let recv = t.add_host();
+        let s = t.add_switch(QueuePolicy::trim_default());
+        t.link(recv, s, gbps(10.0), SimTime::from_micros(1));
+        let senders: Vec<NodeId> = (0..8)
+            .map(|_| {
+                let h = t.add_host();
+                t.link(h, s, gbps(10.0), SimTime::from_micros(1));
+                h
+            })
+            .collect();
+        let mut sim = Simulator::new(t);
+        for (i, &h) in senders.iter().enumerate() {
+            sim.install_app(h, Box::new(BulkSenderApp::new(recv, 150_000, 1500, i as u64)));
+        }
+        sim.run_until(SimTime::from_millis(100));
+        // Same offered load as the droptail test, but trimming salvages
+        // every overflow: no data-queue drops, some trimmed deliveries.
+        assert_eq!(sim.stats().dropped_data_full(), 0);
+        assert!(sim.stats().trimmed_packets() > 0);
+        assert_eq!(
+            sim.stats().delivered_packets(),
+            sim.stats().sent_packets()
+        );
+        assert!(sim.stats().trim_fraction() > 0.0);
+        assert!(sim.conservation_holds());
+        // The sink on the receiver saw the trimmed arrivals.
+        let sink: &SinkApp = sim.app_ref(recv).unwrap();
+        assert_eq!(sink.trimmed, sim.stats().delivered_trimmed_packets());
+    }
+
+    #[test]
+    fn random_loss_drops_expected_fraction() {
+        let mut t = Topology::new();
+        let a = t.add_host();
+        let b = t.add_host();
+        t.link_with(
+            a,
+            b,
+            crate::link::LinkParams::new(gbps(10.0), SimTime::from_micros(1)).with_drop_prob(0.1),
+        );
+        let mut sim = Simulator::new(t);
+        sim.install_app(a, Box::new(BulkSenderApp::new(b, 15_000_000, 1500, 1)));
+        sim.run_until(SimTime::from_secs(10));
+        let sent = sim.stats().sent_packets() as f64;
+        let dropped = sim.stats().dropped_random() as f64;
+        assert_eq!(sent, 10_000.0);
+        let rate = dropped / sent;
+        assert!((rate - 0.1).abs() < 0.02, "drop rate {rate}");
+        assert!(sim.conservation_holds());
+    }
+
+    #[test]
+    fn ecn_marks_are_delivered_and_counted() {
+        let mut t = Topology::new();
+        let recv = t.add_host();
+        let s = t.add_switch(QueuePolicy::ecn_default());
+        t.link(recv, s, gbps(1.0), SimTime::from_micros(1));
+        let h1 = t.add_host();
+        let h2 = t.add_host();
+        t.link(h1, s, gbps(10.0), SimTime::from_micros(1));
+        t.link(h2, s, gbps(10.0), SimTime::from_micros(1));
+        let mut sim = Simulator::new(t);
+        sim.install_app(h1, Box::new(BulkSenderApp::new(recv, 75_000, 1500, 1)));
+        sim.install_app(h2, Box::new(BulkSenderApp::new(recv, 75_000, 1500, 2)));
+        sim.run_until(SimTime::from_millis(100));
+        assert!(sim.stats().ecn_marked() > 0, "queue must cross threshold");
+        assert!(sim.conservation_holds());
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerApp {
+            fired: Vec<u64>,
+        }
+        impl App for TimerApp {
+            fn as_any(&self) -> &dyn core::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+                self
+            }
+            fn on_start(&mut self, api: &mut HostApi) {
+                api.timer_in(SimTime::from_micros(30), 3);
+                api.timer_in(SimTime::from_micros(10), 1);
+                api.timer_in(SimTime::from_micros(20), 2);
+            }
+            fn on_packet(&mut self, _pkt: Packet, _api: &mut HostApi) {}
+            fn on_timer(&mut self, token: u64, _api: &mut HostApi) {
+                self.fired.push(token);
+            }
+        }
+        let mut t = Topology::new();
+        let a = t.add_host();
+        let mut sim = Simulator::new(t.clone());
+        sim.install_app(a, Box::new(TimerApp { fired: Vec::new() }));
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(sim.app_ref::<TimerApp>(a).unwrap().fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let t = Topology::new();
+        let mut sim = Simulator::new(t);
+        let end = sim.run_until(SimTime::from_millis(5));
+        assert_eq!(end, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn unreachable_destination_counts_as_drop() {
+        let mut t = Topology::new();
+        let a = t.add_host();
+        let b = t.add_host(); // not linked
+        let mut sim = Simulator::new(t);
+        sim.install_app(a, Box::new(BulkSenderApp::new(b, 1500, 1500, 1)));
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(sim.stats().delivered_packets(), 0);
+        assert_eq!(sim.stats().dropped_total(), 1);
+        assert!(sim.conservation_holds());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let run = || {
+            let (t, a, b) = line_topology(QueuePolicy {
+                data_capacity: 4500,
+                prio_capacity: 1000,
+                ecn_threshold: None,
+                action: FullAction::Trim { grad_depth: 1 },
+            });
+            let mut sim = Simulator::with_seed(t, 99);
+            sim.install_app(a, Box::new(BulkSenderApp::new(b, 45_000, 1500, 1)));
+            sim.run_until(SimTime::from_millis(50));
+            (
+                sim.stats().delivered_packets(),
+                sim.stats().trimmed_packets(),
+                sim.stats().flow(FlowId(1)).unwrap().fct(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

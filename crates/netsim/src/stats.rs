@@ -1,0 +1,374 @@
+//! Simulation statistics: conservation counters, flow completion times,
+//! queue watermarks.
+//!
+//! The conservation identity every run must satisfy:
+//!
+//! ```text
+//! sent = delivered + dropped_data_full + dropped_prio_full
+//!        + dropped_random + in_flight
+//! ```
+//!
+//! [`Stats::conservation_holds`] checks it given the current in-flight count;
+//! the simulator's tests assert it after every run.
+
+use crate::time::SimTime;
+use crate::FlowId;
+use std::collections::HashMap;
+
+/// Per-flow record.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowRecord {
+    /// Packets sent on the flow.
+    pub sent: u64,
+    /// Packets delivered to the destination host.
+    pub delivered: u64,
+    /// Bytes delivered.
+    pub bytes_delivered: u64,
+    /// Of the delivered packets, how many arrived trimmed.
+    pub delivered_trimmed: u64,
+    /// When the first packet was sent.
+    pub first_sent: Option<SimTime>,
+    /// When the flow's owner declared it complete
+    /// ([`crate::host::HostApi::complete_flow`]).
+    pub completed_at: Option<SimTime>,
+}
+
+impl FlowRecord {
+    /// Flow completion time, if the flow was declared complete.
+    #[must_use]
+    pub fn fct(&self) -> Option<SimTime> {
+        match (self.first_sent, self.completed_at) {
+            (Some(s), Some(c)) => Some(c.since(s)),
+            _ => None,
+        }
+    }
+}
+
+/// Global and per-flow counters.
+#[derive(Debug, Default)]
+pub struct Stats {
+    sent: u64,
+    delivered: u64,
+    delivered_trimmed: u64,
+    forwarded: u64,
+    trimmed: u64,
+    dropped_data_full: u64,
+    dropped_prio_full: u64,
+    dropped_random: u64,
+    ecn_marked: u64,
+    flows: HashMap<FlowId, FlowRecord>,
+    max_queue_bytes: u32,
+}
+
+impl Stats {
+    /// Fresh, all-zero statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn on_sent(&mut self, flow: FlowId, now: SimTime) {
+        self.sent += 1;
+        let rec = self.flows.entry(flow).or_default();
+        rec.sent += 1;
+        rec.first_sent.get_or_insert(now);
+    }
+
+    pub(crate) fn on_delivered(&mut self, flow: FlowId, bytes: u32, trimmed: bool) {
+        self.delivered += 1;
+        let rec = self.flows.entry(flow).or_default();
+        rec.delivered += 1;
+        rec.bytes_delivered += u64::from(bytes);
+        if trimmed {
+            self.delivered_trimmed += 1;
+            rec.delivered_trimmed += 1;
+        }
+    }
+
+    pub(crate) fn on_forwarded(&mut self) {
+        self.forwarded += 1;
+    }
+
+    pub(crate) fn on_trimmed(&mut self) {
+        self.trimmed += 1;
+    }
+
+    pub(crate) fn on_dropped_data_full(&mut self) {
+        self.dropped_data_full += 1;
+    }
+
+    pub(crate) fn on_dropped_prio_full(&mut self) {
+        self.dropped_prio_full += 1;
+    }
+
+    pub(crate) fn on_dropped_random(&mut self) {
+        self.dropped_random += 1;
+    }
+
+    pub(crate) fn on_ecn_marked(&mut self) {
+        self.ecn_marked += 1;
+    }
+
+    pub(crate) fn on_flow_complete(&mut self, flow: FlowId, now: SimTime) {
+        let rec = self.flows.entry(flow).or_default();
+        rec.completed_at.get_or_insert(now);
+    }
+
+    pub(crate) fn observe_queue(&mut self, bytes: u32) {
+        self.max_queue_bytes = self.max_queue_bytes.max(bytes);
+    }
+
+    /// Packets handed to NICs by apps.
+    #[must_use]
+    pub fn sent_packets(&self) -> u64 {
+        self.sent
+    }
+
+    /// Packets delivered to destination hosts.
+    #[must_use]
+    pub fn delivered_packets(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Delivered packets that arrived trimmed.
+    #[must_use]
+    pub fn delivered_trimmed_packets(&self) -> u64 {
+        self.delivered_trimmed
+    }
+
+    /// Switch forwarding operations.
+    #[must_use]
+    pub fn forwarded_packets(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Packets trimmed by switches.
+    #[must_use]
+    pub fn trimmed_packets(&self) -> u64 {
+        self.trimmed
+    }
+
+    /// Packets dropped at full data queues.
+    #[must_use]
+    pub fn dropped_data_full(&self) -> u64 {
+        self.dropped_data_full
+    }
+
+    /// Packets dropped at full priority queues.
+    #[must_use]
+    pub fn dropped_prio_full(&self) -> u64 {
+        self.dropped_prio_full
+    }
+
+    /// Packets dropped by random link loss.
+    #[must_use]
+    pub fn dropped_random(&self) -> u64 {
+        self.dropped_random
+    }
+
+    /// Total drops of all causes.
+    #[must_use]
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_data_full + self.dropped_prio_full + self.dropped_random
+    }
+
+    /// ECN marks applied.
+    #[must_use]
+    pub fn ecn_marked(&self) -> u64 {
+        self.ecn_marked
+    }
+
+    /// The deepest data-queue occupancy observed anywhere, in bytes.
+    #[must_use]
+    pub fn max_queue_bytes(&self) -> u32 {
+        self.max_queue_bytes
+    }
+
+    /// Fraction of delivered packets that arrived trimmed (0 when nothing
+    /// was delivered).
+    #[must_use]
+    pub fn trim_fraction(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.delivered_trimmed as f64 / self.delivered as f64
+        }
+    }
+
+    /// Record for one flow, if any packet was sent on it.
+    #[must_use]
+    pub fn flow(&self, flow: FlowId) -> Option<&FlowRecord> {
+        self.flows.get(&flow)
+    }
+
+    /// All flows with records.
+    pub fn flows(&self) -> impl Iterator<Item = (&FlowId, &FlowRecord)> {
+        self.flows.iter()
+    }
+
+    /// The slowest declared flow completion time, if any flow completed —
+    /// the tail latency that gates a synchronous training round.
+    #[must_use]
+    pub fn max_fct(&self) -> Option<SimTime> {
+        self.flows.values().filter_map(FlowRecord::fct).max()
+    }
+
+    /// Verifies packet conservation given the number of packets still inside
+    /// the network (queued or propagating).
+    #[must_use]
+    pub fn conservation_holds(&self, in_flight: u64) -> bool {
+        self.sent == self.delivered + self.dropped_total() + in_flight
+    }
+
+    /// Flow-completion-time summary over all completed flows — the paper's
+    /// motivation is exactly the *tail* of this distribution ("the slowest
+    /// flow completion time is especially important" for synchronous
+    /// training). Returns `None` when no flow completed.
+    #[must_use]
+    pub fn fct_summary(&self) -> Option<FctSummary> {
+        let mut fcts: Vec<SimTime> = self.flows.values().filter_map(FlowRecord::fct).collect();
+        if fcts.is_empty() {
+            return None;
+        }
+        fcts.sort_unstable();
+        let pick = |q: f64| {
+            let idx = ((fcts.len() - 1) as f64 * q).round() as usize;
+            fcts[idx]
+        };
+        let mean_ns = fcts.iter().map(|t| t.as_nanos() as f64).sum::<f64>() / fcts.len() as f64;
+        Some(FctSummary {
+            completed: fcts.len(),
+            mean: SimTime::from_nanos(mean_ns as u64),
+            p50: pick(0.50),
+            p90: pick(0.90),
+            p99: pick(0.99),
+            max: *fcts.last().expect("non-empty"),
+        })
+    }
+}
+
+/// Distribution summary of flow completion times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FctSummary {
+    /// Flows that completed.
+    pub completed: usize,
+    /// Mean FCT.
+    pub mean: SimTime,
+    /// Median FCT.
+    pub p50: SimTime,
+    /// 90th-percentile FCT.
+    pub p90: SimTime,
+    /// 99th-percentile FCT.
+    pub p99: SimTime,
+    /// The straggler: the slowest flow.
+    pub max: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        let f = FlowId(1);
+        s.on_sent(f, SimTime::from_micros(1));
+        s.on_sent(f, SimTime::from_micros(2));
+        s.on_delivered(f, 1500, false);
+        s.on_delivered(f, 64, true);
+        s.on_trimmed();
+        s.on_forwarded();
+        s.on_ecn_marked();
+        assert_eq!(s.sent_packets(), 2);
+        assert_eq!(s.delivered_packets(), 2);
+        assert_eq!(s.delivered_trimmed_packets(), 1);
+        assert_eq!(s.trimmed_packets(), 1);
+        assert_eq!(s.forwarded_packets(), 1);
+        assert_eq!(s.ecn_marked(), 1);
+        assert!((s.trim_fraction() - 0.5).abs() < 1e-12);
+        let rec = s.flow(f).unwrap();
+        assert_eq!(rec.sent, 2);
+        assert_eq!(rec.bytes_delivered, 1564);
+        assert_eq!(rec.first_sent, Some(SimTime::from_micros(1)));
+    }
+
+    #[test]
+    fn fct_measures_first_send_to_completion() {
+        let mut s = Stats::new();
+        let f = FlowId(7);
+        s.on_sent(f, SimTime::from_micros(10));
+        s.on_flow_complete(f, SimTime::from_micros(110));
+        // A second completion does not overwrite the first.
+        s.on_flow_complete(f, SimTime::from_micros(500));
+        assert_eq!(s.flow(f).unwrap().fct(), Some(SimTime::from_micros(100)));
+        assert_eq!(s.max_fct(), Some(SimTime::from_micros(100)));
+    }
+
+    #[test]
+    fn conservation_identity() {
+        let mut s = Stats::new();
+        for i in 0..10 {
+            s.on_sent(FlowId(i % 2), SimTime(i));
+        }
+        for _ in 0..6 {
+            s.on_delivered(FlowId(0), 100, false);
+        }
+        s.on_dropped_data_full();
+        s.on_dropped_random();
+        assert!(s.conservation_holds(2));
+        assert!(!s.conservation_holds(0));
+        assert_eq!(s.dropped_total(), 2);
+    }
+
+    #[test]
+    fn queue_watermark() {
+        let mut s = Stats::new();
+        s.observe_queue(100);
+        s.observe_queue(5000);
+        s.observe_queue(300);
+        assert_eq!(s.max_queue_bytes(), 5000);
+    }
+
+    #[test]
+    fn trim_fraction_empty_is_zero() {
+        assert_eq!(Stats::new().trim_fraction(), 0.0);
+        assert_eq!(Stats::new().max_fct(), None);
+    }
+
+    #[test]
+    fn fct_summary_percentiles() {
+        let mut s = Stats::new();
+        // 100 flows with FCTs 1µs .. 100µs.
+        for i in 1..=100u64 {
+            let f = FlowId(i);
+            s.on_sent(f, SimTime::ZERO);
+            s.on_flow_complete(f, SimTime::from_micros(i));
+        }
+        let sum = s.fct_summary().expect("flows completed");
+        assert_eq!(sum.completed, 100);
+        assert_eq!(sum.max, SimTime::from_micros(100));
+        // Nearest-rank on 0..=99: round(99·0.5) = 50 → the 51st value.
+        assert_eq!(sum.p50, SimTime::from_micros(51));
+        assert_eq!(sum.p90, SimTime::from_micros(90));
+        assert_eq!(sum.p99, SimTime::from_micros(99));
+        assert!((sum.mean.as_nanos() as i64 - 50_500).abs() < 1_000);
+    }
+
+    #[test]
+    fn fct_summary_requires_completions() {
+        let mut s = Stats::new();
+        s.on_sent(FlowId(1), SimTime::ZERO); // sent but never completed
+        assert!(s.fct_summary().is_none());
+    }
+
+    #[test]
+    fn fct_summary_single_flow() {
+        let mut s = Stats::new();
+        s.on_sent(FlowId(1), SimTime::from_micros(5));
+        s.on_flow_complete(FlowId(1), SimTime::from_micros(25));
+        let sum = s.fct_summary().expect("one flow");
+        assert_eq!(sum.completed, 1);
+        let t = SimTime::from_micros(20);
+        assert_eq!((sum.p50, sum.p99, sum.max, sum.mean), (t, t, t, t));
+    }
+}

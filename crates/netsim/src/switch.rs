@@ -1,0 +1,357 @@
+//! Shallow-buffer output-queued switching with trim / drop / ECN policies.
+//!
+//! Every egress port has two FIFO queues — a small **high-priority** queue
+//! (control, metadata, trimmed headers) and a shallow **data** queue — plus
+//! the serializer state. When a data packet arrives to a full data queue the
+//! port applies its [`QueuePolicy`]:
+//!
+//! * [`FullAction::Trim`] — cut the packet to its head sections
+//!   ([`crate::packet::Packet::trim`]) and enqueue the remnant in the
+//!   high-priority queue, the behavior of NDP / EODS / UEC trimming switches;
+//! * [`FullAction::DropTail`] — discard it, the classic baseline.
+//!
+//! An optional ECN threshold marks packets when the data queue is deep,
+//! independent of the full-queue action.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// What to do with a data packet that arrives to a full data queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FullAction {
+    /// Discard the packet.
+    DropTail,
+    /// Trim gradient frames to `grad_depth` parts (synthetic packets shrink
+    /// to a stub) and requeue high-priority; packets that refuse to trim are
+    /// dropped.
+    Trim {
+        /// Part depth gradient frames are cut to (1 = heads only).
+        grad_depth: u8,
+    },
+}
+
+/// Per-port queueing policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuePolicy {
+    /// Capacity of the data (low-priority) queue in bytes. "Shallow buffer":
+    /// the default is 150 KB ≈ 100 MTU packets.
+    pub data_capacity: u32,
+    /// Capacity of the high-priority queue in bytes.
+    pub prio_capacity: u32,
+    /// Mark ECN on data packets enqueued beyond this depth.
+    pub ecn_threshold: Option<u32>,
+    /// Full-queue action.
+    pub action: FullAction,
+}
+
+impl QueuePolicy {
+    /// The paper's switch: trim to heads on overflow, 150 KB shallow buffer,
+    /// 64 KB priority queue.
+    #[must_use]
+    pub fn trim_default() -> Self {
+        Self {
+            data_capacity: 150_000,
+            prio_capacity: 64_000,
+            ecn_threshold: None,
+            action: FullAction::Trim { grad_depth: 1 },
+        }
+    }
+
+    /// A tail-drop switch with the same buffering (the baseline fabric).
+    #[must_use]
+    pub fn droptail_default() -> Self {
+        Self {
+            action: FullAction::DropTail,
+            ..Self::trim_default()
+        }
+    }
+
+    /// Tail-drop with ECN marking at 1/3 of the data queue.
+    #[must_use]
+    pub fn ecn_default() -> Self {
+        Self {
+            ecn_threshold: Some(50_000),
+            ..Self::droptail_default()
+        }
+    }
+}
+
+/// What became of an enqueued packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Queued untouched in the data queue.
+    Data,
+    /// Queued untouched in the high-priority queue.
+    Priority,
+    /// Trimmed, then queued high-priority.
+    Trimmed,
+    /// Dropped: data queue full and the policy (or the packet) forbade trimming.
+    DroppedDataFull,
+    /// Dropped: high-priority queue full.
+    DroppedPrioFull,
+}
+
+impl EnqueueOutcome {
+    /// Whether the packet survived (was queued in some form).
+    #[must_use]
+    pub fn survived(self) -> bool {
+        !matches!(
+            self,
+            EnqueueOutcome::DroppedDataFull | EnqueueOutcome::DroppedPrioFull
+        )
+    }
+}
+
+/// The queues and serializer state of one egress port.
+#[derive(Debug, Default)]
+pub struct PortState {
+    high: VecDeque<Packet>,
+    low: VecDeque<Packet>,
+    high_bytes: u32,
+    low_bytes: u32,
+    /// Whether the serializer is transmitting.
+    pub busy: bool,
+    /// Deepest data-queue occupancy seen (bytes).
+    pub max_low_bytes: u32,
+}
+
+impl PortState {
+    /// Creates an idle, empty port.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current data-queue depth in bytes.
+    #[must_use]
+    pub fn low_bytes(&self) -> u32 {
+        self.low_bytes
+    }
+
+    /// Current priority-queue depth in bytes.
+    #[must_use]
+    pub fn high_bytes(&self) -> u32 {
+        self.high_bytes
+    }
+
+    /// Queued packets (both classes).
+    #[must_use]
+    pub fn queued_packets(&self) -> usize {
+        self.high.len() + self.low.len()
+    }
+
+    /// Whether both queues are empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.high.is_empty() && self.low.is_empty()
+    }
+
+    /// Enqueues under `policy`, possibly trimming or dropping.
+    pub fn enqueue(&mut self, mut pkt: Packet, policy: &QueuePolicy) -> EnqueueOutcome {
+        if pkt.priority {
+            return self.enqueue_high(pkt, policy);
+        }
+        if self.low_bytes + pkt.size <= policy.data_capacity {
+            if let Some(thresh) = policy.ecn_threshold {
+                if self.low_bytes + pkt.size > thresh {
+                    pkt.ecn = true;
+                }
+            }
+            self.low_bytes += pkt.size;
+            self.max_low_bytes = self.max_low_bytes.max(self.low_bytes);
+            self.low.push_back(pkt);
+            return EnqueueOutcome::Data;
+        }
+        match policy.action {
+            FullAction::DropTail => EnqueueOutcome::DroppedDataFull,
+            FullAction::Trim { grad_depth } => {
+                if pkt.trim(grad_depth) {
+                    match self.enqueue_high(pkt, policy) {
+                        EnqueueOutcome::Priority => EnqueueOutcome::Trimmed,
+                        dropped => dropped,
+                    }
+                } else {
+                    EnqueueOutcome::DroppedDataFull
+                }
+            }
+        }
+    }
+
+    fn enqueue_high(&mut self, pkt: Packet, policy: &QueuePolicy) -> EnqueueOutcome {
+        if self.high_bytes + pkt.size <= policy.prio_capacity {
+            self.high_bytes += pkt.size;
+            self.high.push_back(pkt);
+            EnqueueOutcome::Priority
+        } else {
+            EnqueueOutcome::DroppedPrioFull
+        }
+    }
+
+    /// Dequeues the next packet to serialize: strict priority, FIFO within
+    /// each class.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        if let Some(p) = self.high.pop_front() {
+            self.high_bytes -= p.size;
+            return Some(p);
+        }
+        if let Some(p) = self.low.pop_front() {
+            self.low_bytes -= p.size;
+            return Some(p);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketBody, SYNTHETIC_TRIM_STUB};
+    use crate::time::SimTime;
+    use crate::{FlowId, NodeId};
+
+    fn data_pkt(id: u64, size: u32) -> Packet {
+        Packet {
+            id,
+            flow: FlowId(1),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size,
+            priority: false,
+            reliable: false,
+            trimmed: false,
+            ecn: false,
+            seq: id,
+            fin: false,
+            sent_at: SimTime::ZERO,
+            body: PacketBody::Synthetic,
+        }
+    }
+
+    fn prio_pkt(id: u64, size: u32) -> Packet {
+        Packet {
+            priority: true,
+            reliable: true,
+            ..data_pkt(id, size)
+        }
+    }
+
+    fn tiny_policy(action: FullAction) -> QueuePolicy {
+        QueuePolicy {
+            data_capacity: 3000,
+            prio_capacity: 200,
+            ecn_threshold: None,
+            action,
+        }
+    }
+
+    #[test]
+    fn fifo_within_class_and_strict_priority_across() {
+        let mut port = PortState::new();
+        let pol = QueuePolicy::trim_default();
+        assert_eq!(port.enqueue(data_pkt(1, 100), &pol), EnqueueOutcome::Data);
+        assert_eq!(port.enqueue(data_pkt(2, 100), &pol), EnqueueOutcome::Data);
+        assert_eq!(port.enqueue(prio_pkt(3, 64), &pol), EnqueueOutcome::Priority);
+        let order: Vec<u64> = std::iter::from_fn(|| port.dequeue()).map(|p| p.id).collect();
+        assert_eq!(order, vec![3, 1, 2]);
+        assert!(port.is_empty());
+        assert_eq!(port.low_bytes(), 0);
+        assert_eq!(port.high_bytes(), 0);
+    }
+
+    #[test]
+    fn droptail_drops_when_full() {
+        let mut port = PortState::new();
+        let pol = tiny_policy(FullAction::DropTail);
+        assert!(port.enqueue(data_pkt(1, 1500), &pol).survived());
+        assert!(port.enqueue(data_pkt(2, 1500), &pol).survived());
+        assert_eq!(
+            port.enqueue(data_pkt(3, 1500), &pol),
+            EnqueueOutcome::DroppedDataFull
+        );
+        assert_eq!(port.queued_packets(), 2);
+    }
+
+    #[test]
+    fn trim_policy_salvages_overflow_into_priority_queue() {
+        let mut port = PortState::new();
+        let pol = tiny_policy(FullAction::Trim { grad_depth: 1 });
+        assert!(port.enqueue(data_pkt(1, 1500), &pol).survived());
+        assert!(port.enqueue(data_pkt(2, 1500), &pol).survived());
+        let out = port.enqueue(data_pkt(3, 1500), &pol);
+        assert_eq!(out, EnqueueOutcome::Trimmed);
+        // The trimmed remnant jumps the queue.
+        let first = port.dequeue().unwrap();
+        assert_eq!(first.id, 3);
+        assert!(first.trimmed);
+        assert_eq!(first.size, SYNTHETIC_TRIM_STUB);
+    }
+
+    #[test]
+    fn trim_policy_drops_untrimmable_overflow() {
+        let mut port = PortState::new();
+        let pol = tiny_policy(FullAction::Trim { grad_depth: 1 });
+        port.enqueue(data_pkt(1, 3000), &pol);
+        // A packet already at stub size cannot shrink → dropped.
+        assert_eq!(
+            port.enqueue(data_pkt(2, SYNTHETIC_TRIM_STUB), &pol),
+            EnqueueOutcome::DroppedDataFull
+        );
+    }
+
+    #[test]
+    fn priority_queue_overflow_drops() {
+        let mut port = PortState::new();
+        let pol = tiny_policy(FullAction::Trim { grad_depth: 1 });
+        assert!(port.enqueue(prio_pkt(1, 150), &pol).survived());
+        assert_eq!(
+            port.enqueue(prio_pkt(2, 150), &pol),
+            EnqueueOutcome::DroppedPrioFull
+        );
+        // Trimmed overflow that cannot fit in the priority queue also drops:
+        // high already holds 150 B, the 64 B stub would exceed the 200 B cap.
+        port.enqueue(data_pkt(3, 3000), &pol);
+        assert_eq!(
+            port.enqueue(data_pkt(4, 1500), &pol),
+            EnqueueOutcome::DroppedPrioFull
+        );
+    }
+
+    #[test]
+    fn ecn_marks_beyond_threshold() {
+        let mut port = PortState::new();
+        let pol = QueuePolicy {
+            ecn_threshold: Some(2000),
+            ..QueuePolicy::droptail_default()
+        };
+        port.enqueue(data_pkt(1, 1500), &pol);
+        port.enqueue(data_pkt(2, 1500), &pol); // crosses 2000
+        let a = port.dequeue().unwrap();
+        let b = port.dequeue().unwrap();
+        assert!(!a.ecn);
+        assert!(b.ecn);
+    }
+
+    #[test]
+    fn max_depth_watermark_tracks() {
+        let mut port = PortState::new();
+        let pol = QueuePolicy::trim_default();
+        port.enqueue(data_pkt(1, 1000), &pol);
+        port.enqueue(data_pkt(2, 2000), &pol);
+        let _ = port.dequeue();
+        port.enqueue(data_pkt(3, 100), &pol);
+        assert_eq!(port.max_low_bytes, 3000);
+    }
+
+    #[test]
+    fn byte_accounting_is_exact() {
+        let mut port = PortState::new();
+        let pol = QueuePolicy::trim_default();
+        for i in 0..10 {
+            port.enqueue(data_pkt(i, 100 + i as u32), &pol);
+        }
+        let expected: u32 = (0..10).map(|i| 100 + i as u32).sum();
+        assert_eq!(port.low_bytes(), expected);
+        while port.dequeue().is_some() {}
+        assert_eq!(port.low_bytes(), 0);
+    }
+}

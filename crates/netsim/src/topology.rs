@@ -1,0 +1,384 @@
+//! Topology construction and static routing.
+//!
+//! Nodes are hosts (run apps, terminate packets) or switches (forward with a
+//! [`QueuePolicy`]). Links are bidirectional and symmetric. Routing is
+//! shortest-path, precomputed by BFS from every destination; when several
+//! neighbors lie on equal-length paths the forwarding choice is ECMP by flow
+//! hash, so one flow always takes one path (no reordering by routing) while
+//! different flows spread across the fabric.
+//!
+//! Ready-made fabrics: [`Topology::dumbbell`] and [`Topology::leaf_spine`].
+
+use crate::link::LinkParams;
+use crate::switch::QueuePolicy;
+use crate::time::{Rate, SimTime};
+use crate::{FlowId, NodeId};
+
+/// Node kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeKind {
+    /// An endpoint that runs applications.
+    Host,
+    /// A store-and-forward switch.
+    Switch(QueuePolicy),
+}
+
+/// The static network graph.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    kinds: Vec<NodeKind>,
+    /// `adj[n]` = (neighbor, link params of channel n→neighbor).
+    adj: Vec<Vec<(NodeId, LinkParams)>>,
+}
+
+impl Topology {
+    /// An empty topology.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a host, returning its id.
+    pub fn add_host(&mut self) -> NodeId {
+        self.kinds.push(NodeKind::Host);
+        self.adj.push(Vec::new());
+        NodeId(self.kinds.len() - 1)
+    }
+
+    /// Adds a switch with the given queueing policy.
+    pub fn add_switch(&mut self, policy: QueuePolicy) -> NodeId {
+        self.kinds.push(NodeKind::Switch(policy));
+        self.adj.push(Vec::new());
+        NodeId(self.kinds.len() - 1)
+    }
+
+    /// Connects `a` and `b` with a symmetric full-duplex link.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-links or unknown nodes.
+    pub fn link(&mut self, a: NodeId, b: NodeId, rate: Rate, delay: SimTime) {
+        self.link_with(a, b, LinkParams::new(rate, delay));
+    }
+
+    /// Connects with explicit [`LinkParams`] (e.g. random loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-links or unknown nodes.
+    pub fn link_with(&mut self, a: NodeId, b: NodeId, params: LinkParams) {
+        assert_ne!(a, b, "self-link");
+        assert!(a.0 < self.len() && b.0 < self.len(), "unknown node");
+        self.adj[a.0].push((b, params));
+        self.adj[b.0].push((a, params));
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the topology has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The kind of `n`.
+    #[must_use]
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.kinds[n.0]
+    }
+
+    /// All hosts, in id order.
+    #[must_use]
+    pub fn hosts(&self) -> Vec<NodeId> {
+        (0..self.len())
+            .filter(|&i| matches!(self.kinds[i], NodeKind::Host))
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Neighbors of `n` with their link params.
+    #[must_use]
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, LinkParams)] {
+        &self.adj[n.0]
+    }
+
+    /// Link params of the channel `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link does not exist.
+    #[must_use]
+    pub fn link_params(&self, from: NodeId, to: NodeId) -> LinkParams {
+        self.adj[from.0]
+            .iter()
+            .find(|(n, _)| *n == to)
+            .map(|(_, p)| *p)
+            .unwrap_or_else(|| panic!("no link {from} → {to}"))
+    }
+
+    /// Precomputes the routing table: `routes[node][dst]` = the ECMP set of
+    /// next hops on shortest paths. Unreachable pairs get an empty set.
+    #[must_use]
+    pub fn build_routes(&self) -> Routes {
+        let n = self.len();
+        let mut table = vec![vec![Vec::new(); n]; n];
+        for dst in 0..n {
+            // BFS from the destination over the undirected graph.
+            let mut dist = vec![usize::MAX; n];
+            dist[dst] = 0;
+            let mut frontier = std::collections::VecDeque::from([dst]);
+            while let Some(u) = frontier.pop_front() {
+                for &(v, _) in &self.adj[u] {
+                    if dist[v.0] == usize::MAX {
+                        dist[v.0] = dist[u] + 1;
+                        frontier.push_back(v.0);
+                    }
+                }
+            }
+            // Next hops: neighbors strictly closer to dst.
+            for node in 0..n {
+                if node == dst || dist[node] == usize::MAX {
+                    continue;
+                }
+                for &(v, _) in &self.adj[node] {
+                    if dist[v.0] + 1 == dist[node] {
+                        table[node][dst].push(v);
+                    }
+                }
+                // Deterministic ECMP order.
+                table[node][dst].sort_unstable();
+            }
+        }
+        Routes { table }
+    }
+
+    /// A dumbbell: `n_left` hosts — switch — switch — `n_right` hosts, with
+    /// `edge_rate` access links and a `core_rate` bottleneck.
+    #[must_use]
+    pub fn dumbbell(
+        n_left: usize,
+        n_right: usize,
+        edge_rate: Rate,
+        core_rate: Rate,
+        delay: SimTime,
+        policy: QueuePolicy,
+    ) -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let left: Vec<NodeId> = (0..n_left).map(|_| t.add_host()).collect();
+        let right: Vec<NodeId> = (0..n_right).map(|_| t.add_host()).collect();
+        let s1 = t.add_switch(policy);
+        let s2 = t.add_switch(policy);
+        for &h in &left {
+            t.link(h, s1, edge_rate, delay);
+        }
+        for &h in &right {
+            t.link(h, s2, edge_rate, delay);
+        }
+        t.link(s1, s2, core_rate, delay);
+        (t, left, right)
+    }
+
+    /// A two-tier leaf–spine fabric: `racks` leaves × `hosts_per_rack`,
+    /// `spines` spine switches. Host links run at `edge_rate`; each
+    /// leaf–spine uplink at `up_rate` (choose `up_rate < edge_rate ×
+    /// hosts_per_rack / spines` for oversubscription).
+    #[must_use]
+    pub fn leaf_spine(
+        racks: usize,
+        hosts_per_rack: usize,
+        spines: usize,
+        edge_rate: Rate,
+        up_rate: Rate,
+        delay: SimTime,
+        policy: QueuePolicy,
+    ) -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let mut hosts = Vec::new();
+        let leaves: Vec<NodeId> = (0..racks).map(|_| t.add_switch(policy)).collect();
+        let spine_ids: Vec<NodeId> = (0..spines).map(|_| t.add_switch(policy)).collect();
+        for &leaf in &leaves {
+            for _ in 0..hosts_per_rack {
+                let h = t.add_host();
+                t.link(h, leaf, edge_rate, delay);
+                hosts.push(h);
+            }
+            for &sp in &spine_ids {
+                t.link(leaf, sp, up_rate, delay);
+            }
+        }
+        (t, hosts)
+    }
+}
+
+/// Precomputed shortest-path routing with deterministic ECMP.
+#[derive(Debug, Clone)]
+pub struct Routes {
+    table: Vec<Vec<Vec<NodeId>>>,
+}
+
+impl Routes {
+    /// The next hop for a packet of `flow` at `node` heading to `dst`, or
+    /// `None` if unreachable.
+    #[must_use]
+    pub fn next_hop(&self, node: NodeId, dst: NodeId, flow: FlowId) -> Option<NodeId> {
+        let set = &self.table[node.0][dst.0];
+        if set.is_empty() {
+            return None;
+        }
+        // Deterministic flow hash (SplitMix64 finalizer).
+        let mut h = flow.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        Some(set[(h % set.len() as u64) as usize])
+    }
+
+    /// The full ECMP set at `node` toward `dst`.
+    #[must_use]
+    pub fn ecmp_set(&self, node: NodeId, dst: NodeId) -> &[NodeId] {
+        &self.table[node.0][dst.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::gbps;
+
+    fn default_delay() -> SimTime {
+        SimTime::from_micros(1)
+    }
+
+    #[test]
+    fn build_simple_line() {
+        let mut t = Topology::new();
+        let a = t.add_host();
+        let s = t.add_switch(QueuePolicy::trim_default());
+        let b = t.add_host();
+        t.link(a, s, gbps(10.0), default_delay());
+        t.link(s, b, gbps(10.0), default_delay());
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.hosts(), vec![a, b]);
+        assert!(matches!(t.kind(s), NodeKind::Switch(_)));
+        let routes = t.build_routes();
+        assert_eq!(routes.next_hop(a, b, FlowId(1)), Some(s));
+        assert_eq!(routes.next_hop(s, b, FlowId(1)), Some(b));
+        assert_eq!(routes.next_hop(b, a, FlowId(9)), Some(s));
+    }
+
+    #[test]
+    fn unreachable_has_no_route() {
+        let mut t = Topology::new();
+        let a = t.add_host();
+        let b = t.add_host();
+        let routes = t.build_routes();
+        assert_eq!(routes.next_hop(a, b, FlowId(0)), None);
+        assert!(routes.ecmp_set(a, b).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-link")]
+    fn rejects_self_link() {
+        let mut t = Topology::new();
+        let a = t.add_host();
+        t.link(a, a, gbps(1.0), default_delay());
+    }
+
+    #[test]
+    fn link_params_lookup() {
+        let mut t = Topology::new();
+        let a = t.add_host();
+        let b = t.add_host();
+        let p = LinkParams::new(gbps(40.0), default_delay()).with_drop_prob(0.01);
+        t.link_with(a, b, p);
+        assert_eq!(t.link_params(a, b), p);
+        assert_eq!(t.link_params(b, a), p);
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let (t, left, right) = Topology::dumbbell(
+            3,
+            2,
+            gbps(10.0),
+            gbps(10.0),
+            default_delay(),
+            QueuePolicy::trim_default(),
+        );
+        assert_eq!(left.len(), 3);
+        assert_eq!(right.len(), 2);
+        assert_eq!(t.len(), 7);
+        let routes = t.build_routes();
+        // Left host to right host goes through both switches: path length 3.
+        let hop1 = routes.next_hop(left[0], right[0], FlowId(0)).unwrap();
+        let hop2 = routes.next_hop(hop1, right[0], FlowId(0)).unwrap();
+        let hop3 = routes.next_hop(hop2, right[0], FlowId(0)).unwrap();
+        assert_eq!(hop3, right[0]);
+    }
+
+    #[test]
+    fn leaf_spine_ecmp_spreads_flows() {
+        let (t, hosts) = Topology::leaf_spine(
+            2,
+            2,
+            2,
+            gbps(100.0),
+            gbps(40.0),
+            default_delay(),
+            QueuePolicy::trim_default(),
+        );
+        assert_eq!(hosts.len(), 4);
+        let routes = t.build_routes();
+        // Cross-rack traffic: the leaf has two equal-cost spines.
+        let src = hosts[0];
+        let dst = hosts[2];
+        let leaf = routes.next_hop(src, dst, FlowId(0)).unwrap();
+        let set = routes.ecmp_set(leaf, dst);
+        assert_eq!(set.len(), 2, "two spines expected, got {set:?}");
+        // Different flows hit different spines (with 64 flows, both appear).
+        let mut seen = std::collections::HashSet::new();
+        for f in 0..64 {
+            seen.insert(routes.next_hop(leaf, dst, FlowId(f)).unwrap());
+        }
+        assert_eq!(seen.len(), 2);
+        // Same flow always routes the same way.
+        let h1 = routes.next_hop(leaf, dst, FlowId(7));
+        assert_eq!(h1, routes.next_hop(leaf, dst, FlowId(7)));
+        // Intra-rack traffic never leaves the leaf.
+        let same_rack_dst = hosts[1];
+        let nh = routes.next_hop(src, same_rack_dst, FlowId(3)).unwrap();
+        assert_eq!(routes.next_hop(nh, same_rack_dst, FlowId(3)), Some(same_rack_dst));
+    }
+
+    #[test]
+    fn routes_are_loop_free() {
+        let (t, hosts) = Topology::leaf_spine(
+            3,
+            2,
+            2,
+            gbps(100.0),
+            gbps(40.0),
+            default_delay(),
+            QueuePolicy::trim_default(),
+        );
+        let routes = t.build_routes();
+        for &src in &hosts {
+            for &dst in &hosts {
+                if src == dst {
+                    continue;
+                }
+                let mut at = src;
+                let mut hops = 0;
+                while at != dst {
+                    at = routes.next_hop(at, dst, FlowId(42)).expect("reachable");
+                    hops += 1;
+                    assert!(hops <= t.len(), "routing loop {src}→{dst}");
+                }
+            }
+        }
+    }
+}

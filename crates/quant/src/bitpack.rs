@@ -1,0 +1,587 @@
+//! Bit-level packing for trimmable payload parts.
+//!
+//! Each part of a trimmable encoding stores one fixed-width field per
+//! gradient coordinate, bit-packed with no padding: coordinate `i` of a
+//! `w`-bit part occupies bits `[i·w, (i+1)·w)`. Bits are addressed LSB-first
+//! within each byte, so the layouts produced here are identical on every
+//! platform and can be mem-mapped straight into packet payloads.
+
+/// A growable, bit-addressed buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitBuf {
+    bytes: Vec<u8>,
+    /// Number of valid bits.
+    len: usize,
+}
+
+impl BitBuf {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with capacity for `bits` bits.
+    #[must_use]
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(bits.div_ceil(8)),
+            len: 0,
+        }
+    }
+
+    /// Creates a zero-filled buffer of exactly `bits` bits.
+    #[must_use]
+    pub fn zeroed(bits: usize) -> Self {
+        Self {
+            bytes: vec![0; bits.div_ceil(8)],
+            len: bits,
+        }
+    }
+
+    /// Reconstructs a buffer from raw bytes and a bit length (wire → memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is too short to hold `len` bits.
+    #[must_use]
+    pub fn from_bytes(bytes: Vec<u8>, len: usize) -> Self {
+        assert!(
+            bytes.len() * 8 >= len,
+            "{} bytes cannot hold {len} bits",
+            bytes.len()
+        );
+        Self { bytes, len }
+    }
+
+    /// Number of valid bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds zero bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying bytes (the final byte may be partially valid).
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Appends the low `width` bits of `value` (LSB first). `width <= 64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or if `value` has bits set above `width`.
+    pub fn push_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width {width} > 64");
+        assert!(
+            width == 64 || value >> width == 0,
+            "value {value:#x} wider than {width} bits"
+        );
+        let mut remaining = width;
+        let mut v = value;
+        while remaining > 0 {
+            let bit_in_byte = self.len % 8;
+            if bit_in_byte == 0 {
+                self.bytes.push(0);
+            }
+            let take = (8 - bit_in_byte as u32).min(remaining);
+            let byte = self.bytes.last_mut().expect("just ensured non-empty");
+            *byte |= ((v & ((1u64 << take) - 1)) as u8) << bit_in_byte;
+            v >>= take;
+            self.len += take as usize;
+            remaining -= take;
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        self.push_bits(u64::from(bit), 1);
+    }
+
+    /// Reads `width` bits starting at bit offset `offset`. `width <= 64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range reads.
+    #[must_use]
+    pub fn get_bits(&self, offset: usize, width: u32) -> u64 {
+        assert!(width <= 64, "width {width} > 64");
+        assert!(
+            offset + width as usize <= self.len,
+            "read [{offset}, {}) out of range (len {})",
+            offset + width as usize,
+            self.len
+        );
+        let mut out: u64 = 0;
+        let mut got: u32 = 0;
+        let mut pos = offset;
+        while got < width {
+            let byte = self.bytes[pos / 8];
+            let bit_in_byte = pos % 8;
+            let take = (8 - bit_in_byte as u32).min(width - got);
+            let chunk = (u64::from(byte) >> bit_in_byte) & ((1u64 << take) - 1);
+            out |= chunk << got;
+            got += take;
+            pos += take as usize;
+        }
+        out
+    }
+
+    /// Reads a single bit.
+    #[must_use]
+    pub fn get_bit(&self, offset: usize) -> bool {
+        self.get_bits(offset, 1) != 0
+    }
+
+    /// Overwrites `width` bits at bit offset `offset` (must already be valid).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range writes or oversized values.
+    pub fn set_bits(&mut self, offset: usize, value: u64, width: u32) {
+        assert!(width <= 64, "width {width} > 64");
+        assert!(
+            width == 64 || value >> width == 0,
+            "value {value:#x} wider than {width} bits"
+        );
+        assert!(
+            offset + width as usize <= self.len,
+            "write [{offset}, {}) out of range (len {})",
+            offset + width as usize,
+            self.len
+        );
+        let mut remaining = width;
+        let mut v = value;
+        let mut pos = offset;
+        while remaining > 0 {
+            let bit_in_byte = pos % 8;
+            let take = (8 - bit_in_byte as u32).min(remaining);
+            let mask = (((1u64 << take) - 1) as u8) << bit_in_byte;
+            let byte = &mut self.bytes[pos / 8];
+            *byte = (*byte & !mask) | ((((v & ((1u64 << take) - 1)) as u8) << bit_in_byte) & mask);
+            v >>= take;
+            remaining -= take;
+            pos += take as usize;
+        }
+    }
+
+    /// Copies the first `bits` bits into a new buffer (a "trim" at bit level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > self.len()`.
+    #[must_use]
+    pub fn prefix(&self, bits: usize) -> BitBuf {
+        assert!(bits <= self.len, "prefix {bits} exceeds length {}", self.len);
+        let mut bytes = self.bytes[..bits.div_ceil(8)].to_vec();
+        // Zero the slack bits in the final byte so equality is structural.
+        if !bits.is_multiple_of(8) {
+            if let Some(last) = bytes.last_mut() {
+                *last &= (1u8 << (bits % 8)) - 1;
+            }
+        }
+        Self { bytes, len: bits }
+    }
+
+    /// Copies bits `[offset, offset + len)` into a new buffer starting at
+    /// bit 0 (used to cut per-packet coordinate ranges out of a row part).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the buffer.
+    #[must_use]
+    pub fn slice(&self, offset: usize, len: usize) -> BitBuf {
+        assert!(
+            offset + len <= self.len,
+            "slice [{offset}, {}) out of range (len {})",
+            offset + len,
+            self.len
+        );
+        let mut out = BitBuf::with_capacity(len);
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let take = (end - pos).min(64);
+            out.push_bits(self.get_bits(pos, take as u32), take as u32);
+            pos += take;
+        }
+        out
+    }
+
+    /// Copies all bits of `src` into this buffer starting at bit `offset`
+    /// (the destination bits must already exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + src.len()` exceeds this buffer's length.
+    pub fn write_bits_from(&mut self, offset: usize, src: &BitBuf) {
+        assert!(
+            offset + src.len() <= self.len,
+            "write [{offset}, {}) out of range (len {})",
+            offset + src.len(),
+            self.len
+        );
+        let mut pos = 0;
+        while pos < src.len() {
+            let take = (src.len() - pos).min(64);
+            self.set_bits(offset + pos, src.get_bits(pos, take as u32), take as u32);
+            pos += take;
+        }
+    }
+
+    /// Appends all bits of `other`.
+    pub fn extend(&mut self, other: &BitBuf) {
+        // Fast path: byte-aligned destination.
+        if self.len.is_multiple_of(8) {
+            let full_bytes = other.len / 8;
+            self.bytes.extend_from_slice(&other.bytes[..full_bytes]);
+            self.len += full_bytes * 8;
+            let rem = other.len % 8;
+            if rem > 0 {
+                self.push_bits(u64::from(other.bytes[full_bytes]) & ((1 << rem) - 1), rem as u32);
+            }
+            return;
+        }
+        let mut off = 0;
+        while off < other.len {
+            let take = (other.len - off).min(64);
+            self.push_bits(other.get_bits(off, take as u32), take as u32);
+            off += take;
+        }
+    }
+}
+
+/// A fixed-size, bit-addressed presence mask (one bit per coordinate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMask {
+    buf: BitBuf,
+}
+
+impl BitMask {
+    /// Creates a mask of `n` entries, all absent (`false`).
+    #[must_use]
+    pub fn absent(n: usize) -> Self {
+        Self {
+            buf: BitBuf::zeroed(n),
+        }
+    }
+
+    /// Creates a mask of `n` entries, all present (`true`).
+    #[must_use]
+    pub fn present(n: usize) -> Self {
+        let mut m = Self::absent(n);
+        for i in 0..n {
+            m.set(i, true);
+        }
+        m
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the mask has zero entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Returns entry `i`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        self.buf.get_bit(i)
+    }
+
+    /// Sets entry `i`.
+    pub fn set(&mut self, i: usize, present: bool) {
+        self.buf.set_bits(i, u64::from(present), 1);
+    }
+
+    /// Marks the half-open range `[start, end)` as `present`.
+    pub fn set_range(&mut self, start: usize, end: usize, present: bool) {
+        for i in start..end {
+            self.set(i, present);
+        }
+    }
+
+    /// Number of present entries.
+    #[must_use]
+    pub fn count_present(&self) -> usize {
+        (0..self.len()).filter(|&i| self.get(i)).count()
+    }
+}
+
+/// Packs one `width`-bit field per element of `values` into a fresh buffer.
+///
+/// # Panics
+///
+/// Panics if any value exceeds `width` bits.
+#[must_use]
+pub fn pack_fixed(values: &[u64], width: u32) -> BitBuf {
+    let mut buf = BitBuf::with_capacity(values.len() * width as usize);
+    for &v in values {
+        buf.push_bits(v, width);
+    }
+    buf
+}
+
+/// Unpacks `n` fields of `width` bits each from `buf` starting at bit 0.
+///
+/// # Panics
+///
+/// Panics if the buffer holds fewer than `n·width` bits.
+#[must_use]
+pub fn unpack_fixed(buf: &BitBuf, n: usize, width: u32) -> Vec<u64> {
+    (0..n).map(|i| buf.get_bits(i * width as usize, width)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_buffer() {
+        let b = BitBuf::new();
+        assert_eq!(b.len(), 0);
+        assert!(b.is_empty());
+        assert!(b.as_bytes().is_empty());
+    }
+
+    #[test]
+    fn push_and_get_single_bits() {
+        let mut b = BitBuf::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &bit in &pattern {
+            b.push_bit(bit);
+        }
+        assert_eq!(b.len(), 9);
+        assert_eq!(b.as_bytes().len(), 2);
+        for (i, &bit) in pattern.iter().enumerate() {
+            assert_eq!(b.get_bit(i), bit, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn push_multi_bit_fields_crossing_bytes() {
+        let mut b = BitBuf::new();
+        b.push_bits(0b101, 3);
+        b.push_bits(0b11_0011_0011, 10); // crosses byte boundary
+        b.push_bits(0x1FFF_FFFF, 29);
+        assert_eq!(b.get_bits(0, 3), 0b101);
+        assert_eq!(b.get_bits(3, 10), 0b11_0011_0011);
+        assert_eq!(b.get_bits(13, 29), 0x1FFF_FFFF);
+    }
+
+    #[test]
+    fn sixty_four_bit_fields() {
+        let mut b = BitBuf::new();
+        b.push_bit(true); // misalign
+        b.push_bits(u64::MAX, 64);
+        b.push_bits(0x0123_4567_89AB_CDEF, 64);
+        assert_eq!(b.get_bits(1, 64), u64::MAX);
+        assert_eq!(b.get_bits(65, 64), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn push_rejects_oversized_value() {
+        BitBuf::new().push_bits(0b100, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_rejects_out_of_range() {
+        let mut b = BitBuf::new();
+        b.push_bits(0xFF, 8);
+        let _ = b.get_bits(1, 8);
+    }
+
+    #[test]
+    fn set_bits_overwrites_in_place() {
+        let mut b = BitBuf::zeroed(32);
+        b.set_bits(5, 0b1011, 4);
+        assert_eq!(b.get_bits(5, 4), 0b1011);
+        assert_eq!(b.get_bits(0, 5), 0);
+        assert_eq!(b.get_bits(9, 23), 0);
+        b.set_bits(5, 0b0100, 4);
+        assert_eq!(b.get_bits(5, 4), 0b0100);
+    }
+
+    #[test]
+    fn prefix_truncates_and_zeroes_slack() {
+        let mut b = BitBuf::new();
+        b.push_bits(0xFFFF, 16);
+        let p = b.prefix(5);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.as_bytes(), &[0b0001_1111]);
+        // A prefix of the full length is identical.
+        assert_eq!(b.prefix(16), b);
+        // Zero-length prefix.
+        assert_eq!(b.prefix(0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds length")]
+    fn prefix_rejects_overlong() {
+        let _ = BitBuf::zeroed(4).prefix(5);
+    }
+
+    #[test]
+    fn extend_aligned_and_unaligned() {
+        // Aligned destination.
+        let mut a = BitBuf::new();
+        a.push_bits(0xAB, 8);
+        let mut tail = BitBuf::new();
+        tail.push_bits(0b101, 3);
+        a.extend(&tail);
+        assert_eq!(a.len(), 11);
+        assert_eq!(a.get_bits(0, 8), 0xAB);
+        assert_eq!(a.get_bits(8, 3), 0b101);
+        // Unaligned destination.
+        let mut b = BitBuf::new();
+        b.push_bits(0b11, 2);
+        let mut t2 = BitBuf::new();
+        t2.push_bits(0x1234, 16);
+        b.extend(&t2);
+        assert_eq!(b.get_bits(0, 2), 0b11);
+        assert_eq!(b.get_bits(2, 16), 0x1234);
+    }
+
+    #[test]
+    fn from_bytes_roundtrip() {
+        let mut b = BitBuf::new();
+        b.push_bits(0xDEAD_BEEF, 32);
+        b.push_bits(0x5, 3);
+        let rebuilt = BitBuf::from_bytes(b.as_bytes().to_vec(), b.len());
+        assert_eq!(rebuilt.get_bits(0, 32), 0xDEAD_BEEF);
+        assert_eq!(rebuilt.get_bits(32, 3), 0x5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn from_bytes_rejects_short_buffer() {
+        let _ = BitBuf::from_bytes(vec![0u8; 1], 9);
+    }
+
+    #[test]
+    fn pack_unpack_fixed() {
+        let values: Vec<u64> = (0..100).map(|i| (i * 37) % 2048).collect();
+        let buf = pack_fixed(&values, 11);
+        assert_eq!(buf.len(), 1100);
+        assert_eq!(unpack_fixed(&buf, 100, 11), values);
+    }
+
+    #[test]
+    fn slice_extracts_bit_ranges() {
+        let values: Vec<u64> = (0..50).map(|i| i * 3 % 128).collect();
+        let buf = pack_fixed(&values, 7);
+        // Slice coordinates 10..25 of the 7-bit part.
+        let s = buf.slice(10 * 7, 15 * 7);
+        assert_eq!(s.len(), 105);
+        assert_eq!(unpack_fixed(&s, 15, 7), &values[10..25]);
+        // Degenerate slices.
+        assert_eq!(buf.slice(0, 0).len(), 0);
+        assert_eq!(buf.slice(buf.len(), 0).len(), 0);
+        // Full slice equals prefix of full length.
+        assert_eq!(buf.slice(0, buf.len()), buf.prefix(buf.len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_rejects_overrun() {
+        let _ = BitBuf::zeroed(10).slice(5, 6);
+    }
+
+    #[test]
+    fn write_bits_from_roundtrip() {
+        let values: Vec<u64> = (0..20).map(|i| i * 5 % 32).collect();
+        let src = pack_fixed(&values, 5);
+        let mut dst = BitBuf::zeroed(300);
+        dst.write_bits_from(37, &src);
+        assert_eq!(dst.slice(37, src.len()), src);
+        // Surrounding bits untouched.
+        assert_eq!(dst.get_bits(0, 37), 0);
+        assert_eq!(dst.get_bits(37 + src.len(), 64), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn write_bits_from_rejects_overrun() {
+        let src = BitBuf::zeroed(20);
+        BitBuf::zeroed(30).write_bits_from(15, &src);
+    }
+
+    #[test]
+    fn bitmask_basics() {
+        let mut m = BitMask::absent(10);
+        assert_eq!(m.len(), 10);
+        assert_eq!(m.count_present(), 0);
+        m.set(3, true);
+        m.set_range(7, 10, true);
+        assert!(m.get(3) && m.get(7) && m.get(9));
+        assert!(!m.get(0) && !m.get(6));
+        assert_eq!(m.count_present(), 4);
+        m.set(3, false);
+        assert_eq!(m.count_present(), 3);
+        assert_eq!(BitMask::present(5).count_present(), 5);
+        assert!(BitMask::absent(0).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_fields(
+            fields in proptest::collection::vec((any::<u64>(), 1u32..=64), 1..100)
+        ) {
+            let mut buf = BitBuf::new();
+            let mut expected = Vec::new();
+            for &(v, w) in &fields {
+                let masked = if w == 64 { v } else { v & ((1u64 << w) - 1) };
+                buf.push_bits(masked, w);
+                expected.push((masked, w));
+            }
+            let mut off = 0;
+            for (v, w) in expected {
+                prop_assert_eq!(buf.get_bits(off, w), v);
+                off += w as usize;
+            }
+            prop_assert_eq!(buf.len(), off);
+        }
+
+        #[test]
+        fn prefix_preserves_bits(
+            bits in proptest::collection::vec(any::<bool>(), 1..200),
+            cut_frac in 0.0f64..=1.0
+        ) {
+            let mut buf = BitBuf::new();
+            for &b in &bits {
+                buf.push_bit(b);
+            }
+            let cut = ((bits.len() as f64) * cut_frac) as usize;
+            let p = buf.prefix(cut);
+            for (i, &b) in bits.iter().take(cut).enumerate() {
+                prop_assert_eq!(p.get_bit(i), b);
+            }
+        }
+
+        #[test]
+        fn set_bits_roundtrip(
+            writes in proptest::collection::vec((0usize..192, any::<u64>(), 1u32..=64), 1..20)
+        ) {
+            let mut buf = BitBuf::zeroed(256);
+            for &(off, v, w) in &writes {
+                let masked = if w == 64 { v } else { v & ((1u64 << w) - 1) };
+                buf.set_bits(off, masked, w);
+                prop_assert_eq!(buf.get_bits(off, w), masked);
+            }
+        }
+    }
+}

@@ -1,0 +1,590 @@
+//! The `TrimmableScheme` abstraction: multi-part encodings whose prefixes
+//! decode.
+//!
+//! The paper (§3) frames trimmable quantization as "efficiently encoding the
+//! gradient into two or more parts of predetermined length, such that a
+//! decoder can decode using any number of parts forming a prefix of the
+//! encoding". This module fixes that contract in types:
+//!
+//! * [`EncodedRow`] — the sender-side result: `k` bit-packed **parts**, each
+//!   holding one fixed-width field per coordinate, plus small [`RowMeta`]
+//!   shipped reliably (never trimmed).
+//! * [`PartialRow`] — the receiver-side input: for each part, either the full
+//!   buffer, a masked buffer (some packets of the row trimmed, others not),
+//!   or nothing. Availability must be *prefix-closed* per coordinate: a
+//!   coordinate cannot have part `k` without parts `0..k`.
+//! * [`TrimmableScheme`] — encode/decode plus the part geometry that the wire
+//!   layer uses to lay heads before tails in each packet.
+
+use crate::bitpack::{BitBuf, BitMask};
+
+/// Identifies a trimmable encoding on the wire (1 byte in the TrimGrad header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum SchemeId {
+    /// Head = IEEE sign bit, head-only decode `±σ` (paper §3.1).
+    SignMagnitude = 0,
+    /// TernGrad-style stochastic quantization, `L = 2.5σ` (paper §3.1).
+    Stochastic = 1,
+    /// Subtractive dithering with shared-randomness dither (paper §3.1).
+    SubtractiveDither = 2,
+    /// DRIVE-style 1-bit encoding of the RHT-rotated row (paper §3.2).
+    RhtOneBit = 3,
+    /// Three-part (1/8/23-bit) prefix-decodable RHT encoding (paper §5.1).
+    MultiLevelRht = 4,
+}
+
+impl SchemeId {
+    /// All scheme identifiers, in wire-id order.
+    pub const ALL: [SchemeId; 5] = [
+        SchemeId::SignMagnitude,
+        SchemeId::Stochastic,
+        SchemeId::SubtractiveDither,
+        SchemeId::RhtOneBit,
+        SchemeId::MultiLevelRht,
+    ];
+
+    /// Parses a wire identifier.
+    #[must_use]
+    pub fn from_u8(v: u8) -> Option<SchemeId> {
+        SchemeId::ALL.get(v as usize).copied()
+    }
+
+    /// The wire identifier.
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// The part geometry of this scheme (static; equals
+    /// [`TrimmableScheme::part_bits`] of the corresponding implementation).
+    /// Lets wire-format code compute payload layouts without instantiating
+    /// the scheme.
+    #[must_use]
+    pub fn part_bits(self) -> &'static [u32] {
+        match self {
+            SchemeId::SignMagnitude | SchemeId::RhtOneBit => &[1, 31],
+            SchemeId::Stochastic | SchemeId::SubtractiveDither => &[1, 32],
+            SchemeId::MultiLevelRht => &[1, 8, 23],
+        }
+    }
+
+    /// Short lower-case name used in benchmark output and examples.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeId::SignMagnitude => "signmag",
+            SchemeId::Stochastic => "sq",
+            SchemeId::SubtractiveDither => "sd",
+            SchemeId::RhtOneBit => "rht",
+            SchemeId::MultiLevelRht => "rht-ml",
+        }
+    }
+}
+
+impl core::fmt::Display for SchemeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Small per-row side data shipped in reliable (never-trimmed) packets.
+///
+/// The interpretation of `scale` is scheme-specific: `σ` for sign-magnitude,
+/// `L = 2.5σ` for SQ/SD, and the DRIVE factor `f = ‖r‖₂²/‖r‖₁` for the RHT
+/// schemes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowMeta {
+    /// Number of *original* (pre-padding) coordinates in the row.
+    pub original_len: usize,
+    /// Scheme-specific scaling factor.
+    pub scale: f32,
+}
+
+/// A fully-encoded row, before packetization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedRow {
+    /// The scheme that produced this row.
+    pub scheme: SchemeId,
+    /// Encoded row length (≥ `meta.original_len`; RHT schemes pad to a power
+    /// of two).
+    pub n: usize,
+    /// `parts[k]` holds `n` fields of `part_bits()[k]` bits each; part 0 is
+    /// the head, later parts are progressively trimmed first.
+    pub parts: Vec<BitBuf>,
+    /// Reliable side data.
+    pub meta: RowMeta,
+}
+
+impl EncodedRow {
+    /// A view with every part fully available (the untrimmed case).
+    #[must_use]
+    pub fn full_view(&self) -> PartialRow<'_> {
+        PartialRow {
+            n: self.n,
+            parts: self.parts.iter().map(PartView::Full).collect(),
+        }
+    }
+
+    /// A view with only the first `depth` parts available for every
+    /// coordinate (uniform trimming). `depth = 1` is the classic
+    /// "heads only" trim; `depth = parts.len()` equals [`full_view`](Self::full_view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero or exceeds the part count — a fully-lost row
+    /// has no view; model it at the packet layer instead.
+    #[must_use]
+    pub fn trimmed_view(&self, depth: usize) -> PartialRow<'_> {
+        assert!(
+            depth >= 1 && depth <= self.parts.len(),
+            "trim depth {depth} out of range 1..={}",
+            self.parts.len()
+        );
+        PartialRow {
+            n: self.n,
+            parts: self
+                .parts
+                .iter()
+                .enumerate()
+                .map(|(k, p)| if k < depth { PartView::Full(p) } else { PartView::Absent })
+                .collect(),
+        }
+    }
+
+    /// A view where coordinate `i` has `depths[i]` parts available
+    /// (0 = nothing survived for that coordinate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depths.len() != n` or any depth exceeds the part count.
+    #[must_use]
+    pub fn view_with_depths(&self, depths: &[usize]) -> PartialRow<'_> {
+        assert_eq!(depths.len(), self.n, "one depth per coordinate");
+        let k = self.parts.len();
+        assert!(
+            depths.iter().all(|&d| d <= k),
+            "depth exceeds part count {k}"
+        );
+        let parts = self
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(level, buf)| {
+                let mut present = BitMask::absent(self.n);
+                let mut any = false;
+                let mut all = true;
+                for (i, &d) in depths.iter().enumerate() {
+                    let p = d > level;
+                    present.set(i, p);
+                    any |= p;
+                    all &= p;
+                }
+                if all {
+                    PartView::Full(buf)
+                } else if any {
+                    PartView::Masked { buf, present }
+                } else {
+                    PartView::Absent
+                }
+            })
+            .collect();
+        PartialRow { n: self.n, parts }
+    }
+
+    /// Total encoded size in bits (all parts, excluding metadata).
+    #[must_use]
+    pub fn total_bits(&self) -> usize {
+        self.parts.iter().map(BitBuf::len).sum()
+    }
+}
+
+/// Availability of one encoding part on the receiver.
+#[derive(Debug, Clone)]
+pub enum PartView<'a> {
+    /// Every coordinate's field arrived.
+    Full(&'a BitBuf),
+    /// Some coordinates' fields arrived; `present` says which. `buf` keeps
+    /// full stride (absent entries hold unspecified bits that must not be
+    /// read).
+    Masked {
+        /// Full-stride field buffer.
+        buf: &'a BitBuf,
+        /// Per-coordinate presence.
+        present: BitMask,
+    },
+    /// The entire part was trimmed for every coordinate.
+    Absent,
+}
+
+impl PartView<'_> {
+    /// Whether coordinate `i`'s field is available in this part.
+    #[must_use]
+    pub fn has(&self, i: usize) -> bool {
+        match self {
+            PartView::Full(_) => true,
+            PartView::Masked { present, .. } => present.get(i),
+            PartView::Absent => false,
+        }
+    }
+
+    /// Reads coordinate `i`'s `width`-bit field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field is not available (callers must check [`has`](Self::has)).
+    #[must_use]
+    pub fn get(&self, i: usize, width: u32) -> u64 {
+        match self {
+            PartView::Full(buf) => buf.get_bits(i * width as usize, width),
+            PartView::Masked { buf, present } => {
+                assert!(present.get(i), "coordinate {i} absent in masked part");
+                buf.get_bits(i * width as usize, width)
+            }
+            PartView::Absent => panic!("coordinate {i} read from absent part"),
+        }
+    }
+}
+
+/// What the receiver reassembled for one row: per-part availability.
+#[derive(Debug, Clone)]
+pub struct PartialRow<'a> {
+    /// Encoded row length (matches [`EncodedRow::n`]).
+    pub n: usize,
+    /// One view per encoding part.
+    pub parts: Vec<PartView<'a>>,
+}
+
+impl PartialRow<'_> {
+    /// Number of consecutive parts available for coordinate `i`, starting
+    /// from part 0. Returns 0 when even the head is missing (whole packet
+    /// lost rather than trimmed).
+    #[must_use]
+    pub fn avail_depth(&self, i: usize) -> usize {
+        self.parts.iter().take_while(|p| p.has(i)).count()
+    }
+
+    /// Validates structural invariants against a scheme's geometry:
+    /// part count matches, buffers hold `n` fields, and availability is
+    /// prefix-closed for every coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`DecodeError`] violated.
+    pub fn validate(&self, part_bits: &[u32]) -> Result<(), DecodeError> {
+        if self.parts.len() != part_bits.len() {
+            return Err(DecodeError::PartCountMismatch {
+                expected: part_bits.len(),
+                got: self.parts.len(),
+            });
+        }
+        for (k, (view, &w)) in self.parts.iter().zip(part_bits).enumerate() {
+            let need = self.n * w as usize;
+            let have = match view {
+                PartView::Full(b) => Some(b.len()),
+                PartView::Masked { buf, present } => {
+                    if present.len() != self.n {
+                        return Err(DecodeError::LengthMismatch {
+                            part: k,
+                            expected: need,
+                            got: present.len(),
+                        });
+                    }
+                    Some(buf.len())
+                }
+                PartView::Absent => None,
+            };
+            if let Some(have) = have {
+                if have < need {
+                    return Err(DecodeError::LengthMismatch {
+                        part: k,
+                        expected: need,
+                        got: have,
+                    });
+                }
+            }
+        }
+        // Prefix closure: no coordinate may have part k without part k-1.
+        for i in 0..self.n {
+            let mut seen_gap = false;
+            for (k, view) in self.parts.iter().enumerate() {
+                if view.has(i) {
+                    if seen_gap {
+                        return Err(DecodeError::PrefixViolation { coord: i, part: k });
+                    }
+                } else {
+                    seen_gap = true;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors surfaced while decoding a [`PartialRow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The view has a different number of parts than the scheme.
+    PartCountMismatch {
+        /// Scheme's part count.
+        expected: usize,
+        /// View's part count.
+        got: usize,
+    },
+    /// A part buffer or mask is too short for `n` coordinates.
+    LengthMismatch {
+        /// Which part.
+        part: usize,
+        /// Bits (or entries) required.
+        expected: usize,
+        /// Bits (or entries) found.
+        got: usize,
+    },
+    /// Coordinate has a later part without an earlier one — impossible under
+    /// trimming, indicates reassembly corruption.
+    PrefixViolation {
+        /// The offending coordinate.
+        coord: usize,
+        /// The part present despite an earlier gap.
+        part: usize,
+    },
+    /// `meta.original_len` is inconsistent with the encoded length `n`.
+    BadOriginalLen {
+        /// Encoded (padded) length.
+        n: usize,
+        /// Claimed original length.
+        original_len: usize,
+    },
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::PartCountMismatch { expected, got } => {
+                write!(f, "expected {expected} parts, got {got}")
+            }
+            DecodeError::LengthMismatch { part, expected, got } => {
+                write!(f, "part {part}: expected {expected} bits, got {got}")
+            }
+            DecodeError::PrefixViolation { coord, part } => {
+                write!(f, "coordinate {coord} has part {part} but misses an earlier part")
+            }
+            DecodeError::BadOriginalLen { n, original_len } => {
+                write!(f, "original_len {original_len} inconsistent with encoded n {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A trimmable gradient encoding.
+///
+/// Implementations must uphold:
+///
+/// * **Exactness** — decoding a [`EncodedRow::full_view`] reproduces the
+///   input row bit-exactly (for schemes whose parts partition the IEEE-754
+///   representation) or within floating-point rounding (RHT schemes, which
+///   round-trip through the rotation).
+/// * **Graceful degradation** — decoding succeeds for *any* prefix-closed
+///   availability, including heads-only and fully-lost coordinates.
+/// * **Determinism** — `encode(row, seed)` and the matching `decode` depend
+///   only on their arguments (shared randomness comes from `seed`).
+pub trait TrimmableScheme: Send + Sync {
+    /// The wire identifier of this scheme.
+    fn id(&self) -> SchemeId;
+
+    /// Field width of each part, head first. The sum for the sign-based
+    /// schemes is 32 (a repartition of the IEEE-754 float costing no extra
+    /// space); SQ/SD pay one extra bit (head 1 + tail 32) because their
+    /// stochastic head is not a bit of the original representation.
+    fn part_bits(&self) -> &'static [u32];
+
+    /// Encodes one gradient row with the shared `seed`.
+    fn encode(&self, row: &[f32], seed: u64) -> EncodedRow;
+
+    /// Decodes a (possibly trimmed) row back into `meta.original_len`
+    /// coordinates. Coordinates whose head was lost entirely decode to `0.0`
+    /// (the neutral element of gradient averaging).
+    ///
+    /// # Errors
+    ///
+    /// Structural errors only ([`DecodeError`]); trimming is not an error.
+    fn decode(&self, row: &PartialRow<'_>, meta: &RowMeta, seed: u64)
+        -> Result<Vec<f32>, DecodeError>;
+
+    /// Head width in bits (`part_bits()[0]`).
+    fn head_bits(&self) -> u32 {
+        self.part_bits()[0]
+    }
+
+    /// Total encoded bits per coordinate.
+    fn bits_per_coord(&self) -> u32 {
+        self.part_bits().iter().sum()
+    }
+}
+
+/// Reinterprets an `f32` as its IEEE-754 bit pattern.
+#[must_use]
+pub fn f32_bits(v: f32) -> u32 {
+    v.to_bits()
+}
+
+/// Reinterprets an IEEE-754 bit pattern as `f32`.
+#[must_use]
+pub fn bits_f32(bits: u32) -> f32 {
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_id_wire_roundtrip() {
+        for id in SchemeId::ALL {
+            assert_eq!(SchemeId::from_u8(id.as_u8()), Some(id));
+        }
+        assert_eq!(SchemeId::from_u8(5), None);
+        assert_eq!(SchemeId::from_u8(255), None);
+    }
+
+    #[test]
+    fn scheme_id_names_unique() {
+        let mut names: Vec<_> = SchemeId::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SchemeId::ALL.len());
+        assert_eq!(SchemeId::RhtOneBit.to_string(), "rht");
+    }
+
+    fn sample_row() -> EncodedRow {
+        // Two parts of widths 1 and 3, n = 4.
+        let mut head = BitBuf::new();
+        let mut tail = BitBuf::new();
+        for i in 0..4u64 {
+            head.push_bits(i % 2, 1);
+            tail.push_bits(i * 2 % 8, 3);
+        }
+        EncodedRow {
+            scheme: SchemeId::SignMagnitude,
+            n: 4,
+            parts: vec![head, tail],
+            meta: RowMeta {
+                original_len: 4,
+                scale: 1.0,
+            },
+        }
+    }
+
+    #[test]
+    fn full_view_has_max_depth_everywhere() {
+        let row = sample_row();
+        let v = row.full_view();
+        for i in 0..4 {
+            assert_eq!(v.avail_depth(i), 2);
+        }
+        assert!(v.validate(&[1, 3]).is_ok());
+    }
+
+    #[test]
+    fn trimmed_view_depths() {
+        let row = sample_row();
+        let v = row.trimmed_view(1);
+        for i in 0..4 {
+            assert_eq!(v.avail_depth(i), 1);
+        }
+        assert!(v.validate(&[1, 3]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn trimmed_view_rejects_zero_depth() {
+        let _ = sample_row().trimmed_view(0);
+    }
+
+    #[test]
+    fn view_with_depths_mixed() {
+        let row = sample_row();
+        let v = row.view_with_depths(&[2, 1, 0, 2]);
+        assert_eq!(v.avail_depth(0), 2);
+        assert_eq!(v.avail_depth(1), 1);
+        assert_eq!(v.avail_depth(2), 0);
+        assert_eq!(v.avail_depth(3), 2);
+        assert!(v.validate(&[1, 3]).is_ok());
+        // Fields still readable where available.
+        assert_eq!(v.parts[0].get(0, 1), 0);
+        assert_eq!(v.parts[1].get(3, 3), 6);
+    }
+
+    #[test]
+    fn validate_catches_part_count_mismatch() {
+        let row = sample_row();
+        let v = row.full_view();
+        assert_eq!(
+            v.validate(&[1, 3, 7]),
+            Err(DecodeError::PartCountMismatch { expected: 3, got: 2 })
+        );
+    }
+
+    #[test]
+    fn validate_catches_short_buffer() {
+        let row = sample_row();
+        let v = row.full_view();
+        // Claim widths larger than what the buffers hold.
+        assert!(matches!(
+            v.validate(&[2, 3]),
+            Err(DecodeError::LengthMismatch { part: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_prefix_violation() {
+        let row = sample_row();
+        // Coordinate 1: head absent but tail present — impossible under trimming.
+        let mut head_mask = BitMask::present(4);
+        head_mask.set(1, false);
+        let v = PartialRow {
+            n: 4,
+            parts: vec![
+                PartView::Masked {
+                    buf: &row.parts[0],
+                    present: head_mask,
+                },
+                PartView::Full(&row.parts[1]),
+            ],
+        };
+        assert_eq!(
+            v.validate(&[1, 3]),
+            Err(DecodeError::PrefixViolation { coord: 1, part: 1 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "absent in masked part")]
+    fn masked_get_panics_on_absent_coord() {
+        let row = sample_row();
+        let mut present = BitMask::absent(4);
+        present.set(0, true);
+        let view = PartView::Masked {
+            buf: &row.parts[0],
+            present,
+        };
+        let _ = view.get(2, 1);
+    }
+
+    #[test]
+    fn f32_bit_helpers_roundtrip() {
+        for v in [0.0f32, -0.0, 1.5, -3.25e-7, f32::MAX, f32::MIN_POSITIVE] {
+            assert_eq!(bits_f32(f32_bits(v)).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn decode_error_messages() {
+        let e = DecodeError::PrefixViolation { coord: 3, part: 1 };
+        assert!(e.to_string().contains("coordinate 3"));
+        let e = DecodeError::BadOriginalLen { n: 8, original_len: 9 };
+        assert!(e.to_string().contains("inconsistent"));
+    }
+}

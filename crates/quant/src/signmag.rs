@@ -1,0 +1,208 @@
+//! Sign-magnitude quantization (paper §3.1, "Sign-magnitude Quantization").
+//!
+//! The most straightforward trimmable encoding: the 1-bit head is the IEEE
+//! sign bit of the coordinate, the 31-bit tail is the exponent and mantissa.
+//! Untrimmed packets therefore reconstruct the original float **bit-exactly
+//! with zero space overhead**. When trimmed, the receiver decodes the sign
+//! bits into `{−σ, +σ}` using the row's standard deviation `σ`, which the
+//! sender ships separately in a small reliable packet.
+//!
+//! This decode is *biased* (`E[±σ] ≠ v` unless `|v| = σ`), which is why
+//! training with it diverges once ≳2% of packets are trimmed (paper Fig 3) —
+//! the scheme is included as the paper's cautionary baseline.
+
+use crate::bitpack::BitBuf;
+use crate::scheme::{
+    bits_f32, f32_bits, DecodeError, EncodedRow, PartialRow, RowMeta, SchemeId, TrimmableScheme,
+};
+use crate::stats::std_dev;
+
+/// The sign-magnitude trimmable scheme. Stateless; `Default` is the paper's
+/// configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SignMagnitude;
+
+const PART_BITS: [u32; 2] = [1, 31];
+
+impl TrimmableScheme for SignMagnitude {
+    fn id(&self) -> SchemeId {
+        SchemeId::SignMagnitude
+    }
+
+    fn part_bits(&self) -> &'static [u32] {
+        &PART_BITS
+    }
+
+    fn encode(&self, row: &[f32], _seed: u64) -> EncodedRow {
+        let mut heads = BitBuf::with_capacity(row.len());
+        let mut tails = BitBuf::with_capacity(row.len() * 31);
+        for &v in row {
+            let bits = f32_bits(v);
+            heads.push_bits(u64::from(bits >> 31), 1);
+            tails.push_bits(u64::from(bits & 0x7FFF_FFFF), 31);
+        }
+        EncodedRow {
+            scheme: self.id(),
+            n: row.len(),
+            parts: vec![heads, tails],
+            meta: RowMeta {
+                original_len: row.len(),
+                scale: std_dev(row),
+            },
+        }
+    }
+
+    fn decode(
+        &self,
+        row: &PartialRow<'_>,
+        meta: &RowMeta,
+        _seed: u64,
+    ) -> Result<Vec<f32>, DecodeError> {
+        row.validate(&PART_BITS)?;
+        if meta.original_len != row.n {
+            return Err(DecodeError::BadOriginalLen {
+                n: row.n,
+                original_len: meta.original_len,
+            });
+        }
+        let sigma = meta.scale;
+        let mut out = Vec::with_capacity(row.n);
+        for i in 0..row.n {
+            out.push(match row.avail_depth(i) {
+                0 => 0.0,
+                1 => {
+                    if row.parts[0].get(i, 1) == 1 {
+                        -sigma
+                    } else {
+                        sigma
+                    }
+                }
+                _ => {
+                    let sign = row.parts[0].get(i, 1) as u32;
+                    let rest = row.parts[1].get(i, 31) as u32;
+                    bits_f32((sign << 31) | rest)
+                }
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn row() -> Vec<f32> {
+        vec![0.5, -1.25, 3.0e-3, -0.0, 7.75, -2.5e4, 0.0, 1.0]
+    }
+
+    #[test]
+    fn untrimmed_is_bit_exact() {
+        let s = SignMagnitude;
+        let r = row();
+        let enc = s.encode(&r, 0);
+        let dec = s.decode(&enc.full_view(), &enc.meta, 0).unwrap();
+        for (d, v) in dec.iter().zip(&r) {
+            assert_eq!(d.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_space_overhead() {
+        let s = SignMagnitude;
+        let enc = s.encode(&row(), 0);
+        assert_eq!(enc.total_bits(), row().len() * 32);
+        assert_eq!(s.bits_per_coord(), 32);
+    }
+
+    #[test]
+    fn heads_only_decodes_signed_sigma() {
+        let s = SignMagnitude;
+        let r = row();
+        let enc = s.encode(&r, 0);
+        let sigma = enc.meta.scale;
+        assert!(sigma > 0.0);
+        let dec = s.decode(&enc.trimmed_view(1), &enc.meta, 0).unwrap();
+        for (d, v) in dec.iter().zip(&r) {
+            let expect = if v.is_sign_negative() { -sigma } else { sigma };
+            assert_eq!(*d, expect, "value {v}");
+        }
+    }
+
+    #[test]
+    fn lost_head_decodes_zero() {
+        let s = SignMagnitude;
+        let r = row();
+        let enc = s.encode(&r, 0);
+        let dec = s
+            .decode(&enc.view_with_depths(&[0, 2, 1, 0, 2, 2, 2, 2]), &enc.meta, 0)
+            .unwrap();
+        assert_eq!(dec[0], 0.0);
+        assert_eq!(dec[1].to_bits(), r[1].to_bits());
+        assert_eq!(dec[2], enc.meta.scale); // positive head-only
+        assert_eq!(dec[3], 0.0);
+    }
+
+    #[test]
+    fn empty_row() {
+        let s = SignMagnitude;
+        let enc = s.encode(&[], 0);
+        assert_eq!(enc.n, 0);
+        let dec = s.decode(&enc.full_view(), &enc.meta, 0).unwrap();
+        assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn bad_original_len_rejected() {
+        let s = SignMagnitude;
+        let enc = s.encode(&row(), 0);
+        let bad = RowMeta {
+            original_len: 3,
+            scale: 1.0,
+        };
+        assert!(matches!(
+            s.decode(&enc.full_view(), &bad, 0),
+            Err(DecodeError::BadOriginalLen { .. })
+        ));
+    }
+
+    #[test]
+    fn head_only_bias_is_real() {
+        // Document the known flaw: ±σ decode is biased for |v| far from σ.
+        let s = SignMagnitude;
+        let r = vec![10.0f32, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1];
+        let enc = s.encode(&r, 0);
+        let dec = s.decode(&enc.trimmed_view(1), &enc.meta, 0).unwrap();
+        // The large coordinate collapses to +σ, a gross underestimate.
+        assert!(dec[0] < 0.5 * r[0]);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_exact_for_any_row(
+            r in proptest::collection::vec(-1.0e6f32..1.0e6, 0..128),
+            seed in any::<u64>()
+        ) {
+            let s = SignMagnitude;
+            let enc = s.encode(&r, seed);
+            let dec = s.decode(&enc.full_view(), &enc.meta, seed).unwrap();
+            prop_assert_eq!(dec.len(), r.len());
+            for (d, v) in dec.iter().zip(&r) {
+                prop_assert_eq!(d.to_bits(), v.to_bits());
+            }
+        }
+
+        #[test]
+        fn heads_only_magnitude_is_sigma(
+            r in proptest::collection::vec(-100.0f32..100.0, 1..64)
+        ) {
+            let s = SignMagnitude;
+            let enc = s.encode(&r, 0);
+            let dec = s.decode(&enc.trimmed_view(1), &enc.meta, 0).unwrap();
+            for d in dec {
+                prop_assert!((d.abs() - enc.meta.scale).abs() < 1e-6);
+            }
+        }
+    }
+}

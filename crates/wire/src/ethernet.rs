@@ -1,0 +1,197 @@
+//! Ethernet II frame view.
+//!
+//! ```text
+//!  0               6              12      14
+//! ┌───────────────┬───────────────┬───────┬─────────
+//! │ dst MAC       │ src MAC       │ type  │ payload…
+//! └───────────────┴───────────────┴───────┴─────────
+//! ```
+//!
+//! Gradient traffic uses EtherType [`ETHERTYPE_IPV4`]; the frame type is
+//! generic so the simulator can carry cross-traffic through the same code.
+
+use crate::{Result, WireError};
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// A deterministic locally-administered unicast address for host `id`
+    /// (used by the simulator's topology builder).
+    #[must_use]
+    pub fn for_host(id: u32) -> MacAddr {
+        let b = id.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// Whether this is the broadcast address.
+    #[must_use]
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+}
+
+impl core::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// Ethernet II header length in bytes.
+pub const HEADER_LEN: usize = 14;
+
+/// A typed view over an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wraps a buffer, validating there is room for the header.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] if the buffer is shorter than 14 bytes.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Destination MAC.
+    #[must_use]
+    pub fn dst(&self) -> MacAddr {
+        let b = self.buffer.as_ref();
+        MacAddr([b[0], b[1], b[2], b[3], b[4], b[5]])
+    }
+
+    /// Source MAC.
+    #[must_use]
+    pub fn src(&self) -> MacAddr {
+        let b = self.buffer.as_ref();
+        MacAddr([b[6], b[7], b[8], b[9], b[10], b[11]])
+    }
+
+    /// EtherType.
+    #[must_use]
+    pub fn ethertype(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[12], b[13]])
+    }
+
+    /// The payload after the header.
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Sets the destination MAC.
+    pub fn set_dst(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[0..6].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the source MAC.
+    pub fn set_src(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[6..12].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the EtherType.
+    pub fn set_ethertype(&mut self, ty: u16) {
+        self.buffer.as_mut()[12..14].copy_from_slice(&ty.to_be_bytes());
+    }
+
+    /// Mutable access to the payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+/// Builds a complete frame: header plus `payload`.
+#[must_use]
+pub fn build_frame(dst: MacAddr, src: MacAddr, ethertype: u16, payload: &[u8]) -> Vec<u8> {
+    let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+    let mut frame = EthernetFrame::new_checked(&mut buf[..]).expect("sized above");
+    frame.set_dst(dst);
+    frame.set_src(src);
+    frame.set_ethertype(ethertype);
+    frame.payload_mut().copy_from_slice(payload);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display_and_broadcast() {
+        assert_eq!(MacAddr([1, 2, 3, 0xAB, 0xCD, 0xEF]).to_string(), "01:02:03:ab:cd:ef");
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(!MacAddr::for_host(1).is_broadcast());
+    }
+
+    #[test]
+    fn host_macs_are_unique_and_local() {
+        let a = MacAddr::for_host(1);
+        let b = MacAddr::for_host(2);
+        assert_ne!(a, b);
+        assert_eq!(a.0[0] & 0x02, 0x02, "locally administered bit");
+        assert_eq!(a.0[0] & 0x01, 0, "unicast bit");
+    }
+
+    #[test]
+    fn build_and_parse_roundtrip() {
+        let payload = [0xDE, 0xAD, 0xBE, 0xEF];
+        let dst = MacAddr::for_host(7);
+        let src = MacAddr::for_host(8);
+        let buf = build_frame(dst, src, ETHERTYPE_IPV4, &payload);
+        assert_eq!(buf.len(), 18);
+        let frame = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(frame.dst(), dst);
+        assert_eq!(frame.src(), src);
+        assert_eq!(frame.ethertype(), ETHERTYPE_IPV4);
+        assert_eq!(frame.payload(), &payload);
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        assert_eq!(
+            EthernetFrame::new_checked(&[0u8; 13][..]).unwrap_err(),
+            WireError::Truncated
+        );
+        // Exactly header-length is fine (empty payload).
+        let f = EthernetFrame::new_checked(&[0u8; 14][..]).unwrap();
+        assert!(f.payload().is_empty());
+    }
+
+    #[test]
+    fn mutation_through_view() {
+        let mut buf = [0u8; 20];
+        let mut f = EthernetFrame::new_checked(&mut buf[..]).unwrap();
+        f.set_ethertype(0x88B5);
+        f.payload_mut()[0] = 0x42;
+        let f2 = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(f2.ethertype(), 0x88B5);
+        assert_eq!(f2.payload()[0], 0x42);
+    }
+}

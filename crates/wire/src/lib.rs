@@ -1,0 +1,143 @@
+//! Typed wire formats for trimmable gradient packets.
+//!
+//! Follows the smoltcp idiom: zero-copy *view* types (`Frame<T: AsRef<[u8]>>`)
+//! wrap a byte buffer and expose field accessors; emission and parsing are the
+//! same type with `AsRef`/`AsMut` bounds. Nothing here allocates except the
+//! explicit builders.
+//!
+//! # Stack
+//!
+//! ```text
+//! ┌──────────────┐ 14 B  [`ethernet`]  EtherType 0x88B5 (local experimental)
+//! │ Ethernet II  │
+//! ├──────────────┤ 20 B  [`ipv4`]      header checksum, DSCP-based priority
+//! │ IPv4         │
+//! ├──────────────┤  8 B  [`udp`]       checksum over pseudo-header
+//! │ UDP          │
+//! ├──────────────┤ 28 B  [`trimhdr`]   scheme, row/chunk ids, coord range,
+//! │ TrimGrad     │                     current trim depth
+//! ├──────────────┤       [`payload`]   part 0 (heads) … part k−1 (tails),
+//! │ payload      │                     each section byte-aligned so a switch
+//! └──────────────┘                     trims at a section boundary
+//! ```
+//!
+//! A switch trims a gradient packet by truncating the frame at a *trim point*
+//! (a payload section boundary), decrementing the TrimGrad `trim_depth`
+//! field, and patching the IPv4/UDP lengths and checksums — see
+//! [`packet::GradPacket::trim_to_depth`]. The receiver reassembles rows from
+//! any mix of trimmed and untrimmed packets ([`reassemble`]).
+//!
+//! Row metadata (σ / L / the DRIVE scale `f`) travels in tiny [`meta`]
+//! packets that are flagged reliable and never trimmed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ethernet;
+pub mod ipv4;
+pub mod meta;
+pub mod packet;
+pub mod packetize;
+pub mod payload;
+pub mod reassemble;
+pub mod trimhdr;
+pub mod udp;
+
+/// Errors from parsing or emitting wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer too short for the claimed structure.
+    Truncated,
+    /// A magic constant did not match.
+    BadMagic,
+    /// Unsupported protocol/format version.
+    BadVersion,
+    /// A checksum failed verification.
+    BadChecksum,
+    /// A field holds an invalid value.
+    BadField(&'static str),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::BadMagic => write!(f, "bad magic"),
+            WireError::BadVersion => write!(f, "unsupported version"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::BadField(name) => write!(f, "invalid field: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Result alias for this crate.
+pub type Result<T> = core::result::Result<T, WireError>;
+
+/// RFC 1071 Internet checksum over `data` (used by IPv4 and UDP).
+///
+/// Returns the one's-complement of the one's-complement sum; a buffer that
+/// *includes* a correct checksum field sums to `0`.
+#[must_use]
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !ones_complement_sum(data, 0)
+}
+
+/// One's-complement 16-bit sum of `data`, folded, starting from `initial`
+/// (useful for pseudo-header prefixes). Odd trailing byte is padded with zero.
+#[must_use]
+pub fn ones_complement_sum(data: &[u8], initial: u16) -> u16 {
+    let mut sum: u32 = u32::from(initial);
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    sum as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_of_zeroes() {
+        assert_eq!(internet_checksum(&[0, 0, 0, 0]), 0xFFFF);
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // Classic example from RFC 1071 discussions.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(ones_complement_sum(&data, 0), 0xddf2);
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn checksum_odd_length() {
+        let data = [0xFFu8, 0x00, 0xAB];
+        // 0xFF00 + 0xAB00 = 0x1AA00 → fold → 0xAA01
+        assert_eq!(ones_complement_sum(&data, 0), 0xAA01);
+    }
+
+    #[test]
+    fn buffer_with_embedded_checksum_verifies_to_zero() {
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let csum = internet_checksum(&data);
+        data[10] = (csum >> 8) as u8;
+        data[11] = (csum & 0xFF) as u8;
+        assert_eq!(ones_complement_sum(&data, 0), 0xFFFF);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(WireError::Truncated.to_string(), "buffer truncated");
+        assert_eq!(WireError::BadField("ttl").to_string(), "invalid field: ttl");
+    }
+}

@@ -1,0 +1,269 @@
+//! Splitting an encoded row into MTU-sized trimmable packets.
+//!
+//! Each packet carries a contiguous coordinate range `[coord_start,
+//! coord_start + coord_count)` of the row, with every part's fields for that
+//! range laid out heads-first ([`crate::payload`]). The row's scale factor
+//! travels in one reliable [`crate::meta::RowMetaPacket`].
+
+use crate::meta::RowMetaPacket;
+use crate::packet::{GradPacket, NetAddrs};
+use crate::payload::{max_coords_for_budget, PayloadLayout};
+use crate::trimhdr::{TrimGradFields, FLAG_LAST_CHUNK};
+use crate::{ethernet, ipv4, trimhdr, udp};
+use trimgrad_quant::EncodedRow;
+
+/// Configuration for packetizing one row.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketizeConfig {
+    /// IP MTU in bytes (IPv4 header and everything below it must fit;
+    /// Ethernet framing is extra). The classic value is 1500.
+    pub mtu: usize,
+    /// Flow addresses.
+    pub net: NetAddrs,
+    /// Collective message id.
+    pub msg_id: u32,
+    /// Row index within the message.
+    pub row_id: u32,
+    /// Training epoch (seed context).
+    pub epoch: u32,
+}
+
+impl PacketizeConfig {
+    /// The payload byte budget per packet under this MTU.
+    #[must_use]
+    pub fn payload_budget(&self) -> usize {
+        self.mtu
+            .saturating_sub(ipv4::HEADER_LEN + udp::HEADER_LEN + trimhdr::HEADER_LEN)
+    }
+}
+
+/// The packetized form of one row.
+#[derive(Debug)]
+pub struct PacketizedRow {
+    /// Data packets, in coordinate order. Empty for an empty row.
+    pub packets: Vec<GradPacket>,
+    /// The reliable metadata packet.
+    pub meta: RowMetaPacket,
+}
+
+/// Splits `enc` into MTU-sized packets plus one metadata packet.
+///
+/// # Panics
+///
+/// Panics if the MTU is too small to fit even one coordinate — a static
+/// misconfiguration.
+#[must_use]
+pub fn packetize_row(enc: &EncodedRow, cfg: &PacketizeConfig) -> PacketizedRow {
+    let meta = RowMetaPacket {
+        scheme: enc.scheme,
+        msg_id: cfg.msg_id,
+        row_id: cfg.row_id,
+        original_len: enc.meta.original_len as u32,
+        scale: enc.meta.scale,
+        epoch: cfg.epoch,
+    };
+    if enc.n == 0 {
+        return PacketizedRow {
+            packets: Vec::new(),
+            meta,
+        };
+    }
+    let part_bits = enc.scheme.part_bits();
+    let per_packet = max_coords_for_budget(part_bits, cfg.payload_budget())
+        .unwrap_or_else(|| panic!("MTU {} cannot fit one coordinate", cfg.mtu));
+    let n_parts = part_bits.len() as u8;
+    let n_chunks = enc.n.div_ceil(per_packet);
+    let mut packets = Vec::with_capacity(n_chunks);
+    for chunk_id in 0..n_chunks {
+        let start = chunk_id * per_packet;
+        let count = per_packet.min(enc.n - start);
+        let fields = TrimGradFields {
+            scheme: enc.scheme,
+            n_parts,
+            trim_depth: n_parts,
+            chunk_id: chunk_id as u16,
+            msg_id: cfg.msg_id,
+            row_id: cfg.row_id,
+            coord_start: start as u32,
+            coord_count: count as u16,
+            flags: if chunk_id == n_chunks - 1 {
+                FLAG_LAST_CHUNK
+            } else {
+                0
+            },
+            epoch: cfg.epoch,
+        };
+        let sections: Vec<Vec<u8>> = enc
+            .parts
+            .iter()
+            .zip(part_bits)
+            .map(|(buf, &w)| {
+                buf.slice(start * w as usize, count * w as usize)
+                    .as_bytes()
+                    .to_vec()
+            })
+            .collect();
+        let section_refs: Vec<&[u8]> = sections.iter().map(Vec::as_slice).collect();
+        packets.push(GradPacket::build(&cfg.net, fields, &section_refs));
+    }
+    PacketizedRow { packets, meta }
+}
+
+/// Total wire bytes of a packetized row (data packets + metadata frame),
+/// including Ethernet framing — the quantity that loads links and queues.
+#[must_use]
+pub fn wire_bytes(row: &PacketizedRow, net: &NetAddrs) -> usize {
+    row.packets.iter().map(GradPacket::wire_len).sum::<usize>()
+        + row.meta.build_frame(net).len()
+}
+
+/// Protocol efficiency report for §2's in-text numbers: how an MTU-sized
+/// packet divides into headers, trimmed payload, and trimmable payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayoutReport {
+    /// Coordinates per MTU packet.
+    pub coords_per_packet: usize,
+    /// Full frame length on the wire (with Ethernet).
+    pub full_frame_len: usize,
+    /// Frame length after a head-only trim.
+    pub trimmed_frame_len: usize,
+    /// Fraction of the frame removed by trimming.
+    pub compression_ratio: f64,
+}
+
+/// Computes the §2 layout numbers for `scheme` geometry at a given MTU.
+#[must_use]
+pub fn layout_report(part_bits: &[u32], mtu: usize) -> Option<LayoutReport> {
+    let budget = mtu.saturating_sub(ipv4::HEADER_LEN + udp::HEADER_LEN + trimhdr::HEADER_LEN);
+    let coords = max_coords_for_budget(part_bits, budget)?;
+    let layout = PayloadLayout::new(part_bits, coords);
+    let overhead =
+        ethernet::HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN + trimhdr::HEADER_LEN;
+    let full = overhead + layout.total_len();
+    let trimmed = overhead + layout.trim_point(1);
+    Some(LayoutReport {
+        coords_per_packet: coords,
+        full_frame_len: full,
+        trimmed_frame_len: trimmed,
+        compression_ratio: 1.0 - trimmed as f64 / full as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgrad_quant::scheme::TrimmableScheme;
+    use trimgrad_quant::signmag::SignMagnitude;
+    use trimgrad_quant::rht1bit::RhtOneBit;
+
+    fn cfg() -> PacketizeConfig {
+        PacketizeConfig {
+            mtu: 1500,
+            net: NetAddrs::between_hosts(1, 2),
+            msg_id: 5,
+            row_id: 2,
+            epoch: 1,
+        }
+    }
+
+    #[test]
+    fn budget_accounts_for_all_headers() {
+        assert_eq!(cfg().payload_budget(), 1500 - 20 - 8 - 28);
+    }
+
+    #[test]
+    fn single_packet_row() {
+        let row: Vec<f32> = (0..100).map(|i| i as f32 / 10.0).collect();
+        let enc = SignMagnitude.encode(&row, 0);
+        let pr = packetize_row(&enc, &cfg());
+        assert_eq!(pr.packets.len(), 1);
+        let p = pr.packets[0].parse().unwrap();
+        assert_eq!(p.fields.coord_start, 0);
+        assert_eq!(p.fields.coord_count, 100);
+        assert_ne!(p.fields.flags & FLAG_LAST_CHUNK, 0);
+        assert_eq!(pr.meta.original_len, 100);
+        assert_eq!(pr.meta.scheme, enc.scheme);
+    }
+
+    #[test]
+    fn multi_packet_row_covers_all_coordinates() {
+        let row: Vec<f32> = (0..1000).map(|i| (i as f32).sin()).collect();
+        let enc = RhtOneBit.encode(&row, 3); // pads to 1024
+        let pr = packetize_row(&enc, &cfg());
+        // 1024 coords at 360/packet → 3 packets (360+360+304).
+        assert_eq!(pr.packets.len(), 3);
+        let mut covered = 0usize;
+        for (i, pkt) in pr.packets.iter().enumerate() {
+            let p = pkt.parse().unwrap();
+            assert_eq!(p.fields.chunk_id as usize, i);
+            assert_eq!(p.fields.coord_start as usize, covered);
+            covered += p.fields.coord_count as usize;
+            let is_last = i == pr.packets.len() - 1;
+            assert_eq!(p.fields.flags & FLAG_LAST_CHUNK != 0, is_last);
+        }
+        assert_eq!(covered, enc.n);
+    }
+
+    #[test]
+    fn packet_sections_carry_correct_bits() {
+        let row: Vec<f32> = (0..500).map(|i| i as f32 - 250.0).collect();
+        let enc = SignMagnitude.encode(&row, 0);
+        let pr = packetize_row(&enc, &cfg());
+        // Check the second packet's head section against the row's sign bits.
+        let p = pr.packets[1].parse().unwrap();
+        let start = p.fields.coord_start as usize;
+        for i in 0..p.fields.coord_count as usize {
+            let head_bit = (p.sections[0][i / 8] >> (i % 8)) & 1;
+            let expect = u8::from(row[start + i] < 0.0);
+            assert_eq!(head_bit, expect, "coordinate {}", start + i);
+        }
+    }
+
+    #[test]
+    fn empty_row_yields_meta_only() {
+        let enc = SignMagnitude.encode(&[], 0);
+        let pr = packetize_row(&enc, &cfg());
+        assert!(pr.packets.is_empty());
+        assert_eq!(pr.meta.original_len, 0);
+    }
+
+    #[test]
+    fn wire_bytes_counts_everything() {
+        let row: Vec<f32> = (0..360).map(|i| i as f32).collect();
+        let enc = SignMagnitude.encode(&row, 0);
+        let pr = packetize_row(&enc, &cfg());
+        let total = wire_bytes(&pr, &cfg().net);
+        let data: usize = pr.packets.iter().map(GradPacket::wire_len).sum();
+        assert!(total > data, "metadata frame must be included");
+        assert!(total - data < 120, "metadata frame is small");
+    }
+
+    #[test]
+    fn layout_report_matches_paper_scale() {
+        // §2: P=1 trimming compresses an MTU packet by ~94%.
+        let r = layout_report(&[1, 31], 1500).unwrap();
+        assert_eq!(r.coords_per_packet, 360);
+        assert_eq!(r.full_frame_len, 14 + 20 + 8 + 28 + 45 + 1395);
+        assert_eq!(r.trimmed_frame_len, 14 + 20 + 8 + 28 + 45);
+        assert!((0.90..0.95).contains(&r.compression_ratio));
+        // Tiny MTU: nothing fits.
+        assert!(layout_report(&[1, 31], 60).is_none());
+    }
+
+    #[test]
+    fn small_mtu_produces_more_packets() {
+        let row: Vec<f32> = (0..512).map(|i| i as f32).collect();
+        let enc = SignMagnitude.encode(&row, 0);
+        let small = PacketizeConfig {
+            mtu: 256,
+            ..cfg()
+        };
+        let pr_small = packetize_row(&enc, &small);
+        let pr_big = packetize_row(&enc, &cfg());
+        assert!(pr_small.packets.len() > pr_big.packets.len());
+        // Every packet respects its MTU (plus Ethernet framing).
+        for p in &pr_small.packets {
+            assert!(p.wire_len() <= 256 + ethernet::HEADER_LEN);
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Receiver-side row reassembly from trimmed and untrimmed packets.
+//!
+//! A [`RowAssembler`] accumulates the data packets of one row (in any order,
+//! with any per-packet trim depth, with duplicates) plus its metadata packet,
+//! and exposes the availability-aware [`PartialRow`] view the quant layer
+//! decodes. Coordinates whose packets never arrive simply stay absent —
+//! exactly the semantics of a lossy trimming fabric.
+
+use crate::meta::RowMetaPacket;
+use crate::packet::GradPacket;
+use crate::{Result, WireError};
+use trimgrad_quant::bitpack::{BitBuf, BitMask};
+use trimgrad_quant::scheme::{PartView, PartialRow, RowMeta};
+use trimgrad_quant::SchemeId;
+
+/// The encoded (possibly padded) length for a row of `original_len`
+/// coordinates under `scheme` — RHT schemes pad to the next power of two,
+/// scalar schemes do not.
+#[must_use]
+pub fn encoded_n(scheme: SchemeId, original_len: usize) -> usize {
+    if original_len == 0 {
+        return 0;
+    }
+    match scheme {
+        SchemeId::SignMagnitude | SchemeId::Stochastic | SchemeId::SubtractiveDither => {
+            original_len
+        }
+        SchemeId::RhtOneBit | SchemeId::MultiLevelRht => original_len.next_power_of_two(),
+    }
+}
+
+/// Reassembles one row from its packets.
+#[derive(Debug, Clone)]
+pub struct RowAssembler {
+    scheme: SchemeId,
+    msg_id: u32,
+    row_id: u32,
+    n: usize,
+    parts: Vec<BitBuf>,
+    masks: Vec<BitMask>,
+    meta: Option<RowMeta>,
+    epoch: Option<u32>,
+}
+
+impl RowAssembler {
+    /// Creates an assembler for a known row identity and length.
+    #[must_use]
+    pub fn new(scheme: SchemeId, msg_id: u32, row_id: u32, original_len: usize) -> Self {
+        let n = encoded_n(scheme, original_len);
+        let part_bits = scheme.part_bits();
+        Self {
+            scheme,
+            msg_id,
+            row_id,
+            n,
+            parts: part_bits
+                .iter()
+                .map(|&w| BitBuf::zeroed(n * w as usize))
+                .collect(),
+            masks: part_bits.iter().map(|_| BitMask::absent(n)).collect(),
+            meta: Some(RowMeta {
+                original_len,
+                scale: 0.0,
+            }),
+            epoch: None,
+        }
+    }
+
+    /// Creates an assembler directly from a received metadata packet.
+    #[must_use]
+    pub fn from_meta(meta: &RowMetaPacket) -> Self {
+        let mut a = Self::new(
+            meta.scheme,
+            meta.msg_id,
+            meta.row_id,
+            meta.original_len as usize,
+        );
+        a.meta = Some(meta.row_meta());
+        a.epoch = Some(meta.epoch);
+        a
+    }
+
+    /// The row's scheme.
+    #[must_use]
+    pub fn scheme(&self) -> SchemeId {
+        self.scheme
+    }
+
+    /// The encoded (padded) length.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The training epoch, once any packet has been ingested.
+    #[must_use]
+    pub fn epoch(&self) -> Option<u32> {
+        self.epoch
+    }
+
+    /// Row metadata (scale is 0 until [`ingest_meta`](Self::ingest_meta)).
+    #[must_use]
+    pub fn meta(&self) -> Option<&RowMeta> {
+        self.meta.as_ref()
+    }
+
+    /// Records the reliable metadata for this row.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadField`] if the identity or geometry disagrees with
+    /// what the assembler was created for.
+    pub fn ingest_meta(&mut self, meta: &RowMetaPacket) -> Result<()> {
+        if meta.scheme != self.scheme || meta.msg_id != self.msg_id || meta.row_id != self.row_id {
+            return Err(WireError::BadField("row identity"));
+        }
+        if encoded_n(meta.scheme, meta.original_len as usize) != self.n {
+            return Err(WireError::BadField("original_len"));
+        }
+        self.meta = Some(meta.row_meta());
+        self.epoch = Some(meta.epoch);
+        Ok(())
+    }
+
+    /// Ingests one data packet (trimmed or not, duplicate or not).
+    ///
+    /// Availability only ever grows: a duplicate that arrives *less* trimmed
+    /// than a previous copy upgrades the coordinates; a more-trimmed
+    /// duplicate adds nothing but is not an error.
+    ///
+    /// # Errors
+    ///
+    /// Parse/validation errors, or [`WireError::BadField`] when the packet
+    /// belongs to a different row or exceeds the row bounds.
+    pub fn ingest(&mut self, pkt: &GradPacket) -> Result<()> {
+        let parsed = pkt.parse()?;
+        let f = &parsed.fields;
+        if f.scheme != self.scheme || f.msg_id != self.msg_id || f.row_id != self.row_id {
+            return Err(WireError::BadField("row identity"));
+        }
+        let start = f.coord_start as usize;
+        let count = f.coord_count as usize;
+        if start + count > self.n {
+            return Err(WireError::BadField("coord range"));
+        }
+        if f.n_parts as usize != self.parts.len() {
+            return Err(WireError::BadField("n_parts"));
+        }
+        match self.epoch {
+            None => self.epoch = Some(f.epoch),
+            Some(e) if e != f.epoch => return Err(WireError::BadField("epoch")),
+            Some(_) => {}
+        }
+        let part_bits = self.scheme.part_bits();
+        for (k, section) in parsed.sections.iter().enumerate() {
+            let w = part_bits[k] as usize;
+            let src = BitBuf::from_bytes(section.to_vec(), count * w);
+            self.parts[k].write_bits_from(start * w, &src);
+            self.masks[k].set_range(start, start + count, true);
+        }
+        Ok(())
+    }
+
+    /// Number of coordinates whose head (part 0) has arrived.
+    #[must_use]
+    pub fn coords_received(&self) -> usize {
+        if self.masks.is_empty() {
+            return 0;
+        }
+        self.masks[0].count_present()
+    }
+
+    /// Whether every coordinate arrived at full depth.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.masks.iter().all(|m| m.count_present() == self.n)
+    }
+
+    /// Whether every coordinate's head arrived (possibly trimmed deeper).
+    #[must_use]
+    pub fn heads_complete(&self) -> bool {
+        self.coords_received() == self.n
+    }
+
+    /// The availability view for decoding.
+    #[must_use]
+    pub fn partial_row(&self) -> PartialRow<'_> {
+        let parts = self
+            .parts
+            .iter()
+            .zip(&self.masks)
+            .map(|(buf, mask)| {
+                let present = mask.count_present();
+                if present == self.n {
+                    PartView::Full(buf)
+                } else if present == 0 {
+                    PartView::Absent
+                } else {
+                    PartView::Masked {
+                        buf,
+                        present: mask.clone(),
+                    }
+                }
+            })
+            .collect();
+        PartialRow { n: self.n, parts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::NetAddrs;
+    use crate::packetize::{packetize_row, PacketizeConfig};
+    use trimgrad_quant::scheme::TrimmableScheme;
+    use trimgrad_quant::rht1bit::RhtOneBit;
+    use trimgrad_quant::signmag::SignMagnitude;
+
+    fn cfg() -> PacketizeConfig {
+        PacketizeConfig {
+            mtu: 1500,
+            net: NetAddrs::between_hosts(1, 2),
+            msg_id: 9,
+            row_id: 4,
+            epoch: 2,
+        }
+    }
+
+    fn assembler_for(enc: &trimgrad_quant::EncodedRow, c: &PacketizeConfig) -> RowAssembler {
+        RowAssembler::new(enc.scheme, c.msg_id, c.row_id, enc.meta.original_len)
+    }
+
+    #[test]
+    fn encoded_n_rules() {
+        assert_eq!(encoded_n(SchemeId::SignMagnitude, 100), 100);
+        assert_eq!(encoded_n(SchemeId::Stochastic, 100), 100);
+        assert_eq!(encoded_n(SchemeId::RhtOneBit, 100), 128);
+        assert_eq!(encoded_n(SchemeId::MultiLevelRht, 128), 128);
+        assert_eq!(encoded_n(SchemeId::RhtOneBit, 0), 0);
+    }
+
+    #[test]
+    fn lossless_roundtrip_through_packets() {
+        let row: Vec<f32> = (0..1000).map(|i| ((i * 31) % 97) as f32 - 48.0).collect();
+        let scheme = RhtOneBit;
+        let seed = 77;
+        let enc = scheme.encode(&row, seed);
+        let c = cfg();
+        let pr = packetize_row(&enc, &c);
+        let mut asm = assembler_for(&enc, &c);
+        asm.ingest_meta(&pr.meta).unwrap();
+        for pkt in &pr.packets {
+            asm.ingest(pkt).unwrap();
+        }
+        assert!(asm.is_complete());
+        assert_eq!(asm.epoch(), Some(2));
+        let dec = scheme
+            .decode(&asm.partial_row(), asm.meta().unwrap(), seed)
+            .unwrap();
+        for (d, v) in dec.iter().zip(&row) {
+            assert!((d - v).abs() < 1e-3, "{d} vs {v}");
+        }
+    }
+
+    #[test]
+    fn trimmed_packets_decode_with_heads() {
+        let row: Vec<f32> = (0..800).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let scheme = RhtOneBit;
+        let seed = 5;
+        let enc = scheme.encode(&row, seed);
+        let c = cfg();
+        let mut pr = packetize_row(&enc, &c);
+        // Trim every second packet down to heads (as a congested switch would).
+        for (i, pkt) in pr.packets.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                pkt.trim_to_depth(1).unwrap();
+            }
+        }
+        let mut asm = assembler_for(&enc, &c);
+        asm.ingest_meta(&pr.meta).unwrap();
+        for pkt in &pr.packets {
+            asm.ingest(pkt).unwrap();
+        }
+        assert!(asm.heads_complete());
+        assert!(!asm.is_complete());
+        let dec = scheme
+            .decode(&asm.partial_row(), asm.meta().unwrap(), seed)
+            .unwrap();
+        // Still a decent estimate: far better than all-zeros.
+        let nmse = trimgrad_quant::error::nmse(&dec, &row);
+        assert!(nmse < 0.6, "nmse {nmse}");
+    }
+
+    #[test]
+    fn lost_packets_leave_coords_absent() {
+        let row: Vec<f32> = (0..720).map(|i| i as f32).collect();
+        let enc = SignMagnitude.encode(&row, 0);
+        let c = cfg();
+        let pr = packetize_row(&enc, &c);
+        assert_eq!(pr.packets.len(), 2);
+        let mut asm = assembler_for(&enc, &c);
+        asm.ingest_meta(&pr.meta).unwrap();
+        asm.ingest(&pr.packets[0]).unwrap(); // drop packet 1 entirely
+        assert_eq!(asm.coords_received(), 360);
+        let dec = SignMagnitude
+            .decode(&asm.partial_row(), asm.meta().unwrap(), 0)
+            .unwrap();
+        // Missing coordinates decode to the neutral 0.
+        assert!(dec[360..].iter().all(|&d| d == 0.0));
+        assert!((dec[0] - row[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_upgrade_and_downgrade() {
+        let row: Vec<f32> = (0..100).map(|i| i as f32 - 50.0).collect();
+        let enc = SignMagnitude.encode(&row, 0);
+        let c = cfg();
+        let pr = packetize_row(&enc, &c);
+        let full = pr.packets[0].clone();
+        let mut trimmed = full.clone();
+        trimmed.trim_to_depth(1).unwrap();
+
+        // Trimmed first, then full: upgrades to complete.
+        let mut asm = assembler_for(&enc, &c);
+        asm.ingest(&trimmed).unwrap();
+        assert!(!asm.is_complete());
+        asm.ingest(&full).unwrap();
+        assert!(asm.is_complete());
+
+        // Full first, then trimmed duplicate: stays complete.
+        let mut asm = assembler_for(&enc, &c);
+        asm.ingest(&full).unwrap();
+        asm.ingest(&trimmed).unwrap();
+        assert!(asm.is_complete());
+    }
+
+    #[test]
+    fn rejects_foreign_packets() {
+        let row: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let enc = SignMagnitude.encode(&row, 0);
+        let c = cfg();
+        let pr = packetize_row(&enc, &c);
+        // Wrong row id.
+        let mut asm = RowAssembler::new(enc.scheme, c.msg_id, 999, row.len());
+        assert_eq!(
+            asm.ingest(&pr.packets[0]).unwrap_err(),
+            WireError::BadField("row identity")
+        );
+        // Wrong meta identity.
+        let mut asm = assembler_for(&enc, &c);
+        let mut bad_meta = pr.meta;
+        bad_meta.msg_id = 123;
+        assert_eq!(
+            asm.ingest_meta(&bad_meta).unwrap_err(),
+            WireError::BadField("row identity")
+        );
+    }
+
+    #[test]
+    fn rejects_epoch_mismatch() {
+        let row: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let enc = SignMagnitude.encode(&row, 0);
+        let c1 = cfg();
+        let c2 = PacketizeConfig { epoch: 3, ..c1 };
+        let p1 = packetize_row(&enc, &c1);
+        let p2 = packetize_row(&enc, &c2);
+        let mut asm = assembler_for(&enc, &c1);
+        asm.ingest(&p1.packets[0]).unwrap();
+        assert_eq!(
+            asm.ingest(&p2.packets[0]).unwrap_err(),
+            WireError::BadField("epoch")
+        );
+    }
+
+    #[test]
+    fn empty_row_assembler() {
+        let asm = RowAssembler::new(SchemeId::RhtOneBit, 1, 1, 0);
+        assert_eq!(asm.n(), 0);
+        assert!(asm.is_complete());
+        assert_eq!(asm.coords_received(), 0);
+    }
+}

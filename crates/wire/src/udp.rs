@@ -1,0 +1,258 @@
+//! UDP datagram view.
+//!
+//! The TrimGrad transport runs over UDP (like NDP and the UEC trimming
+//! profiles). Because a trimming switch truncates the datagram in flight,
+//! the UDP checksum of a trimmed packet is recomputed by the switch along
+//! with the length — see [`fill_checksum`](UdpDatagram::fill_checksum).
+
+use crate::ipv4::Ipv4Addr;
+use crate::{ones_complement_sum, Result, WireError};
+
+/// UDP header length in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// Destination port for trimmable gradient data packets.
+pub const PORT_GRADIENT: u16 = 9100;
+
+/// Destination port for reliable row-metadata packets.
+pub const PORT_METADATA: u16 = 9101;
+
+/// Destination port for transport control (ACK/NACK/pull) packets.
+pub const PORT_CONTROL: u16 = 9102;
+
+/// A typed view over a UDP datagram (header + payload).
+#[derive(Debug, Clone)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wraps a buffer, validating the length field.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when the buffer cannot hold the header or the
+    /// claimed length; [`WireError::BadField`] when the length field is
+    /// smaller than the header.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let b = buffer.as_ref();
+        if b.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let len = u16::from_be_bytes([b[4], b[5]]) as usize;
+        if len < HEADER_LEN {
+            return Err(WireError::BadField("length"));
+        }
+        if b.len() < len {
+            return Err(WireError::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Source port.
+    #[must_use]
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    #[must_use]
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Length field (header + payload).
+    #[must_use]
+    pub fn len_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Checksum field (0 = not computed, legal for IPv4).
+    #[must_use]
+    pub fn checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]])
+    }
+
+    /// Payload bytes.
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        let len = self.len_field() as usize;
+        &self.buffer.as_ref()[HEADER_LEN..len]
+    }
+
+    /// Verifies the checksum against the IPv4 pseudo-header. A zero checksum
+    /// (not computed) verifies trivially.
+    #[must_use]
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.checksum() == 0 {
+            return true;
+        }
+        let sum = pseudo_header_sum(src, dst, self.len_field());
+        let len = self.len_field() as usize;
+        ones_complement_sum(&self.buffer.as_ref()[..len], sum) == 0xFFFF
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the length field.
+    pub fn set_len_field(&mut self, len: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let len = u16::from_be_bytes([self.buffer.as_ref()[4], self.buffer.as_ref()[5]]) as usize;
+        &mut self.buffer.as_mut()[HEADER_LEN..len]
+    }
+
+    /// Computes and writes the checksum over the pseudo-header and datagram.
+    /// Per RFC 768, a computed sum of 0 is transmitted as `0xFFFF`.
+    pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        let len = u16::from_be_bytes([self.buffer.as_ref()[4], self.buffer.as_ref()[5]]);
+        {
+            let b = self.buffer.as_mut();
+            b[6] = 0;
+            b[7] = 0;
+        }
+        let sum = pseudo_header_sum(src, dst, len);
+        let csum = !ones_complement_sum(&self.buffer.as_ref()[..len as usize], sum);
+        let csum = if csum == 0 { 0xFFFF } else { csum };
+        self.buffer.as_mut()[6..8].copy_from_slice(&csum.to_be_bytes());
+    }
+}
+
+/// One's-complement sum of the IPv4 pseudo-header for UDP.
+fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, udp_len: u16) -> u16 {
+    let mut pseudo = [0u8; 12];
+    pseudo[0..4].copy_from_slice(&src.0);
+    pseudo[4..8].copy_from_slice(&dst.0);
+    pseudo[9] = crate::ipv4::PROTO_UDP;
+    pseudo[10..12].copy_from_slice(&udp_len.to_be_bytes());
+    ones_complement_sum(&pseudo, 0)
+}
+
+/// Builds a complete datagram with a valid checksum.
+#[must_use]
+pub fn build_datagram(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    let len = HEADER_LEN + payload.len();
+    assert!(len <= u16::MAX as usize, "payload too large for UDP");
+    let mut buf = vec![0u8; len];
+    buf[4..6].copy_from_slice(&(len as u16).to_be_bytes());
+    let mut d = UdpDatagram::new_checked(&mut buf[..]).expect("sized above");
+    d.set_src_port(src_port);
+    d.set_dst_port(dst_port);
+    d.payload_mut().copy_from_slice(payload);
+    d.fill_checksum(src, dst);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::for_host(1), Ipv4Addr::for_host(2))
+    }
+
+    #[test]
+    fn build_parse_roundtrip() {
+        let (src, dst) = addrs();
+        let buf = build_datagram(src, dst, 5555, PORT_GRADIENT, b"hello");
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(d.src_port(), 5555);
+        assert_eq!(d.dst_port(), PORT_GRADIENT);
+        assert_eq!(d.len_field() as usize, 13);
+        assert_eq!(d.payload(), b"hello");
+        assert!(d.verify_checksum(src, dst));
+    }
+
+    #[test]
+    fn checksum_detects_payload_corruption() {
+        let (src, dst) = addrs();
+        let mut buf = build_datagram(src, dst, 1, 2, b"payload");
+        buf[10] ^= 0x01;
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(!d.verify_checksum(src, dst));
+    }
+
+    #[test]
+    fn checksum_detects_wrong_pseudo_header() {
+        let (src, dst) = addrs();
+        let buf = build_datagram(src, dst, 1, 2, b"payload");
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(!d.verify_checksum(src, Ipv4Addr::for_host(99)));
+    }
+
+    #[test]
+    fn zero_checksum_passes() {
+        let (src, dst) = addrs();
+        let mut buf = build_datagram(src, dst, 1, 2, b"x");
+        buf[6] = 0;
+        buf[7] = 0;
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(d.verify_checksum(src, dst));
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert_eq!(
+            UdpDatagram::new_checked(&[0u8; 7][..]).unwrap_err(),
+            WireError::Truncated
+        );
+        let mut buf = [0u8; 8];
+        buf[4..6].copy_from_slice(&4u16.to_be_bytes()); // len < header
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).unwrap_err(),
+            WireError::BadField("length")
+        );
+        let mut buf = [0u8; 8];
+        buf[4..6].copy_from_slice(&20u16.to_be_bytes()); // len > buffer
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn trim_then_refill_checksum_is_valid() {
+        // The switch path: truncate payload, patch length, recompute checksum.
+        let (src, dst) = addrs();
+        let mut buf = build_datagram(src, dst, 1, PORT_GRADIENT, &[0xCC; 64]);
+        buf.truncate(HEADER_LEN + 16);
+        buf[4..6].copy_from_slice(&((HEADER_LEN + 16) as u16).to_be_bytes());
+        let mut d = UdpDatagram::new_checked(&mut buf[..]).unwrap();
+        d.fill_checksum(src, dst);
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(d.verify_checksum(src, dst));
+        assert_eq!(d.payload().len(), 16);
+    }
+
+    #[test]
+    fn empty_payload_datagram() {
+        let (src, dst) = addrs();
+        let buf = build_datagram(src, dst, 9, 10, &[]);
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(d.payload().is_empty());
+        assert!(d.verify_checksum(src, dst));
+    }
+}

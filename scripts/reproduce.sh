@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure/table plus the extension ablations, saving
+# outputs under results/. Figures 3-4 train ~150 model configurations and
+# dominate the runtime (~45 min total on a laptop-class CPU).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+cargo build --release -p trimgrad-bench --bins
+
+run() {
+    local name="$1"
+    echo "=== $name ==="
+    "./target/release/$name" | tee "results/$name.txt"
+}
+
+run layout_table       # §2 in-text packet-layout numbers (instant)
+run baseline_drops     # §4.4 baseline drop tolerance, measured (seconds)
+run queue_closedloop   # §5.1 closed-loop queueing study (seconds)
+run fig5_breakdown     # Fig 5 breakdown, encode measured (~1 min)
+run fsdp_gather        # §5.5 FSDP weight-gather ablation (~1 min)
+run lowrank_ablation   # §5.2 low-rank prefix-decodable compression (instant)
+run fig3_tta           # Fig 3 TTA curves (~10 min)
+run fig4_ttba          # Fig 4 time-to-baseline-accuracy (~35 min)
+
+echo "All experiment outputs saved under results/."

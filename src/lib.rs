@@ -1,0 +1,14 @@
+//! Umbrella crate for the `trimgrad` workspace.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). It re-exports every workspace
+//! crate under one namespace for convenience; library users should normally
+//! depend on [`trimgrad`] (the core crate) directly.
+
+pub use trimgrad;
+pub use trimgrad_collective as collective;
+pub use trimgrad_hadamard as hadamard;
+pub use trimgrad_mltrain as mltrain;
+pub use trimgrad_netsim as netsim;
+pub use trimgrad_quant as quant;
+pub use trimgrad_wire as wire;
