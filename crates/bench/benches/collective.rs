@@ -1,8 +1,7 @@
-//! Criterion macro-benchmarks for the collective layer: in-memory ring
-//! all-reduce over lossless vs trimming channels, and one full aggregation
-//! round through the DDP-style hook.
+//! Macro-benchmarks for the collective layer: in-memory ring all-reduce
+//! over lossless vs trimming channels, and one full aggregation round
+//! through the DDP-style hook.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use trimgrad::collective::channel::{GradChannel, LosslessChannel, TrimmingChannel};
 use trimgrad::collective::chunk::MessageCodec;
 use trimgrad::collective::hooks::{AggregateHook, TrimmableHook};
@@ -10,6 +9,7 @@ use trimgrad::collective::ring::ring_all_reduce;
 use trimgrad::collective::TrimInjector;
 use trimgrad::hadamard::prng::Xoshiro256StarStar;
 use trimgrad::Scheme;
+use trimgrad_bench::microbench::{Group, Throughput};
 
 const WORKERS: usize = 4;
 const LEN: usize = 1 << 14;
@@ -21,54 +21,50 @@ fn grads(seed: u64) -> Vec<Vec<f32>> {
         .collect()
 }
 
-fn bench_ring(c: &mut Criterion) {
+fn bench_ring() {
     let input = grads(1);
-    let mut g = c.benchmark_group("ring_allreduce_16k_x4");
+    let mut g = Group::new("ring_allreduce_16k_x4");
     g.throughput(Throughput::Elements((LEN * WORKERS) as u64));
-    g.bench_function("lossless", |b| {
-        b.iter(|| {
-            let mut w = input.clone();
-            let mut chans: Vec<LosslessChannel> =
-                (0..WORKERS).map(|_| LosslessChannel::new()).collect();
-            ring_all_reduce(&mut w, &mut chans, 0, 0);
-            w
-        });
+    g.quick();
+    g.bench("lossless", || {
+        let mut w = input.clone();
+        let mut chans: Vec<LosslessChannel> =
+            (0..WORKERS).map(|_| LosslessChannel::new()).collect();
+        ring_all_reduce(&mut w, &mut chans, 0, 0);
+        w
     });
-    g.bench_function("trimming_50pct", |b| {
-        b.iter(|| {
-            let mut w = input.clone();
-            let mut chans: Vec<TrimmingChannel> = (0..WORKERS)
-                .map(|i| {
-                    TrimmingChannel::new(
-                        MessageCodec::with_row_len(Scheme::RhtOneBit, 7, 1 << 12),
-                        TrimInjector::new(0.5, i as u64),
-                    )
-                })
-                .collect();
-            ring_all_reduce(&mut w, &mut chans, 0, 0);
-            let _bytes: u64 = chans.iter().map(GradChannel::bytes_sent).sum();
-            w
-        });
+    g.bench("trimming_50pct", || {
+        let mut w = input.clone();
+        let mut chans: Vec<TrimmingChannel> = (0..WORKERS)
+            .map(|i| {
+                TrimmingChannel::new(
+                    MessageCodec::with_row_len(Scheme::RhtOneBit, 7, 1 << 12),
+                    TrimInjector::new(0.5, i as u64),
+                )
+            })
+            .collect();
+        ring_all_reduce(&mut w, &mut chans, 0, 0);
+        let _bytes: u64 = chans.iter().map(GradChannel::bytes_sent).sum();
+        w
     });
-    g.finish();
 }
 
-fn bench_hook_round(c: &mut Criterion) {
+fn bench_hook_round() {
     let input = grads(2);
-    let mut g = c.benchmark_group("ddp_hook_aggregate_16k_x4");
+    let mut g = Group::new("ddp_hook_aggregate_16k_x4");
     g.throughput(Throughput::Elements((LEN * WORKERS) as u64));
+    g.quick();
     for scheme in [Scheme::SubtractiveDither, Scheme::RhtOneBit] {
-        g.bench_function(scheme.name(), |b| {
-            let mut hook = TrimmableHook::new(scheme, WORKERS, 0.5, 0.0, 1 << 12, 9);
-            let mut round = 0u32;
-            b.iter(|| {
-                round += 1;
-                hook.aggregate(&input, 0, round)
-            });
+        let mut hook = TrimmableHook::new(scheme, WORKERS, 0.5, 0.0, 1 << 12, 9);
+        let mut round = 0u32;
+        g.bench(scheme.name(), || {
+            round += 1;
+            hook.aggregate(&input, 0, round)
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_ring, bench_hook_round);
-criterion_main!(benches);
+fn main() {
+    bench_ring();
+    bench_hook_round();
+}

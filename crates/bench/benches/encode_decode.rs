@@ -1,70 +1,65 @@
-//! Criterion micro-benchmarks: trimmable encode/decode throughput per
-//! scheme, on the paper's 2¹⁵-coordinate rows.
+//! Micro-benchmarks: trimmable encode/decode throughput per scheme, on the
+//! paper's 2¹⁵-coordinate rows.
 //!
 //! These numbers calibrate `TimeModel::{scalar,rht}_encode_ns_per_coord` and
 //! verify the paper's "RHT is about 18% slower than the simpler
 //! per-coordinate scalar quantization methods" claim on our implementation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
 use trimgrad::hadamard::prng::Xoshiro256StarStar;
 use trimgrad::quant::{scheme_for, SchemeId};
+use trimgrad_bench::microbench::{Group, Throughput};
 
 fn row(n: usize, seed: u64) -> Vec<f32> {
     let mut rng = Xoshiro256StarStar::new(seed);
     (0..n).map(|_| rng.next_f32_range(-1.0, 1.0)).collect()
 }
 
-fn bench_encode(c: &mut Criterion) {
+fn bench_encode() {
     let n = 1 << 15;
     let data = row(n, 1);
-    let mut g = c.benchmark_group("encode_row_32k");
+    let mut g = Group::new("encode_row_32k");
     g.throughput(Throughput::Elements(n as u64));
     for id in SchemeId::ALL {
         let scheme = scheme_for(id);
-        g.bench_with_input(BenchmarkId::from_parameter(id.name()), &data, |b, d| {
-            b.iter(|| scheme.encode(std::hint::black_box(d), 42));
-        });
+        g.bench(id.name(), || scheme.encode(black_box(&data), 42));
     }
-    g.finish();
 }
 
-fn bench_decode_full(c: &mut Criterion) {
+fn bench_decode_full() {
     let n = 1 << 15;
     let data = row(n, 2);
-    let mut g = c.benchmark_group("decode_full_row_32k");
+    let mut g = Group::new("decode_full_row_32k");
     g.throughput(Throughput::Elements(n as u64));
     for id in SchemeId::ALL {
         let scheme = scheme_for(id);
         let enc = scheme.encode(&data, 42);
-        g.bench_with_input(BenchmarkId::from_parameter(id.name()), &enc, |b, e| {
-            b.iter(|| {
-                scheme
-                    .decode(&std::hint::black_box(e).full_view(), &e.meta, 42)
-                    .expect("valid")
-            });
+        g.bench(id.name(), || {
+            scheme
+                .decode(&black_box(&enc).full_view(), &enc.meta, 42)
+                .expect("valid")
         });
     }
-    g.finish();
 }
 
-fn bench_decode_trimmed(c: &mut Criterion) {
+fn bench_decode_trimmed() {
     let n = 1 << 15;
     let data = row(n, 3);
-    let mut g = c.benchmark_group("decode_heads_only_row_32k");
+    let mut g = Group::new("decode_heads_only_row_32k");
     g.throughput(Throughput::Elements(n as u64));
     for id in SchemeId::ALL {
         let scheme = scheme_for(id);
         let enc = scheme.encode(&data, 42);
-        g.bench_with_input(BenchmarkId::from_parameter(id.name()), &enc, |b, e| {
-            b.iter(|| {
-                scheme
-                    .decode(&std::hint::black_box(e).trimmed_view(1), &e.meta, 42)
-                    .expect("valid")
-            });
+        g.bench(id.name(), || {
+            scheme
+                .decode(&black_box(&enc).trimmed_view(1), &enc.meta, 42)
+                .expect("valid")
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_decode_full, bench_decode_trimmed);
-criterion_main!(benches);
+fn main() {
+    bench_encode();
+    bench_decode_full();
+    bench_decode_trimmed();
+}

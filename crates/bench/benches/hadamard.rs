@@ -1,75 +1,66 @@
-//! Criterion micro-benchmarks for the FWHT substrate: raw butterfly,
-//! seeded RHT (forward + inverse), and the row-blocked transform over a
-//! 25 MB-scale blob.
+//! Micro-benchmarks for the FWHT substrate: raw butterfly, seeded RHT
+//! (forward + inverse), and the row-blocked transform over a 4 MB blob.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
 use trimgrad::hadamard::block::BlockRht;
 use trimgrad::hadamard::fwht::fwht_orthonormal;
 use trimgrad::hadamard::prng::Xoshiro256StarStar;
 use trimgrad::hadamard::rht::RandomizedHadamard;
+use trimgrad_bench::microbench::{Group, Throughput};
 
 fn data(n: usize, seed: u64) -> Vec<f32> {
     let mut rng = Xoshiro256StarStar::new(seed);
     (0..n).map(|_| rng.next_f32_range(-1.0, 1.0)).collect()
 }
 
-fn bench_fwht_sizes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fwht_orthonormal");
+fn bench_fwht_sizes() {
+    let mut g = Group::new("fwht_orthonormal");
     for log_n in [10usize, 12, 15, 18] {
         let n = 1 << log_n;
         g.throughput(Throughput::Elements(n as u64));
         let input = data(n, 1);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("2^{log_n}")), &input, |b, d| {
-            b.iter(|| {
-                let mut v = d.clone();
-                fwht_orthonormal(&mut v).expect("power of two");
-                v
-            });
+        g.bench(&format!("2^{log_n}"), || {
+            let mut v = input.clone();
+            fwht_orthonormal(&mut v).expect("power of two");
+            v
         });
     }
-    g.finish();
 }
 
-fn bench_rht_roundtrip(c: &mut Criterion) {
+fn bench_rht_roundtrip() {
     let n = 1 << 15;
     let input = data(n, 2);
     let rht = RandomizedHadamard::new(42);
-    let mut g = c.benchmark_group("rht_row_32k");
+    let mut g = Group::new("rht_row_32k");
     g.throughput(Throughput::Elements(n as u64));
-    g.bench_function("forward", |b| {
-        b.iter(|| {
-            let mut v = input.clone();
-            rht.forward(&mut v).expect("power of two");
-            v
-        });
+    g.bench("forward", || {
+        let mut v = input.clone();
+        rht.forward(&mut v).expect("power of two");
+        v
     });
     let mut rotated = input.clone();
     rht.forward(&mut rotated).expect("power of two");
-    g.bench_function("inverse", |b| {
-        b.iter(|| {
-            let mut v = rotated.clone();
-            rht.inverse(&mut v).expect("power of two");
-            v
-        });
+    g.bench("inverse", || {
+        let mut v = rotated.clone();
+        rht.inverse(&mut v).expect("power of two");
+        v
     });
-    g.finish();
 }
 
-fn bench_block_rht_blob(c: &mut Criterion) {
+fn bench_block_rht_blob() {
     // A 1M-coordinate blob (4 MB) in 2^15 rows — the paper's blocking.
     let blob = data(1 << 20, 3);
     let block = BlockRht::with_default_rows(7);
-    let mut g = c.benchmark_group("block_rht_4mb_blob");
+    let mut g = Group::new("block_rht_4mb_blob");
     g.throughput(Throughput::Elements(blob.len() as u64));
-    g.bench_function("forward", |b| {
-        b.iter(|| block.forward(std::hint::black_box(&blob)));
-    });
+    g.quick();
+    g.bench("forward", || block.forward(black_box(&blob)));
     let rotated = block.forward(&blob);
-    g.bench_function("inverse", |b| {
-        b.iter(|| block.inverse(std::hint::black_box(&rotated), blob.len()));
-    });
-    g.finish();
+    g.bench("inverse", || block.inverse(black_box(&rotated), blob.len()));
 }
 
-criterion_group!(benches, bench_fwht_sizes, bench_rht_roundtrip, bench_block_rht_blob);
-criterion_main!(benches);
+fn main() {
+    bench_fwht_sizes();
+    bench_rht_roundtrip();
+    bench_block_rht_blob();
+}

@@ -1,13 +1,13 @@
-//! Criterion macro-benchmark: event throughput of the discrete-event
-//! simulator under an 8-to-1 incast at a trimming switch.
+//! Macro-benchmark: event throughput of the discrete-event simulator under
+//! an 8-to-1 incast at a trimming switch.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use trimgrad::netsim::crosstraffic::install_incast;
 use trimgrad::netsim::sim::Simulator;
 use trimgrad::netsim::switch::QueuePolicy;
 use trimgrad::netsim::time::{gbps, SimTime};
 use trimgrad::netsim::topology::Topology;
 use trimgrad::netsim::NodeId;
+use trimgrad_bench::microbench::{Group, Throughput};
 
 fn run_incast(policy: QueuePolicy) -> u64 {
     let mut topo = Topology::new();
@@ -27,18 +27,13 @@ fn run_incast(policy: QueuePolicy) -> u64 {
     sim.stats().delivered_packets() + sim.stats().dropped_total()
 }
 
-fn bench_incast(c: &mut Criterion) {
-    let mut g = c.benchmark_group("netsim_incast_8to1");
+fn main() {
+    let mut g = Group::new("netsim_incast_8to1");
     // 800 packets, each traversing 2 hops → ~3200 port events.
     g.throughput(Throughput::Elements(800));
-    g.bench_function("trim_switch", |b| {
-        b.iter(|| run_incast(QueuePolicy::trim_default()));
+    g.quick();
+    g.bench("trim_switch", || run_incast(QueuePolicy::trim_default()));
+    g.bench("droptail_switch", || {
+        run_incast(QueuePolicy::droptail_default())
     });
-    g.bench_function("droptail_switch", |b| {
-        b.iter(|| run_incast(QueuePolicy::droptail_default()));
-    });
-    g.finish();
 }
-
-criterion_group!(benches, bench_incast);
-criterion_main!(benches);

@@ -1,14 +1,15 @@
-//! Criterion micro-benchmarks for the wire layer: packetizing a row, the
-//! in-switch trim operation (the hot path of a trimming ASIC model), and
-//! receiver-side parse + reassembly.
+//! Micro-benchmarks for the wire layer: packetizing a row, the in-switch
+//! trim operation (the hot path of a trimming ASIC model), and receiver-side
+//! parse + reassembly.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
 use trimgrad::hadamard::prng::Xoshiro256StarStar;
 use trimgrad::quant::rht1bit::RhtOneBit;
 use trimgrad::quant::TrimmableScheme;
 use trimgrad::wire::packet::NetAddrs;
 use trimgrad::wire::packetize::{packetize_row, PacketizeConfig};
 use trimgrad::wire::reassemble::RowAssembler;
+use trimgrad_bench::microbench::{Group, Throughput};
 
 fn cfg() -> PacketizeConfig {
     PacketizeConfig {
@@ -22,53 +23,51 @@ fn cfg() -> PacketizeConfig {
 
 fn encoded_row() -> trimgrad::quant::EncodedRow {
     let mut rng = Xoshiro256StarStar::new(1);
-    let row: Vec<f32> = (0..(1 << 15)).map(|_| rng.next_f32_range(-1.0, 1.0)).collect();
+    let row: Vec<f32> = (0..(1 << 15))
+        .map(|_| rng.next_f32_range(-1.0, 1.0))
+        .collect();
     RhtOneBit.encode(&row, 42)
 }
 
-fn bench_packetize(c: &mut Criterion) {
+fn bench_packetize() {
     let enc = encoded_row();
-    let mut g = c.benchmark_group("wire");
+    let mut g = Group::new("wire");
     g.throughput(Throughput::Elements(enc.n as u64));
-    g.bench_function("packetize_row_32k", |b| {
-        b.iter(|| packetize_row(std::hint::black_box(&enc), &cfg()));
+    g.bench("packetize_row_32k", || {
+        packetize_row(black_box(&enc), &cfg())
     });
-    g.finish();
 }
 
-fn bench_trim_op(c: &mut Criterion) {
+fn bench_trim_op() {
     let enc = encoded_row();
     let pr = packetize_row(&enc, &cfg());
     let packet = pr.packets[0].clone();
-    let mut g = c.benchmark_group("wire");
+    let mut g = Group::new("wire");
     g.throughput(Throughput::Bytes(packet.wire_len() as u64));
-    g.bench_function("switch_trim_to_heads", |b| {
-        b.iter(|| {
-            let mut p = packet.clone();
-            p.trim_to_depth(1).expect("trimmable");
-            p
-        });
+    g.bench("switch_trim_to_heads", || {
+        let mut p = packet.clone();
+        p.trim_to_depth(1).expect("trimmable");
+        p
     });
-    g.finish();
 }
 
-fn bench_parse_and_reassemble(c: &mut Criterion) {
+fn bench_parse_and_reassemble() {
     let enc = encoded_row();
     let pr = packetize_row(&enc, &cfg());
-    let mut g = c.benchmark_group("wire");
+    let mut g = Group::new("wire");
     g.throughput(Throughput::Elements(enc.n as u64));
-    g.bench_function("reassemble_row_32k", |b| {
-        b.iter(|| {
-            let mut asm = RowAssembler::new(enc.scheme, 0, 0, enc.meta.original_len);
-            asm.ingest_meta(&pr.meta).expect("meta ok");
-            for p in &pr.packets {
-                asm.ingest(std::hint::black_box(p)).expect("packet ok");
-            }
-            asm.is_complete()
-        });
+    g.bench("reassemble_row_32k", || {
+        let mut asm = RowAssembler::new(enc.scheme, 0, 0, enc.meta.original_len);
+        asm.ingest_meta(&pr.meta).expect("meta ok");
+        for p in &pr.packets {
+            asm.ingest(black_box(p)).expect("packet ok");
+        }
+        asm.is_complete()
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_packetize, bench_trim_op, bench_parse_and_reassemble);
-criterion_main!(benches);
+fn main() {
+    bench_packetize();
+    bench_trim_op();
+    bench_parse_and_reassemble();
+}

@@ -15,7 +15,6 @@
 //!
 //! Run: `cargo run --release -p trimgrad-bench --bin baseline_drops`
 
-use trimgrad_bench::print_row;
 use trimgrad::mltrain::timemodel::{ReliableSlowdown, TimeModel};
 use trimgrad::netsim::link::LinkParams;
 use trimgrad::netsim::sim::Simulator;
@@ -23,10 +22,10 @@ use trimgrad::netsim::switch::QueuePolicy;
 use trimgrad::netsim::time::{gbps, SimTime};
 use trimgrad::netsim::topology::Topology;
 use trimgrad::netsim::transport::{
-    ReliableReceiverApp, ReliableSenderApp, TransportConfig, TrimmingReceiverApp,
-    TrimmingSenderApp,
+    ReliableReceiverApp, ReliableSenderApp, TransportConfig, TrimmingReceiverApp, TrimmingSenderApp,
 };
 use trimgrad::netsim::FlowId;
+use trimgrad_bench::print_row;
 
 const MSG_BYTES: u64 = 1_500_000; // 1000 packets
 
@@ -51,7 +50,12 @@ fn run_reliable(drop: f64, seed: u64) -> (f64, u64) {
     let mut sim = Simulator::with_seed(t, seed);
     sim.install_app(
         a,
-        Box::new(ReliableSenderApp::new(b, MSG_BYTES, 1, TransportConfig::default())),
+        Box::new(ReliableSenderApp::new(
+            b,
+            MSG_BYTES,
+            1,
+            TransportConfig::default(),
+        )),
     );
     sim.install_app(b, Box::new(ReliableReceiverApp::new()));
     sim.run_until(SimTime::from_secs(60));
@@ -70,7 +74,12 @@ fn run_trimming(drop: f64, seed: u64) -> f64 {
     let mut sim = Simulator::with_seed(t, seed);
     sim.install_app(
         a,
-        Box::new(TrimmingSenderApp::new(b, MSG_BYTES, 1, TransportConfig::default())),
+        Box::new(TrimmingSenderApp::new(
+            b,
+            MSG_BYTES,
+            1,
+            TransportConfig::default(),
+        )),
     );
     sim.install_app(
         b,

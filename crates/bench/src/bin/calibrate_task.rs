@@ -10,7 +10,12 @@ use trimgrad::mltrain::optim::StepLr;
 use trimgrad::mltrain::parallel::{DataParallelTrainer, ParallelConfig};
 use trimgrad::Scheme;
 
-fn run(lr: f32, workers: usize, hook: Box<dyn AggregateHook>, epochs: u32) -> (String, f64, Vec<f64>) {
+fn run(
+    lr: f32,
+    workers: usize,
+    hook: Box<dyn AggregateHook>,
+    epochs: u32,
+) -> (String, f64, Vec<f64>) {
     let name = hook.name();
     let (train, test) = gaussian_mixture(10, 32, 120, 2.0, 1.4, 7).split(0.8, 7);
     let cfg = ParallelConfig {
@@ -42,9 +47,17 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.05);
     let workers = 4;
-    let epochs: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let epochs: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
     println!("lr={lr} workers={workers} epochs={epochs}");
-    let mut results = vec![run(lr, workers, Box::new(BaselineHook::new(workers)), epochs)];
+    let mut results = vec![run(
+        lr,
+        workers,
+        Box::new(BaselineHook::new(workers)),
+        epochs,
+    )];
     for (scheme, rate) in [
         (Scheme::SignMagnitude, 0.02),
         (Scheme::SignMagnitude, 0.10),

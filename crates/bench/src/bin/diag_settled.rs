@@ -3,8 +3,8 @@
 //!
 //! Run: `cargo run --release -p trimgrad-bench --bin diag_settled`
 
-use trimgrad_bench::{run_training, ExpConfig, SCHEMES};
 use trimgrad::mltrain::timemodel::TimeModel;
+use trimgrad_bench::{run_training, ExpConfig, SCHEMES};
 
 fn main() {
     let tm = TimeModel::default();

@@ -8,14 +8,19 @@
 //! * RHT is slower per epoch but reaches higher accuracy at high trim rates;
 //! * at 50%, RHT is the only scheme near baseline accuracy.
 //!
+//! Every printed number is read back out of the run's telemetry snapshot
+//! (`mltrain.epoch.*` / `bench.epoch.*`), and the snapshots themselves are
+//! saved to `results/fig3_tta.snapshot.json`.
+//!
 //! Run: `cargo run --release -p trimgrad-bench --bin fig3_tta`
 
-use trimgrad_bench::{run_training, ExpConfig, FIG3_TRIM_RATES, SCHEMES};
 use trimgrad::mltrain::timemodel::TimeModel;
+use trimgrad_bench::{run_training, write_snapshot_file, ExpConfig, FIG3_TRIM_RATES, SCHEMES};
 
 fn main() {
     let epochs = 100;
     let tm = TimeModel::default();
+    let mut snapshots = Vec::new();
     println!("# Figure 3: top-1 accuracy vs wall-clock (modeled) per trim rate");
     println!("# columns: trim_rate scheme epoch wall_s top1 top5 loss");
     for &rate in &FIG3_TRIM_RATES {
@@ -35,17 +40,34 @@ fn main() {
             let name = cfg
                 .scheme
                 .map_or("baseline".to_string(), |s| s.name().to_string());
-            for p in &r.trajectory {
+            // Report from the telemetry snapshot, not the in-memory
+            // trajectory: the snapshot is the artifact of record.
+            let snap = &r.snapshot;
+            for e in 0..snap.counter("mltrain.epochs") {
                 println!(
                     "{:.4} {} {} {:.3} {:.4} {:.4} {:.4}",
-                    rate, name, p.epoch, p.wall_s, p.top1, p.top5, p.loss
+                    rate,
+                    name,
+                    e,
+                    snap.float(&format!("bench.epoch.{e}.wall_s")),
+                    snap.float(&format!("mltrain.epoch.{e}.top1")),
+                    snap.float(&format!("mltrain.epoch.{e}.top5")),
+                    snap.float(&format!("mltrain.epoch.{e}.train_loss")),
                 );
             }
-            if r.diverged {
+            if snap.gauge("bench.diverged") == 1 {
                 println!("# {} DIVERGED at trim rate {:.1}%", name, rate * 100.0);
             }
+            snapshots.push((format!("{:.4}/{}", rate, r.label), r.snapshot));
         }
         println!();
     }
-    eprintln!("fig3_tta: done");
+    match write_snapshot_file("fig3_tta", &snapshots) {
+        Ok(path) => eprintln!(
+            "fig3_tta: done ({} snapshots -> {})",
+            snapshots.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("fig3_tta: done (snapshot write failed: {e})"),
+    }
 }

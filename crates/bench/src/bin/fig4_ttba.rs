@@ -9,13 +9,18 @@
 //! * at 0.5%–20%, the lightweight SQ/SD beat RHT;
 //! * at ≥ 20–50%, RHT wins and is the only finisher at 50%.
 //!
+//! Every cell of the printed table is recorded in (and read back from) a
+//! telemetry registry under `fig4.*`; the snapshot is saved to
+//! `results/fig4_ttba.snapshot.json` (DNF medians serialize as `null`).
+//!
 //! Run: `cargo run --release -p trimgrad-bench --bin fig4_ttba`
 
-use trimgrad_bench::{
-    fmt_secs, print_row, run_training, ExpConfig, FIG4_TRIM_RATES, SCHEMES,
-};
 use trimgrad::mltrain::timemodel::TimeModel;
 use trimgrad::Scheme;
+use trimgrad_bench::{
+    fmt_secs, print_row, run_training, write_snapshot_file, ExpConfig, FIG4_TRIM_RATES, SCHEMES,
+};
+use trimgrad_telemetry::{Registry, Snapshot};
 
 const SEEDS: [u64; 5] = [7, 8, 9, 10, 11];
 
@@ -55,10 +60,22 @@ fn median_crossing(
     (times[times.len() / 2], any_dnf)
 }
 
-/// Formats a crossing result; `!` marks configurations where at least one
-/// seed never sustained the target (training-failure events).
-fn fmt_crossing(result: (f64, bool)) -> String {
-    let (t, any_dnf) = result;
+/// Records one table cell into the summary registry.
+fn record_cell(reg: &Registry, rate: f64, scheme: &str, median: f64, any_dnf: bool) {
+    let prefix = format!("fig4.rate.{rate:.4}.{scheme}");
+    reg.float_gauge(&format!("{prefix}.median_crossing_s"))
+        .set(median);
+    reg.gauge(&format!("{prefix}.any_dnf"))
+        .set(u64::from(any_dnf));
+}
+
+/// Reads one table cell back out of the snapshot, formatted for printing;
+/// `!` marks configurations where at least one seed never sustained the
+/// target (training-failure events).
+fn fmt_cell(snap: &Snapshot, rate: f64, scheme: &str) -> String {
+    let prefix = format!("fig4.rate.{rate:.4}.{scheme}");
+    let t = snap.float(&format!("{prefix}.median_crossing_s"));
+    let any_dnf = snap.gauge(&format!("{prefix}.any_dnf")) == 1;
     let base = fmt_secs(t);
     if any_dnf && t.is_finite() {
         format!("{base}!")
@@ -70,6 +87,7 @@ fn fmt_crossing(result: (f64, bool)) -> String {
 fn main() {
     let epochs = 100;
     let tm = TimeModel::default();
+    let summary = Registry::new();
 
     // 1. The congestion-free uncompressed baseline defines the bar: median
     // settled accuracy over seeds, minus a point of tolerance. "Settled"
@@ -97,8 +115,32 @@ fn main() {
         baseline_time.is_finite(),
         "clean baseline must reach its own accuracy"
     );
-    println!("# Figure 4: time to baseline accuracy (target top-1 = {target:.4})");
-    println!("# NCCL no-congestion baseline: {}", fmt_secs(baseline_time));
+    summary.float_gauge("fig4.target_top1").set(target);
+    summary
+        .float_gauge("fig4.baseline_clean_crossing_s")
+        .set(baseline_time);
+
+    // 2. Sweep every (rate, scheme) cell into the registry first...
+    for &rate in &FIG4_TRIM_RATES {
+        // Baseline under the same congestion (as drops).
+        let (median, any_dnf) = median_crossing(None, rate, epochs, &tm, target, slack);
+        record_cell(&summary, rate, "baseline", median, any_dnf);
+        for &s in &SCHEMES {
+            let (median, any_dnf) = median_crossing(Some(s), rate, epochs, &tm, target, slack);
+            record_cell(&summary, rate, s.name(), median, any_dnf);
+        }
+    }
+
+    // 3. ...then print the whole table from its snapshot.
+    let snap = summary.snapshot();
+    println!(
+        "# Figure 4: time to baseline accuracy (target top-1 = {:.4})",
+        snap.float("fig4.target_top1")
+    );
+    println!(
+        "# NCCL no-congestion baseline: {}",
+        fmt_secs(snap.float("fig4.baseline_clean_crossing_s"))
+    );
 
     println!("# (median over seeds {SEEDS:?}, sustained-crossing criterion;");
     println!("#  '!' = at least one seed never sustained the target)");
@@ -116,19 +158,14 @@ fn main() {
     );
     for &rate in &FIG4_TRIM_RATES {
         let mut cells = vec![format!("{:.2}%", rate * 100.0)];
-        // Baseline under the same congestion (as drops).
-        cells.push(fmt_crossing(median_crossing(None, rate, epochs, &tm, target, slack)));
+        cells.push(fmt_cell(&snap, rate, "baseline"));
         for &s in &SCHEMES {
-            cells.push(fmt_crossing(median_crossing(
-                Some(s),
-                rate,
-                epochs,
-                &tm,
-                target,
-                slack,
-            )));
+            cells.push(fmt_cell(&snap, rate, s.name()));
         }
         print_row(&cells, &widths);
     }
-    eprintln!("fig4_ttba: done");
+    match write_snapshot_file("fig4_ttba", &[("summary".to_string(), snap)]) {
+        Ok(path) => eprintln!("fig4_ttba: done (snapshot -> {})", path.display()),
+        Err(e) => eprintln!("fig4_ttba: done (snapshot write failed: {e})"),
+    }
 }

@@ -12,14 +12,19 @@
 //! * RHT is ≈ 18% slower to encode than the scalar schemes;
 //! * the baseline's round balloons once drops appear (5–10× at 1–2%).
 //!
+//! Every measurement is recorded into (and printed back from) a telemetry
+//! registry under `fig5.*`; the snapshot is saved to
+//! `results/fig5_breakdown.snapshot.json`.
+//!
 //! Run: `cargo run --release -p trimgrad-bench --bin fig5_breakdown`
 
 use std::time::Instant;
-use trimgrad_bench::print_row;
 use trimgrad::collective::chunk::MessageCodec;
+use trimgrad::hadamard::prng::Xoshiro256StarStar;
 use trimgrad::mltrain::timemodel::TimeModel;
 use trimgrad::quant::SchemeId;
-use trimgrad::hadamard::prng::Xoshiro256StarStar;
+use trimgrad_bench::{print_row, write_snapshot_file};
+use trimgrad_telemetry::{Registry, Snapshot};
 
 /// Measures encode+decode seconds per coordinate for one scheme.
 fn measure_codec_s_per_coord(scheme: SchemeId, coords: usize) -> f64 {
@@ -38,10 +43,88 @@ fn measure_codec_s_per_coord(scheme: SchemeId, coords: usize) -> f64 {
     t0.elapsed().as_secs_f64() / f64::from(reps) / coords as f64
 }
 
+/// Prints one scheme row of the breakdown table from the snapshot.
+fn print_scheme_row(snap: &Snapshot, name: &str, widths: &[usize]) {
+    let f = |field: &str| snap.float(&format!("fig5.{name}.{field}"));
+    let base_total = snap.float("fig5.baseline.total_s");
+    print_row(
+        &[
+            name.into(),
+            format!("{:.4}", f("compute_s")),
+            format!("{:.4}", f("encode_s")),
+            format!("{:.4}", f("comm_s")),
+            format!("{:.4}", f("total_s")),
+            format!("{:.2}x", f("total_s") / base_total),
+        ],
+        widths,
+    );
+}
+
 fn main() {
     // 25 MB of f32 gradient — PyTorch DDP's default bucket scale.
     let coords = 25_000_000 / 4;
     let tm = TimeModel::default();
+    let reg = Registry::new();
+    let record = |prefix: &str, compute_s: f64, encode_s: f64, comm_s: f64| {
+        reg.float_gauge(&format!("fig5.{prefix}.compute_s"))
+            .set(compute_s);
+        reg.float_gauge(&format!("fig5.{prefix}.encode_s"))
+            .set(encode_s);
+        reg.float_gauge(&format!("fig5.{prefix}.comm_s"))
+            .set(comm_s);
+        reg.float_gauge(&format!("fig5.{prefix}.total_s"))
+            .set(compute_s + encode_s + comm_s);
+    };
+
+    // Baseline (no congestion): no encoding, full bytes.
+    let base = tm.round_time(None, coords as u64, 25_000_000, 0.0);
+    record("baseline", base.compute_s, base.encode_s, base.comm_s);
+
+    let schemes = [
+        SchemeId::SignMagnitude,
+        SchemeId::Stochastic,
+        SchemeId::SubtractiveDither,
+        SchemeId::RhtOneBit,
+        SchemeId::MultiLevelRht,
+    ];
+    let mut scalar_per_coord = None;
+    for scheme in schemes {
+        let per_coord = measure_codec_s_per_coord(scheme, 1 << 20);
+        if scheme == SchemeId::Stochastic {
+            scalar_per_coord = Some(per_coord);
+        }
+        let encode_s = per_coord * coords as f64;
+        // Untrimmed wire bytes: bits/coord ÷ 8 (+ ~4% header overhead).
+        let wire =
+            (coords as f64 * f64::from(scheme.part_bits().iter().sum::<u32>()) / 8.0 * 1.04) as u64;
+        let comm_s = tm.comm_time_trimming(wire);
+        record(scheme.name(), base.compute_s, encode_s, comm_s);
+        reg.gauge(&format!("fig5.{}.wire_bytes", scheme.name()))
+            .set(wire);
+    }
+
+    // The RHT/scalar encode ratio the paper puts at ≈1.18×.
+    if let Some(scalar) = scalar_per_coord {
+        let rht = measure_codec_s_per_coord(SchemeId::RhtOneBit, 1 << 20);
+        reg.float_gauge("fig5.rht_scalar_encode_ratio")
+            .set(rht / scalar);
+    }
+
+    // Baseline under loss: the §4.4 blowup. The paper's "5-10x slower
+    // round" is the comm-dominated regime (large models / many buckets);
+    // report the comm inflation factor, which is what the anchors pin.
+    let loss_rates = [0.0015, 0.0025, 0.01, 0.02];
+    for p in loss_rates {
+        let r = tm.round_time(None, coords as u64, 25_000_000, p);
+        reg.float_gauge(&format!("fig5.loss.{p:.4}.comm_s"))
+            .set(r.comm_s);
+        reg.float_gauge(&format!("fig5.loss.{p:.4}.comm_inflation"))
+            .set(r.comm_s / base.comm_s);
+    }
+
+    // All measurements are in the registry: print the figure from its
+    // snapshot so stdout and the saved JSON can never disagree.
+    let snap = reg.snapshot();
     println!("# Figure 5: per-round time breakdown (seconds)");
     println!("# encode column = MEASURED Rust encode+decode of a 25MB gradient");
     let widths = [10usize, 10, 10, 10, 10, 8];
@@ -56,70 +139,29 @@ fn main() {
         ],
         &widths,
     );
+    print_scheme_row(&snap, "baseline", &widths);
+    for scheme in schemes {
+        print_scheme_row(&snap, scheme.name(), &widths);
+    }
 
-    // Baseline (no congestion): no encoding, full bytes.
-    let base = tm.round_time(None, coords as u64, 25_000_000, 0.0);
-    print_row(
-        &[
-            "baseline".into(),
-            format!("{:.4}", base.compute_s),
-            format!("{:.4}", base.encode_s),
-            format!("{:.4}", base.comm_s),
-            format!("{:.4}", base.total()),
-            "1.00x".into(),
-        ],
-        &widths,
-    );
-
-    let mut scalar_per_coord = None;
-    for scheme in [
-        SchemeId::SignMagnitude,
-        SchemeId::Stochastic,
-        SchemeId::SubtractiveDither,
-        SchemeId::RhtOneBit,
-        SchemeId::MultiLevelRht,
-    ] {
-        let per_coord = measure_codec_s_per_coord(scheme, 1 << 20);
-        if scheme == SchemeId::Stochastic {
-            scalar_per_coord = Some(per_coord);
-        }
-        let encode_s = per_coord * coords as f64;
-        // Untrimmed wire bytes: bits/coord ÷ 8 (+ ~4% header overhead).
-        let wire = (coords as f64 * f64::from(scheme.part_bits().iter().sum::<u32>()) / 8.0
-            * 1.04) as u64;
-        let comm_s = tm.comm_time_trimming(wire);
-        let total = base.compute_s + encode_s + comm_s;
-        print_row(
-            &[
-                scheme.name().into(),
-                format!("{:.4}", base.compute_s),
-                format!("{:.4}", encode_s),
-                format!("{:.4}", comm_s),
-                format!("{total:.4}"),
-                format!("{:.2}x", total / base.total()),
-            ],
-            &widths,
+    if snap.get("fig5.rht_scalar_encode_ratio").is_some() {
+        println!(
+            "\n# measured RHT/scalar encode ratio: {:.2}x (paper: ~1.18x)",
+            snap.float("fig5.rht_scalar_encode_ratio")
         );
     }
 
-    // The RHT/scalar encode ratio the paper puts at ≈1.18×.
-    if let Some(scalar) = scalar_per_coord {
-        let rht = measure_codec_s_per_coord(SchemeId::RhtOneBit, 1 << 20);
-        println!("\n# measured RHT/scalar encode ratio: {:.2}x (paper: ~1.18x)", rht / scalar);
-    }
-
-    // Baseline under loss: the §4.4 blowup. The paper's "5-10x slower
-    // round" is the comm-dominated regime (large models / many buckets);
-    // report the comm inflation factor, which is what the anchors pin.
     println!("\n# baseline communication under packet loss (reliable transport):");
-    for p in [0.0015, 0.0025, 0.01, 0.02] {
-        let r = tm.round_time(None, coords as u64, 25_000_000, p);
+    for p in loss_rates {
         println!(
             "#   p={:.2}%  comm={:.4}s  ({:.2}x the loss-free comm; paper anchors 1.05x/1.25x/5x/10x)",
             p * 100.0,
-            r.comm_s,
-            r.comm_s / base.comm_s,
+            snap.float(&format!("fig5.loss.{p:.4}.comm_s")),
+            snap.float(&format!("fig5.loss.{p:.4}.comm_inflation")),
         );
     }
-    eprintln!("fig5_breakdown: done");
+    match write_snapshot_file("fig5_breakdown", &[("summary".to_string(), snap)]) {
+        Ok(path) => eprintln!("fig5_breakdown: done (snapshot -> {})", path.display()),
+        Err(e) => eprintln!("fig5_breakdown: done (snapshot write failed: {e})"),
+    }
 }

@@ -10,15 +10,15 @@
 //!
 //! Run: `cargo run --release -p trimgrad-bench --bin fsdp_gather`
 
-use trimgrad_bench::{print_row, standard_config, standard_task, MODEL_DIMS, TASK_SEED};
-use trimgrad::collective::chunk::MessageCodec;
 use trimgrad::collective::channel::TrimmingChannel;
+use trimgrad::collective::chunk::MessageCodec;
 use trimgrad::collective::hooks::BaselineHook;
 use trimgrad::collective::TrimInjector;
 use trimgrad::mltrain::fsdp::ShardedParams;
 use trimgrad::mltrain::metrics::top1_accuracy;
 use trimgrad::mltrain::parallel::DataParallelTrainer;
 use trimgrad::quant::SchemeId;
+use trimgrad_bench::{print_row, standard_config, standard_task, MODEL_DIMS, TASK_SEED};
 
 fn main() {
     // Train the reference model cleanly.

@@ -13,10 +13,10 @@
 //!
 //! Run: `cargo run --release -p trimgrad-bench --bin layout_table`
 
-use trimgrad_bench::print_row;
 use trimgrad::quant::SchemeId;
 use trimgrad::wire::packetize::layout_report;
 use trimgrad::wire::payload::{max_coords_for_budget, PayloadLayout};
+use trimgrad_bench::print_row;
 
 fn main() {
     println!("# S2 packet-layout numbers (MTU 1500)");

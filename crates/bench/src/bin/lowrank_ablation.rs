@@ -10,11 +10,11 @@
 //!
 //! Run: `cargo run --release -p trimgrad-bench --bin lowrank_ablation`
 
-use trimgrad_bench::print_row;
 use trimgrad::hadamard::prng::Xoshiro256StarStar;
 use trimgrad::lowrank::LowRankCompressor;
 use trimgrad::quant::error::nmse;
 use trimgrad::quant::{scheme_for, SchemeId};
+use trimgrad_bench::print_row;
 
 const ROWS: usize = 128;
 const COLS: usize = 128;
@@ -73,11 +73,14 @@ fn main() {
 
     println!("\n# quantization schemes at comparable budgets (whole matrix):");
     let widths = [10usize, 12, 12];
-    print_row(&["scheme".into(), "bits/coord".into(), "nmse".into()], &widths);
+    print_row(
+        &["scheme".into(), "bits/coord".into(), "nmse".into()],
+        &widths,
+    );
     for (id, depth) in [
-        (SchemeId::RhtOneBit, 1usize),      // 1 bit/coord ≈ rank 2 budget
-        (SchemeId::MultiLevelRht, 2),       // 9 bits/coord
-        (SchemeId::SubtractiveDither, 1),   // 1 bit/coord
+        (SchemeId::RhtOneBit, 1usize),    // 1 bit/coord ≈ rank 2 budget
+        (SchemeId::MultiLevelRht, 2),     // 9 bits/coord
+        (SchemeId::SubtractiveDither, 1), // 1 bit/coord
     ] {
         let scheme = scheme_for(id);
         let enc = scheme.encode(&g, 3);

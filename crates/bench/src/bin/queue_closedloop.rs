@@ -12,7 +12,6 @@
 //!
 //! Run: `cargo run --release -p trimgrad-bench --bin queue_closedloop`
 
-use trimgrad_bench::print_row;
 use trimgrad::collective::ring_netsim::{run_ring_allreduce, RingNetConfig};
 use trimgrad::hadamard::prng::Xoshiro256StarStar;
 use trimgrad::netsim::crosstraffic::BulkSenderApp;
@@ -22,6 +21,7 @@ use trimgrad::netsim::time::{gbps, SimTime};
 use trimgrad::netsim::topology::Topology;
 use trimgrad::netsim::NodeId;
 use trimgrad::quant::SchemeId;
+use trimgrad_bench::print_row;
 
 const WORKERS: usize = 4;
 const BLOB_LEN: usize = 16_384;
@@ -55,13 +55,22 @@ fn run_one(cross_bytes: u64, grad_depth: u8, scheme: SchemeId) -> (f64, f64, f64
         for (i, &c) in cross.iter().enumerate() {
             sim.install_app(
                 c,
-                Box::new(BulkSenderApp::new(hosts[i + 1], cross_bytes, 1500, 0x9900 + i as u64)),
+                Box::new(BulkSenderApp::new(
+                    hosts[i + 1],
+                    cross_bytes,
+                    1500,
+                    0x9900 + i as u64,
+                )),
             );
         }
     }
     let mut rng = Xoshiro256StarStar::new(5);
     let blobs: Vec<Vec<f32>> = (0..WORKERS)
-        .map(|_| (0..BLOB_LEN).map(|_| rng.next_f32_range(-1.0, 1.0)).collect())
+        .map(|_| {
+            (0..BLOB_LEN)
+                .map(|_| rng.next_f32_range(-1.0, 1.0))
+                .collect()
+        })
         .collect();
     let expected: Vec<f32> = (0..BLOB_LEN)
         .map(|j| blobs.iter().map(|b| b[j]).sum())

@@ -9,12 +9,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod microbench;
+
+use trimgrad::collective::hooks::{AggregateHook, BaselineHook, TrimmableHook};
 use trimgrad::mltrain::data::{gaussian_mixture, Dataset};
 use trimgrad::mltrain::optim::StepLr;
 use trimgrad::mltrain::parallel::{DataParallelTrainer, ParallelConfig};
 use trimgrad::mltrain::timemodel::{RoundTime, TimeModel};
-use trimgrad::collective::hooks::{AggregateHook, BaselineHook, TrimmableHook};
 use trimgrad::Scheme;
+use trimgrad_telemetry::{json_string, Registry, Snapshot};
 
 /// Number of data-parallel workers in every training experiment.
 pub const WORKERS: usize = 4;
@@ -123,6 +126,11 @@ pub struct RunResult {
     pub diverged: bool,
     /// Per-round time decomposition used.
     pub round_time: RoundTime,
+    /// Telemetry snapshot of the run: the trainer's `mltrain.*` series plus
+    /// the harness's `bench.*` series (wall clock, divergence flag, time
+    /// decomposition). The figure binaries report from this, not from
+    /// private tallies.
+    pub snapshot: Snapshot,
 }
 
 impl RunResult {
@@ -144,8 +152,7 @@ impl RunResult {
             .map(|i| {
                 let lo = i.saturating_sub(1);
                 let hi = (i + 2).min(n);
-                self.trajectory[lo..hi].iter().map(|p| p.top1).sum::<f64>()
-                    / (hi - lo) as f64
+                self.trajectory[lo..hi].iter().map(|p| p.top1).sum::<f64>() / (hi - lo) as f64
             })
             .collect()
     }
@@ -172,7 +179,13 @@ impl RunResult {
         if n == 0 {
             return 0.0;
         }
-        self.trajectory.iter().rev().take(n).map(|p| p.top1).sum::<f64>() / n as f64
+        self.trajectory
+            .iter()
+            .rev()
+            .take(n)
+            .map(|p| p.top1)
+            .sum::<f64>()
+            / n as f64
     }
 }
 
@@ -199,8 +212,9 @@ pub fn run_training(cfg: &ExpConfig, epochs: u32, time_model: &TimeModel) -> Run
     let (train, test) = standard_task(TASK_SEED);
     let pcfg = standard_config(cfg.seed);
     let rounds_per_epoch = pcfg.rounds_per_epoch;
-    let mut trainer =
-        DataParallelTrainer::new(&MODEL_DIMS, train, test, hook_for(cfg), pcfg);
+    let mut trainer = DataParallelTrainer::new(&MODEL_DIMS, train, test, hook_for(cfg), pcfg);
+    let registry = Registry::new();
+    trainer.attach_telemetry(registry.clone());
 
     // Wire bytes per round: measure the first epoch's traffic.
     let coords = trainer.param_count() as u64;
@@ -223,13 +237,15 @@ pub fn run_training(cfg: &ExpConfig, epochs: u32, time_model: &TimeModel) -> Run
         let scale = 25_000_000.0 / (coords as f64 * 4.0); // as if 25 MB buckets
         let wire_bytes = (bytes_per_round as f64 * scale) as u64;
         let scaled_coords = (coords as f64 * scale) as u64;
-        round_time =
-            time_model.round_time(cfg.scheme, scaled_coords, wire_bytes, cfg.congestion);
+        round_time = time_model.round_time(cfg.scheme, scaled_coords, wire_bytes, cfg.congestion);
         wall += round_time.total() * f64::from(rounds_per_epoch);
         if !stats.train_loss.is_finite() || stats.train_loss > 50.0 {
             diverged = true;
         }
         best = best.max(stats.top1);
+        registry
+            .float_gauge(&format!("bench.epoch.{e}.wall_s"))
+            .set(wall);
         trajectory.push(TrajectoryPoint {
             epoch: e,
             wall_s: wall,
@@ -241,13 +257,81 @@ pub fn run_training(cfg: &ExpConfig, epochs: u32, time_model: &TimeModel) -> Run
             break;
         }
     }
+    registry.float_gauge("bench.best_top1").set(best);
+    registry.gauge("bench.diverged").set(u64::from(diverged));
+    registry
+        .gauge("bench.bytes_sent")
+        .set_max(trainer.bytes_sent());
+    registry
+        .float_gauge("bench.round_time.compute_s")
+        .set(round_time.compute_s);
+    registry
+        .float_gauge("bench.round_time.encode_s")
+        .set(round_time.encode_s);
+    registry
+        .float_gauge("bench.round_time.comm_s")
+        .set(round_time.comm_s);
     RunResult {
         label: cfg.label(),
         trajectory,
         best_top1: best,
         diverged,
         round_time,
+        snapshot: registry.snapshot(),
     }
+}
+
+/// Directory snapshot JSON files go to: `$TRIMGRAD_SNAPSHOT_DIR` when set,
+/// `results/` otherwise.
+#[must_use]
+pub fn snapshot_dir() -> std::path::PathBuf {
+    std::env::var_os("TRIMGRAD_SNAPSHOT_DIR")
+        .map_or_else(|| std::path::PathBuf::from("results"), Into::into)
+}
+
+/// Serializes labeled snapshots as one JSON object
+/// (`{"label": {<snapshot>}, ...}`), preserving entry order.
+#[must_use]
+pub fn snapshots_to_json(entries: &[(String, Snapshot)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (label, snap)) in entries.iter().enumerate() {
+        let body = snap.to_json();
+        let mut lines = body.lines();
+        out.push_str("  ");
+        out.push_str(&json_string(label));
+        out.push_str(": ");
+        out.push_str(lines.next().unwrap_or("{"));
+        for line in lines {
+            out.push('\n');
+            out.push_str("  ");
+            out.push_str(line);
+        }
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+/// Writes labeled snapshots to `<snapshot_dir>/<name>.snapshot.json` and
+/// returns the path. The figure binaries call this so every `results/*.txt`
+/// table has a machine-readable sibling.
+///
+/// # Errors
+///
+/// I/O errors creating the directory or writing the file.
+pub fn write_snapshot_file(
+    name: &str,
+    entries: &[(String, Snapshot)],
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = snapshot_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.snapshot.json"));
+    std::fs::write(&path, snapshots_to_json(entries))?;
+    Ok(path)
 }
 
 /// Prints a fixed-width table row.
@@ -308,6 +392,41 @@ mod tests {
     }
 
     #[test]
+    fn run_snapshot_reports_the_trajectory() {
+        let cfg = ExpConfig {
+            scheme: Some(Scheme::RhtOneBit),
+            congestion: 0.1,
+            seed: 3,
+        };
+        let r = run_training(&cfg, 3, &TimeModel::default());
+        assert_eq!(r.snapshot.counter("mltrain.epochs"), 3);
+        for p in &r.trajectory {
+            let top1 = r.snapshot.float(&format!("mltrain.epoch.{}.top1", p.epoch));
+            assert!((top1 - p.top1).abs() < 1e-12);
+            let wall = r.snapshot.float(&format!("bench.epoch.{}.wall_s", p.epoch));
+            assert!((wall - p.wall_s).abs() < 1e-12);
+        }
+        assert_eq!(r.snapshot.gauge("bench.diverged"), 0);
+        assert!(r.snapshot.float("bench.round_time.encode_s") > 0.0);
+    }
+
+    #[test]
+    fn labeled_snapshot_json_is_deterministic() {
+        let reg = trimgrad_telemetry::Registry::new();
+        reg.counter("a.count").add(2);
+        reg.float_gauge("b.val").set(0.5);
+        let entries = vec![
+            ("first".to_string(), reg.snapshot()),
+            ("second".to_string(), reg.snapshot()),
+        ];
+        let j = snapshots_to_json(&entries);
+        assert!(j.starts_with("{\n  \"first\": {\n"), "{j}");
+        assert!(j.contains("\"a.count\""));
+        assert!(j.trim_end().ends_with('}'));
+        assert_eq!(j, snapshots_to_json(&entries));
+    }
+
+    #[test]
     fn time_to_accuracy_finds_first_crossing() {
         let r = RunResult {
             label: "x".into(),
@@ -334,6 +453,7 @@ mod tests {
                 encode_s: 0.0,
                 comm_s: 0.0,
             },
+            snapshot: Snapshot::default(),
         };
         assert_eq!(r.time_to_accuracy(0.5), Some(2.0));
         assert_eq!(r.time_to_accuracy(0.9), None);

@@ -1,0 +1,144 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the `benches/` targets cannot use
+//! Criterion. This harness keeps the same ergonomics — named groups,
+//! per-element / per-byte throughput — on nothing but `std::time::Instant`:
+//! warm up briefly, time batches until a measurement window fills, report
+//! the best batch (least-interference estimate) and the mean.
+//!
+//! Benches run with `cargo bench`; each `[[bench]]` target has
+//! `harness = false` and drives [`Group`] directly from `main`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput units to report alongside time per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration (coordinates, packets, events).
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// One named group of related benchmarks, printed as a table.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    warmup: Duration,
+    measure: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Group {
+    /// Starts a group; prints its header immediately.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name} ==");
+        Self {
+            name: name.to_string(),
+            warmup: Duration::from_millis(150),
+            measure: Duration::from_millis(600),
+            throughput: None,
+        }
+    }
+
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Shrinks warmup/measure windows (for expensive macro-benchmarks).
+    pub fn quick(&mut self) -> &mut Self {
+        self.warmup = Duration::from_millis(50);
+        self.measure = Duration::from_millis(250);
+        self
+    }
+
+    /// Times `f`, reporting ns/iter and throughput under `label`.
+    ///
+    /// The closure's result is passed through [`black_box`] so the computation
+    /// cannot be optimized away.
+    pub fn bench<R>(&mut self, label: &str, mut f: impl FnMut() -> R) {
+        // Warm-up: establish caches/branch predictors and estimate cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_per_iter = self.warmup.as_secs_f64() / warm_iters as f64;
+
+        // Measure in batches of roughly 10ms each.
+        let batch = ((0.01 / est_per_iter).ceil() as u64).max(1);
+        let mut best = f64::INFINITY;
+        let mut total_time = 0.0f64;
+        let mut total_iters: u64 = 0;
+        let window = Instant::now();
+        while window.elapsed() < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            let per_iter = dt / batch as f64;
+            best = best.min(per_iter);
+            total_time += dt;
+            total_iters += batch;
+        }
+        let mean = total_time / total_iters as f64;
+
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  {:>10}/s", fmt_rate(n as f64 / best)),
+            Some(Throughput::Bytes(n)) => format!("  {:>9}B/s", fmt_rate(n as f64 / best)),
+            None => String::new(),
+        };
+        println!(
+            "{:<34} {:>12}/iter  (mean {:>10}){rate}",
+            format!("{}/{label}", self.name),
+            fmt_time(best),
+            fmt_time(mean),
+        );
+    }
+}
+
+/// Formats seconds-per-iteration with an adaptive unit.
+fn fmt_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// Formats an ops/sec rate with an adaptive SI prefix.
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2} G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2} M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2} k", r / 1e3)
+    } else {
+        format!("{r:.1} ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_are_sane() {
+        assert!(fmt_time(2.5e-9).ends_with("ns"));
+        assert!(fmt_time(2.5e-5).contains("µs"));
+        assert!(fmt_time(2.5e-2).contains("ms"));
+        assert!(fmt_rate(3.0e9).ends_with('G'));
+        assert!(fmt_rate(3.0e4).ends_with('k'));
+    }
+}

@@ -13,6 +13,7 @@
 
 use crate::chunk::MessageCodec;
 use crate::trim_inject::{InjectStats, TrimInjector};
+use trimgrad_telemetry::{Counter, Registry};
 use trimgrad_wire::packet::STACK_OVERHEAD;
 use trimgrad_wire::payload::{max_coords_for_budget, PayloadLayout};
 
@@ -53,7 +54,10 @@ impl GradChannel for LosslessChannel {
     fn transfer(&mut self, data: &[f32], _epoch: u32, _msg_id: u32) -> Vec<f32> {
         // Raw f32 payload in MTU packets: 4 B/coordinate plus header stack.
         let per_packet = (1500 - 20 - 8) / 4;
-        let packets = data.len().div_ceil(per_packet).max(usize::from(!data.is_empty()));
+        let packets = data
+            .len()
+            .div_ceil(per_packet)
+            .max(usize::from(!data.is_empty()));
         self.bytes += (data.len() * 4 + packets * (STACK_OVERHEAD - 28)) as u64;
         data.to_vec()
     }
@@ -63,6 +67,16 @@ impl GradChannel for LosslessChannel {
     }
 }
 
+/// Live telemetry handles for one channel, under a caller-chosen prefix.
+#[derive(Debug, Clone)]
+struct ChannelMetrics {
+    intact: Counter,
+    trimmed: Counter,
+    dropped: Counter,
+    bytes_sent: Counter,
+    transfers: Counter,
+}
+
 /// Encode → inject trimming → decode.
 #[derive(Debug)]
 pub struct TrimmingChannel {
@@ -70,6 +84,7 @@ pub struct TrimmingChannel {
     injector: TrimInjector,
     bytes: u64,
     stats: InjectStats,
+    metrics: Option<ChannelMetrics>,
 }
 
 impl TrimmingChannel {
@@ -81,7 +96,22 @@ impl TrimmingChannel {
             injector,
             bytes: 0,
             stats: InjectStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Attaches a telemetry registry: every subsequent transfer also updates
+    /// live counters named `{prefix}.{intact,trimmed,dropped,bytes_sent,transfers}`.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &Registry, prefix: &str) -> Self {
+        self.metrics = Some(ChannelMetrics {
+            intact: registry.counter(&format!("{prefix}.intact")),
+            trimmed: registry.counter(&format!("{prefix}.trimmed")),
+            dropped: registry.counter(&format!("{prefix}.dropped")),
+            bytes_sent: registry.counter(&format!("{prefix}.bytes_sent")),
+            transfers: registry.counter(&format!("{prefix}.transfers")),
+        });
+        self
     }
 
     /// Cumulative injection outcomes.
@@ -114,6 +144,8 @@ impl GradChannel for TrimmingChannel {
         if data.is_empty() {
             return Vec::new();
         }
+        let bytes_before = self.bytes;
+        let stats_before = self.stats;
         let mut out = Vec::with_capacity(data.len());
         let part_bits = self.codec.scheme_id().part_bits();
         let budget = 1500 - 20 - 8 - 28;
@@ -136,6 +168,13 @@ impl GradChannel for TrimmingChannel {
                 .decode(&view, &enc.meta, seed)
                 .expect("injected view is structurally valid");
             out.extend(dec);
+        }
+        if let Some(m) = &self.metrics {
+            m.intact.add(self.stats.intact - stats_before.intact);
+            m.trimmed.add(self.stats.trimmed - stats_before.trimmed);
+            m.dropped.add(self.stats.dropped - stats_before.dropped);
+            m.bytes_sent.add(self.bytes - bytes_before);
+            m.transfers.inc();
         }
         out
     }
@@ -212,6 +251,38 @@ mod tests {
         assert!(errs[0] < 1e-6);
         assert!(errs[0] < errs[1] && errs[1] < errs[2], "{errs:?}");
         assert!(errs[2] < 1.0, "heads-only still informative");
+    }
+
+    #[test]
+    fn channel_telemetry_tracks_outcomes_and_bytes() {
+        let reg = Registry::new();
+        let codec = MessageCodec::with_row_len(SchemeId::RhtOneBit, 3, 1024);
+        let mut ch = TrimmingChannel::new(codec, TrimInjector::new(0.5, 11))
+            .with_telemetry(&reg, "collective.channel.0");
+        let b = blob(8192, 6);
+        let _ = ch.transfer(&b, 0, 0);
+        let _ = ch.transfer(&b, 0, 1);
+        let snap = reg.snapshot();
+        let s = ch.inject_stats();
+        assert_eq!(snap.counter("collective.channel.0.intact"), s.intact);
+        assert_eq!(snap.counter("collective.channel.0.trimmed"), s.trimmed);
+        assert_eq!(snap.counter("collective.channel.0.dropped"), s.dropped);
+        assert_eq!(
+            snap.counter("collective.channel.0.bytes_sent"),
+            ch.bytes_sent()
+        );
+        assert_eq!(snap.counter("collective.channel.0.transfers"), 2);
+        // Conservation straight off the snapshot: every chunk is accounted.
+        assert_eq!(
+            snap.counter("collective.channel.0.intact")
+                + snap.counter("collective.channel.0.trimmed")
+                + snap.counter("collective.channel.0.dropped"),
+            s.total()
+        );
+        // InjectStats exports the same numbers under any prefix.
+        let reg2 = Registry::new();
+        s.export_to(&reg2, "inject");
+        assert_eq!(reg2.snapshot().counter("inject.trimmed"), s.trimmed);
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub fn recursive_doubling_all_reduce<C: GradChannel>(
     base_msg_id: u32,
 ) {
     let w = workers.len();
-    assert!(w.is_power_of_two(), "worker count {w} must be a power of two");
+    assert!(
+        w.is_power_of_two(),
+        "worker count {w} must be a power of two"
+    );
     assert_eq!(channels.len(), w, "one channel per worker");
     if w == 1 {
         return;
@@ -147,8 +150,10 @@ mod tests {
         let mut chans: Vec<Box<dyn GradChannel>> = (0..w)
             .map(|i| {
                 let codec = MessageCodec::with_row_len(SchemeId::RhtOneBit, 1, 1024);
-                Box::new(TrimmingChannel::new(codec, TrimInjector::new(0.2, i as u64)))
-                    as Box<dyn GradChannel>
+                Box::new(TrimmingChannel::new(
+                    codec,
+                    TrimInjector::new(0.2, i as u64),
+                )) as Box<dyn GradChannel>
             })
             .collect();
         recursive_doubling_all_reduce(&mut workers, &mut chans, 0, 0);

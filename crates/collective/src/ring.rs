@@ -70,8 +70,10 @@ mod tests {
         (0..n)
             .map(|i| {
                 let codec = MessageCodec::with_row_len(SchemeId::RhtOneBit, 77, 1024);
-                Box::new(TrimmingChannel::new(codec, TrimInjector::new(p, seed + i as u64)))
-                    as Box<dyn GradChannel>
+                Box::new(TrimmingChannel::new(
+                    codec,
+                    TrimInjector::new(p, seed + i as u64),
+                )) as Box<dyn GradChannel>
             })
             .collect()
     }

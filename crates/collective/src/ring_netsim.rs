@@ -22,6 +22,7 @@ use trimgrad_netsim::host::{App, HostApi};
 use trimgrad_netsim::packet::{Packet, PacketBody, PacketSpec};
 use trimgrad_netsim::{FlowId, NodeId};
 use trimgrad_quant::SchemeId;
+use trimgrad_telemetry::{Counter, Registry};
 use trimgrad_wire::packet::NetAddrs;
 use trimgrad_wire::packetize::{packetize_row, PacketizeConfig};
 use trimgrad_wire::reassemble::RowAssembler;
@@ -113,6 +114,34 @@ impl MsgAssembly {
     }
 }
 
+/// Telemetry handles for one rank, registered lazily in the simulation's
+/// registry under `collective.rank.<rank>.*` on the first callback.
+#[derive(Clone)]
+struct RankMetrics {
+    packets_sent: Counter,
+    bytes_sent: Counter,
+    packets_received: Counter,
+    trimmed_received: Counter,
+    parts_lost: Counter,
+    meta_received: Counter,
+    steps_applied: Counter,
+}
+
+impl RankMetrics {
+    fn register(registry: &Registry, rank: usize) -> Self {
+        let name = |field: &str| format!("collective.rank.{rank}.{field}");
+        Self {
+            packets_sent: registry.counter(&name("packets_sent")),
+            bytes_sent: registry.counter(&name("bytes_sent")),
+            packets_received: registry.counter(&name("packets_received")),
+            trimmed_received: registry.counter(&name("trimmed_received")),
+            parts_lost: registry.counter(&name("parts_lost")),
+            meta_received: registry.counter(&name("meta_received")),
+            steps_applied: registry.counter(&name("steps_applied")),
+        }
+    }
+}
+
 /// One ring worker.
 pub struct RingWorkerApp {
     cfg: RingNetConfig,
@@ -126,6 +155,7 @@ pub struct RingWorkerApp {
     /// Total gradient packets this worker received.
     pub packets_received: u64,
     done: bool,
+    metrics: Option<RankMetrics>,
 }
 
 impl RingWorkerApp {
@@ -151,7 +181,18 @@ impl RingWorkerApp {
             trimmed_received: 0,
             packets_received: 0,
             done: false,
+            metrics: None,
         }
+    }
+
+    /// The rank's telemetry handles, registered on first use in the
+    /// simulation-wide registry exposed by [`HostApi::telemetry`]. Cloning
+    /// hands out cheap `Arc` copies of the counter cells.
+    fn metrics(&mut self, api: &HostApi) -> RankMetrics {
+        let rank = self.rank;
+        self.metrics
+            .get_or_insert_with(|| RankMetrics::register(api.telemetry(), rank))
+            .clone()
     }
 
     /// Whether the all-reduce finished on this worker.
@@ -176,6 +217,7 @@ impl RingWorkerApp {
 
     /// Encodes and sends the segment for protocol step `t`.
     fn send_step(&mut self, t: usize, api: &mut HostApi) {
+        let m = self.metrics(api);
         let seg = self.cfg.send_segment(self.rank, t);
         let range = segment_range(self.cfg.blob_len, self.cfg.workers(), seg);
         let data = &self.blob[range];
@@ -194,10 +236,16 @@ impl RingWorkerApp {
             };
             let pr = packetize_row(enc, &pcfg);
             for frame in pr.packets {
-                api.send(PacketSpec::grad_data(dst, self.flow(), seq, frame));
+                let spec = PacketSpec::grad_data(dst, self.flow(), seq, frame);
+                m.packets_sent.inc();
+                m.bytes_sent.add(u64::from(spec.size));
+                api.send(spec);
                 seq += 1;
             }
-            api.send(PacketSpec::grad_meta(dst, self.flow(), seq, pr.meta));
+            let spec = PacketSpec::grad_meta(dst, self.flow(), seq, pr.meta);
+            m.packets_sent.inc();
+            m.bytes_sent.add(u64::from(spec.size));
+            api.send(spec);
             seq += 1;
         }
     }
@@ -232,6 +280,7 @@ impl RingWorkerApp {
         } else {
             self.blob[range].copy_from_slice(&decoded);
         }
+        self.metrics(api).steps_applied.inc();
         self.step = t + 1;
         if self.step < self.cfg.total_steps() {
             self.send_step(self.step, api);
@@ -288,9 +337,14 @@ impl App for RingWorkerApp {
         match &pkt.body {
             PacketBody::GradData(frame) => {
                 let fields = frame.quick_fields().expect("well-formed frame");
+                let m = self.metrics(api);
                 self.packets_received += 1;
+                m.packets_received.inc();
                 if fields.trim_depth < fields.n_parts {
                     self.trimmed_received += 1;
+                    m.trimmed_received.inc();
+                    m.parts_lost
+                        .add(u64::from(fields.n_parts) - u64::from(fields.trim_depth));
                 }
                 let msg_id = fields.msg_id;
                 let row_id = fields.row_id as usize;
@@ -299,10 +353,13 @@ impl App for RingWorkerApp {
                 self.drain_ready(api);
             }
             PacketBody::GradMeta(meta) => {
+                self.metrics(api).meta_received.inc();
                 let msg_id = meta.msg_id;
                 let row_id = meta.row_id as usize;
                 let asm = self.ensure_assembly(msg_id);
-                asm.rows[row_id].ingest_meta(meta).expect("meta matches row");
+                asm.rows[row_id]
+                    .ingest_meta(meta)
+                    .expect("meta matches row");
                 asm.meta_seen[row_id] = true;
                 self.drain_ready(api);
             }
@@ -337,9 +394,7 @@ pub fn run_ring_allreduce(
     let mut trimmed = 0u64;
     let mut total = 0u64;
     for (rank, &host) in cfg.hosts.iter().enumerate() {
-        let app: &RingWorkerApp = sim
-            .app_ref(host)
-            .expect("worker installed");
+        let app: &RingWorkerApp = sim.app_ref(host).expect("worker installed");
         assert!(
             app.is_done(),
             "worker {rank} did not finish (step {} of {})",
@@ -367,7 +422,11 @@ mod tests {
     use trimgrad_netsim::time::{gbps, SimTime};
     use trimgrad_netsim::topology::Topology;
 
-    fn star_topology(workers: usize, policy: QueuePolicy, rate_gbps: f64) -> (Topology, Vec<NodeId>) {
+    fn star_topology(
+        workers: usize,
+        policy: QueuePolicy,
+        rate_gbps: f64,
+    ) -> (Topology, Vec<NodeId>) {
         let mut t = Topology::new();
         let s = t.add_switch(policy);
         let hosts: Vec<NodeId> = (0..workers)
@@ -414,8 +473,7 @@ mod tests {
         let b = blobs(w, len, 1);
         let expect = expected_sum(&b);
         let c = cfg(SchemeId::RhtOneBit, hosts, len);
-        let (out, trim_frac) =
-            run_ring_allreduce(&mut sim, &c, b, SimTime::from_secs(5));
+        let (out, trim_frac) = run_ring_allreduce(&mut sim, &c, b, SimTime::from_secs(5));
         assert_eq!(trim_frac, 0.0, "no congestion expected");
         assert!(sim.conservation_holds());
         for worker in &out {
@@ -426,7 +484,11 @@ mod tests {
 
     #[test]
     fn segment_schedule_is_consistent() {
-        let c = cfg(SchemeId::RhtOneBit, vec![NodeId(0), NodeId(1), NodeId(2)], 30);
+        let c = cfg(
+            SchemeId::RhtOneBit,
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            30,
+        );
         let w = 3;
         // At every step, what rank r sends is what rank r+1 expects from its
         // predecessor (by construction both call send_segment(sender, t)).
@@ -487,14 +549,53 @@ mod tests {
         let b = blobs(w, len, 2);
         let expect = expected_sum(&b);
         let c = cfg(SchemeId::RhtOneBit, hosts, len);
-        let (out, trim_frac) =
-            run_ring_allreduce(&mut sim, &c, b, SimTime::from_secs(60));
+        let (out, trim_frac) = run_ring_allreduce(&mut sim, &c, b, SimTime::from_secs(60));
         assert!(trim_frac > 0.0, "congestion must trim something");
         assert!(sim.conservation_holds());
         for worker in &out {
             let nmse = trimgrad_quant::error::nmse(worker, &expect);
             assert!(nmse < 1.0, "nmse {nmse} (trim fraction {trim_frac})");
         }
+    }
+
+    #[test]
+    fn telemetry_counters_match_worker_tallies() {
+        let w = 3;
+        let len = 4000;
+        let (topo, hosts) = star_topology(w, QueuePolicy::trim_default(), 100.0);
+        let mut sim = Simulator::new(topo);
+        let b = blobs(w, len, 5);
+        let c = cfg(SchemeId::RhtOneBit, hosts.clone(), len);
+        let _ = run_ring_allreduce(&mut sim, &c, b, SimTime::from_secs(5));
+        let snap = sim.telemetry_snapshot();
+        for (rank, &host) in hosts.iter().enumerate() {
+            let app: &RingWorkerApp = sim.app_ref(host).unwrap();
+            let name = |f: &str| format!("collective.rank.{rank}.{f}");
+            assert_eq!(
+                snap.counter(&name("packets_received")),
+                app.packets_received
+            );
+            assert_eq!(
+                snap.counter(&name("trimmed_received")),
+                app.trimmed_received
+            );
+            assert_eq!(snap.counter(&name("steps_applied")), c.total_steps() as u64);
+            assert!(snap.counter(&name("bytes_sent")) > 0);
+        }
+        // The workers are the only senders, so their send tally is exactly
+        // the fabric's: one `collective.*` packet per `netsim.sent`.
+        let sent: u64 = (0..w)
+            .map(|r| snap.counter(&format!("collective.rank.{r}.packets_sent")))
+            .sum();
+        assert_eq!(sent, snap.counter("netsim.sent"));
+        // Grad data + meta received equals everything the fabric delivered.
+        let received: u64 = (0..w)
+            .map(|r| {
+                snap.counter(&format!("collective.rank.{r}.packets_received"))
+                    + snap.counter(&format!("collective.rank.{r}.meta_received"))
+            })
+            .sum();
+        assert_eq!(received, snap.counter("netsim.delivered"));
     }
 
     #[test]

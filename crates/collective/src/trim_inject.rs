@@ -51,6 +51,19 @@ impl InjectStats {
         self.trimmed += other.trimmed;
         self.dropped += other.dropped;
     }
+
+    /// Adds the tallies to `registry` as counters named `{prefix}.{field}`.
+    pub fn export_to(&self, registry: &trimgrad_telemetry::Registry, prefix: &str) {
+        registry
+            .counter(&format!("{prefix}.intact"))
+            .add(self.intact);
+        registry
+            .counter(&format!("{prefix}.trimmed"))
+            .add(self.trimmed);
+        registry
+            .counter(&format!("{prefix}.dropped"))
+            .add(self.dropped);
+    }
 }
 
 /// Per-packet random trim/drop injector.
@@ -226,7 +239,9 @@ mod tests {
 
     #[test]
     fn drops_zero_out_coordinates() {
-        let mut inj = TrimInjector::new(0.0, 5).with_drop_prob(1.0).with_chunk_coords(16);
+        let mut inj = TrimInjector::new(0.0, 5)
+            .with_drop_prob(1.0)
+            .with_chunk_coords(16);
         let r = row(64, 6);
         let (dec, stats) = inj.roundtrip_row(&SignMagnitude, &r, 1);
         assert_eq!(stats.dropped as usize, 4);

@@ -82,7 +82,10 @@ impl AdaptiveSelector {
 
     /// Records one round's observed trim fraction.
     pub fn observe(&mut self, trim_fraction: f64) {
-        assert!((0.0..=1.0).contains(&trim_fraction), "fraction out of range");
+        assert!(
+            (0.0..=1.0).contains(&trim_fraction),
+            "fraction out of range"
+        );
         if self.observations == 0 {
             self.ewma = trim_fraction;
         } else {
@@ -136,7 +139,7 @@ mod tests {
     fn selector_tracks_changing_congestion() {
         let mut s = AdaptiveSelector::default();
         assert_eq!(s.scheme(), SchemeId::SignMagnitude); // no congestion yet
-        // Calm network.
+                                                         // Calm network.
         for _ in 0..10 {
             s.observe(0.001);
         }

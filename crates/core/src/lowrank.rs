@@ -174,7 +174,10 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
 }
 
 fn norm(v: &[f32]) -> f64 {
-    v.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt()
+    v.iter()
+        .map(|&x| f64::from(x) * f64::from(x))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Modified Gram–Schmidt with reorthogonalization ("twice is enough") and
@@ -293,7 +296,10 @@ mod tests {
         // 256×256 at rank 4: 4·512 floats vs 65536 — 32×.
         assert_eq!(c.wire_floats(256, 256), 2048);
         // Rank clamps to the smaller dimension.
-        assert_eq!(LowRankCompressor::new(100, 1, 0).wire_floats(8, 256), 8 * 264);
+        assert_eq!(
+            LowRankCompressor::new(100, 1, 0).wire_floats(8, 256),
+            8 * 264
+        );
     }
 
     #[test]

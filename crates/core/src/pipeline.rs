@@ -2,6 +2,7 @@
 
 use trimgrad_collective::chunk::MessageCodec;
 use trimgrad_quant::SchemeId;
+use trimgrad_telemetry::Registry;
 use trimgrad_wire::meta::RowMetaPacket;
 use trimgrad_wire::packet::{GradPacket, NetAddrs};
 use trimgrad_wire::packetize::{packetize_row, PacketizeConfig};
@@ -129,13 +130,28 @@ impl TxMessage {
 #[derive(Debug, Clone)]
 pub struct TrimmablePipeline {
     cfg: PipelineConfig,
+    telemetry: Option<Registry>,
 }
 
 impl TrimmablePipeline {
     /// Creates the pipeline.
     #[must_use]
     pub fn new(cfg: PipelineConfig) -> Self {
-        Self { cfg }
+        Self {
+            cfg,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a telemetry registry: [`encode`](Self::encode) and
+    /// [`decode`](Self::decode) then record row/packet/byte tallies under
+    /// `core.pipeline.*` (encode: `rows_encoded`, `packets_out`, `metas_out`,
+    /// `bytes_out`; decode: `rows_decoded`, `packets_in`, `packets_trimmed_in`,
+    /// `parts_lost`, `coords_out`).
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: Registry) -> Self {
+        self.telemetry = Some(registry);
+        self
     }
 
     /// The configuration.
@@ -177,11 +193,22 @@ impl TrimmablePipeline {
             packets.extend(pr.packets);
             metas.push(pr.meta);
         }
-        TxMessage {
+        let tx = TxMessage {
             packets,
             metas,
             blob_len: blob.len(),
+        };
+        if let Some(reg) = &self.telemetry {
+            reg.counter("core.pipeline.rows_encoded")
+                .add(rows.len() as u64);
+            reg.counter("core.pipeline.packets_out")
+                .add(tx.packets.len() as u64);
+            reg.counter("core.pipeline.metas_out")
+                .add(tx.metas.len() as u64);
+            reg.counter("core.pipeline.bytes_out")
+                .add(tx.wire_bytes() as u64);
         }
+        tx
     }
 
     /// Reassembles and decodes a message from whatever packets arrived.
@@ -215,10 +242,16 @@ impl TrimmablePipeline {
             .into_iter()
             .map(|a| a.ok_or(WireError::BadField("missing row meta")))
             .collect::<Result<_, _>>()?;
+        let mut trimmed_in = 0u64;
+        let mut parts_lost = 0u64;
         for pkt in packets {
             let fields = pkt.quick_fields()?;
             if fields.msg_id != msg_id {
                 return Err(WireError::BadField("msg_id"));
+            }
+            if fields.trim_depth < fields.n_parts {
+                trimmed_in += 1;
+                parts_lost += u64::from(fields.n_parts) - u64::from(fields.trim_depth);
             }
             let row = fields.row_id as usize;
             if row >= assemblers.len() {
@@ -233,6 +266,17 @@ impl TrimmablePipeline {
                 .decode_row(&asm.partial_row(), meta, epoch, msg_id, row_id as u32)
                 .map_err(|_| WireError::BadField("row decode"))?;
             out.extend(dec);
+        }
+        if let Some(reg) = &self.telemetry {
+            reg.counter("core.pipeline.rows_decoded")
+                .add(assemblers.len() as u64);
+            reg.counter("core.pipeline.packets_in")
+                .add(packets.len() as u64);
+            reg.counter("core.pipeline.packets_trimmed_in")
+                .add(trimmed_in);
+            reg.counter("core.pipeline.parts_lost").add(parts_lost);
+            reg.counter("core.pipeline.coords_out")
+                .add(out.len() as u64);
         }
         Ok(out)
     }
@@ -337,6 +381,45 @@ mod tests {
         assert!(tx.packets.is_empty());
         assert!(tx.metas.is_empty());
         assert!(p.decode(&tx.packets, &tx.metas, 0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn telemetry_tracks_row_survival() {
+        let reg = Registry::new();
+        let p = pipe(SchemeId::RhtOneBit).with_telemetry(reg.clone());
+        let b = blob(4096, 6);
+        let tx = p.encode(&b, 0, 0, 1, 2);
+        // Trim every other data packet to heads before decode.
+        let mut packets = tx.packets.clone();
+        let mut expect_trimmed = 0u64;
+        for (i, pkt) in packets.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                pkt.trim_to_depth(1).unwrap();
+                expect_trimmed += 1;
+            }
+        }
+        let dec = p.decode(&packets, &tx.metas, 0, 0).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("core.pipeline.rows_encoded"), 4); // ⌈4096/1024⌉
+        assert_eq!(
+            snap.counter("core.pipeline.packets_out"),
+            tx.packets.len() as u64
+        );
+        assert_eq!(
+            snap.counter("core.pipeline.bytes_out"),
+            tx.wire_bytes() as u64
+        );
+        assert_eq!(
+            snap.counter("core.pipeline.packets_in"),
+            packets.len() as u64
+        );
+        assert_eq!(
+            snap.counter("core.pipeline.packets_trimmed_in"),
+            expect_trimmed
+        );
+        assert!(snap.counter("core.pipeline.parts_lost") >= expect_trimmed);
+        assert_eq!(snap.counter("core.pipeline.coords_out"), dec.len() as u64);
+        assert_eq!(snap.counter("core.pipeline.rows_decoded"), 4);
     }
 
     #[test]

@@ -76,7 +76,11 @@ impl TopKSparsifier {
             return Vec::new();
         }
         // Compensated gradient.
-        let comp: Vec<f32> = grad.iter().zip(&self.residual).map(|(g, r)| g + r).collect();
+        let comp: Vec<f32> = grad
+            .iter()
+            .zip(&self.residual)
+            .map(|(g, r)| g + r)
+            .collect();
         let k = self.kept_count();
         // Threshold = k-th largest magnitude (via select_nth on a copy).
         let mut mags: Vec<f32> = comp.iter().map(|v| v.abs()).collect();

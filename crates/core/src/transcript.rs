@@ -10,15 +10,15 @@
 //! that survived. During recording the injector (or the netsim receiver)
 //! appends events; during replay the transcript *is* the network: the same
 //! packets get the same fates, so decoding — and therefore training — is
-//! bit-reproducible. Transcripts serialize with `serde` for archival.
+//! bit-reproducible. Transcripts serialize to a stable sorted text format
+//! for archival ([`TrimTranscript::to_bytes`]).
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use trimgrad_quant::scheme::EncodedRow;
 use trimgrad_wire::payload::max_coords_for_budget;
 
 /// Identity of one data packet within a training run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PacketKey {
     /// Training epoch.
     pub epoch: u32,
@@ -31,7 +31,7 @@ pub struct PacketKey {
 }
 
 /// A recorded training run's trimming history.
-#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TrimTranscript {
     /// Only non-full-depth fates are stored; absent keys mean "untrimmed".
     events: HashMap<PacketKey, u8>,
@@ -105,7 +105,7 @@ impl TrimTranscript {
         depths
     }
 
-    /// Serializes to a JSON-ish string via `serde` (the exact format is an
+    /// Serializes to a stable sorted text format (the exact format is an
     /// implementation detail; use [`from_bytes`](Self::from_bytes) to load).
     ///
     /// # Panics
@@ -183,12 +183,9 @@ impl RecordingInjector {
     ) -> Vec<usize> {
         let (depths, _) = self.inner.draw_depths(enc);
         // Re-derive chunk fates from the depth vector.
-        let per_packet = self
-            .inner
-            .chunk_coords
-            .unwrap_or_else(|| {
-                max_coords_for_budget(enc.scheme.part_bits(), 1500 - 20 - 8 - 28).unwrap_or(1)
-            });
+        let per_packet = self.inner.chunk_coords.unwrap_or_else(|| {
+            max_coords_for_budget(enc.scheme.part_bits(), 1500 - 20 - 8 - 28).unwrap_or(1)
+        });
         let n_parts = enc.parts.len();
         for (chunk_id, chunk) in depths.chunks(per_packet).enumerate() {
             if chunk[0] < n_parts {

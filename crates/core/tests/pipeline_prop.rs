@@ -84,4 +84,62 @@ proptest! {
             prop_assert!(e < 30.0, "{scheme}: implausible error {e}");
         }
     }
+
+    /// The pipeline's telemetry accounts for any trim/loss pattern: packet
+    /// and coordinate counters in the snapshot equal the ground truth
+    /// computed alongside (delivered = encoded − lost; trimmed and
+    /// parts-lost tallies match the applied pattern exactly).
+    #[test]
+    fn pipeline_telemetry_accounts_for_any_pattern(
+        scheme_idx in 0usize..Scheme::ALL.len(),
+        len in 1usize..2500,
+        seed in any::<u64>(),
+        pattern in proptest::collection::vec(0u8..=3, 1..40)
+    ) {
+        let scheme = Scheme::ALL[scheme_idx];
+        let n_parts = scheme.part_bits().len() as u8;
+        let reg = trimgrad_telemetry::Registry::new();
+        let pipe = TrimmablePipeline::new(
+            PipelineConfig::builder().scheme(scheme).row_len(512).build(),
+        )
+        .with_telemetry(reg.clone());
+        let g = blob(len, seed);
+        let tx = pipe.encode(&g, 1, 2, 1, 2);
+        let mut packets = Vec::new();
+        let mut lost = 0u64;
+        let mut trimmed = 0u64;
+        let mut parts_lost = 0u64;
+        for (i, pkt) in tx.packets.iter().enumerate() {
+            match pattern[i % pattern.len()] {
+                0 => lost += 1,
+                d => {
+                    let mut p = pkt.clone();
+                    let depth = d.min(n_parts);
+                    if depth < n_parts {
+                        p.trim_to_depth(depth).expect("trimmable");
+                        trimmed += 1;
+                        parts_lost += u64::from(n_parts - depth);
+                    }
+                    packets.push(p);
+                }
+            }
+        }
+        let dec = pipe.decode(&packets, &tx.metas, 1, 2).expect("decodable");
+        let snap = reg.snapshot();
+        // Conservation: what went in is what came out plus what was lost.
+        prop_assert_eq!(
+            snap.counter("core.pipeline.packets_out"),
+            snap.counter("core.pipeline.packets_in") + lost,
+            "packets_out != packets_in + lost"
+        );
+        prop_assert_eq!(snap.counter("core.pipeline.packets_out"), tx.packets.len() as u64);
+        prop_assert_eq!(snap.counter("core.pipeline.packets_trimmed_in"), trimmed);
+        prop_assert_eq!(snap.counter("core.pipeline.parts_lost"), parts_lost);
+        prop_assert_eq!(snap.counter("core.pipeline.coords_out"), dec.len() as u64);
+        prop_assert_eq!(
+            snap.counter("core.pipeline.rows_encoded"),
+            snap.counter("core.pipeline.rows_decoded")
+        );
+        prop_assert!(snap.counter("core.pipeline.bytes_out") > 0);
+    }
 }

@@ -8,15 +8,12 @@
 //! across library versions or platforms.
 //!
 //! [`SplitMix64`] and [`Xoshiro256StarStar`] are tiny, well-studied
-//! generators with a fixed, documented output sequence. They also implement
-//! [`rand::RngCore`], so they compose with the `rand` distribution machinery
-//! for non-wire-visible uses (workload generation, tests).
+//! generators with a fixed, documented output sequence, and carry no
+//! external dependencies so the workspace builds fully offline.
 //!
 //! The seeding discipline mirrors the paper's prototype, which seeds the
 //! shared generator with "a combination of training epoch number and
 //! collective communication message ID": see [`derive_seed`].
-
-use rand::RngCore;
 
 /// SplitMix64: a fixed-increment 64-bit generator (Steele, Lea, Flood 2014).
 ///
@@ -42,6 +39,19 @@ impl SplitMix64 {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
+    }
+
+    /// Returns the next 32 random bits (the high word of [`Self::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes from the little-endian word stream.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 }
 
@@ -72,10 +82,7 @@ impl Xoshiro256StarStar {
 
     /// Returns the next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -108,37 +115,16 @@ impl Xoshiro256StarStar {
             -1.0
         }
     }
-}
 
-impl RngCore for Xoshiro256StarStar {
-    fn next_u32(&mut self) -> u32 {
-        (Xoshiro256StarStar::next_u64(self) >> 32) as u32
+    /// Returns the next 32 random bits (the high word of [`Self::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
-    fn next_u64(&mut self) -> u64 {
-        Xoshiro256StarStar::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fills `dest` with random bytes from the little-endian word stream.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
-            let bytes = Xoshiro256StarStar::next_u64(self).to_le_bytes();
-            chunk.copy_from_slice(&bytes[..chunk.len()]);
-        }
-    }
-}
-
-impl RngCore for SplitMix64 {
-    fn next_u32(&mut self) -> u32 {
-        (SplitMix64::next_u64(self) >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        SplitMix64::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for chunk in dest.chunks_mut(8) {
-            let bytes = SplitMix64::next_u64(self).to_le_bytes();
+            let bytes = self.next_u64().to_le_bytes();
             chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
     }
@@ -245,7 +231,7 @@ mod tests {
     }
 
     #[test]
-    fn rngcore_fill_bytes_partial_chunks() {
+    fn fill_bytes_partial_chunks() {
         let mut x = Xoshiro256StarStar::new(11);
         let mut buf = [0u8; 13]; // not a multiple of 8
         x.fill_bytes(&mut buf);

@@ -108,7 +108,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn l2(x: &[f32]) -> f64 {
-        x.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt()
+        x.iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            .sqrt()
     }
 
     #[test]

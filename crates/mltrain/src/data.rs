@@ -101,7 +101,11 @@ pub fn gaussian_mixture(
     assert!(classes >= 2 && dim >= 1 && per_class >= 1);
     let mut rng = Xoshiro256StarStar::new(seed);
     let means: Vec<Vec<f32>> = (0..classes)
-        .map(|_| (0..dim).map(|_| rng.next_f32_range(-mean_scale, mean_scale)).collect())
+        .map(|_| {
+            (0..dim)
+                .map(|_| rng.next_f32_range(-mean_scale, mean_scale))
+                .collect()
+        })
         .collect();
     let n = classes * per_class;
     let mut x = Matrix::zeros(n, dim);
@@ -158,7 +162,10 @@ pub fn sparse_tokens(
 ) -> Dataset {
     assert!(classes >= 2 && signature >= 1 && active >= 1);
     assert!(signature * classes <= dim, "signatures must fit in dim");
-    assert!(active <= signature, "cannot activate more than the signature");
+    assert!(
+        active <= signature,
+        "cannot activate more than the signature"
+    );
     let mut rng = Xoshiro256StarStar::new(seed);
     // Disjoint signature token sets per class.
     let sig_tokens: Vec<Vec<usize>> = (0..classes)
@@ -221,7 +228,9 @@ pub fn two_spirals(per_class: usize, dim: usize, noise: f32, seed: u64) -> Datas
 #[must_use]
 pub fn sample_indices(len: usize, size: usize, rng: &mut Xoshiro256StarStar) -> Vec<usize> {
     assert!(len > 0, "empty dataset");
-    (0..size).map(|_| (rng.next_u64() % len as u64) as usize).collect()
+    (0..size)
+        .map(|_| (rng.next_u64() % len as u64) as usize)
+        .collect()
 }
 
 #[cfg(test)]
@@ -375,8 +384,11 @@ mod tests {
         let n = 50_000;
         let samples: Vec<f32> = (0..n).map(|_| gauss(&mut rng)).collect();
         let mean: f64 = samples.iter().map(|&v| f64::from(v)).sum::<f64>() / n as f64;
-        let var: f64 =
-            samples.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = samples
+            .iter()
+            .map(|&v| (f64::from(v) - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.03, "var {var}");
     }

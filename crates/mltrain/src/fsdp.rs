@@ -36,11 +36,7 @@ impl ShardedParams {
         assert!(workers >= 1, "need at least one shard");
         let shards = (0..workers)
             .map(|w| {
-                let r = trimgrad_collective::reducescatter::segment_range(
-                    params.len(),
-                    workers,
-                    w,
-                );
+                let r = trimgrad_collective::reducescatter::segment_range(params.len(), workers, w);
                 params[r].to_vec()
             })
             .collect();
@@ -173,9 +169,7 @@ mod tests {
         let mut model = Mlp::new(&[16, 32, 5], 1);
         let mut opt = SgdMomentum::new(0.05, 0.9, model.param_count());
         for _ in 0..400 {
-            let idx: Vec<usize> = (0..32)
-                .map(|i| (i * 7 + 13) % train.len())
-                .collect();
+            let idx: Vec<usize> = (0..32).map(|i| (i * 7 + 13) % train.len()).collect();
             let (bx, by) = train.batch(&idx);
             let (_, g) = model.loss_and_grad(&bx, &by);
             let mut p = model.params_flat();
@@ -201,7 +195,10 @@ mod tests {
             "10% weight trimming should barely matter: {clean_acc} → {acc_10}"
         );
         // Even fully trimmed weights retain real signal (sign structure).
-        assert!(acc_100 > 0.3, "fully trimmed weights collapsed to {acc_100}");
+        assert!(
+            acc_100 > 0.3,
+            "fully trimmed weights collapsed to {acc_100}"
+        );
         assert!(acc_10 >= acc_100);
     }
 }

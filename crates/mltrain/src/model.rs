@@ -178,9 +178,13 @@ mod tests {
     #[test]
     fn gradient_matches_finite_difference_through_depth() {
         let m = tiny();
-        let x = Matrix::from_vec(3, 4, vec![
-            0.5, -0.2, 0.8, 0.1, -0.6, 0.4, 0.0, 0.9, 0.2, 0.2, -0.3, -0.8,
-        ]);
+        let x = Matrix::from_vec(
+            3,
+            4,
+            vec![
+                0.5, -0.2, 0.8, 0.1, -0.6, 0.4, 0.0, 0.9, 0.2, 0.2, -0.3, -0.8,
+            ],
+        );
         let labels = [0usize, 2, 1];
         let (_, grad) = m.loss_and_grad(&x, &labels);
         assert_eq!(grad.len(), m.param_count());
@@ -208,9 +212,13 @@ mod tests {
     #[test]
     fn single_step_reduces_loss() {
         let m = tiny();
-        let x = Matrix::from_vec(4, 4, vec![
-            1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0,
-        ]);
+        let x = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0,
+            ],
+        );
         let labels = [0usize, 1, 2, 0];
         let (l0, g) = m.loss_and_grad(&x, &labels);
         let mut p = m.params_flat();

@@ -115,7 +115,11 @@ mod tests {
         let mut p = vec![0.0f32; 3];
         let mut opt = SgdMomentum::new(0.05, 0.9, 3);
         for _ in 0..200 {
-            let g: Vec<f32> = p.iter().zip(&target).map(|(pi, ti)| 2.0 * (pi - ti)).collect();
+            let g: Vec<f32> = p
+                .iter()
+                .zip(&target)
+                .map(|(pi, ti)| 2.0 * (pi - ti))
+                .collect();
             opt.step(&mut p, &g);
         }
         for (pi, ti) in p.iter().zip(&target) {

@@ -13,6 +13,7 @@ use crate::model::Mlp;
 use crate::optim::{SgdMomentum, StepLr};
 use trimgrad_collective::hooks::AggregateHook;
 use trimgrad_hadamard::prng::Xoshiro256StarStar;
+use trimgrad_telemetry::Registry;
 
 /// Trainer configuration.
 #[derive(Debug, Clone)]
@@ -81,6 +82,7 @@ pub struct DataParallelTrainer {
     rng: Xoshiro256StarStar,
     round: u32,
     epoch: u32,
+    telemetry: Option<Registry>,
 }
 
 impl DataParallelTrainer {
@@ -113,7 +115,16 @@ impl DataParallelTrainer {
             rng,
             round: 0,
             epoch: 0,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry registry. Each [`run_epoch`](Self::run_epoch)
+    /// then records its loss/accuracy under `mltrain.epoch.<n>.*` plus the
+    /// rolling totals `mltrain.epochs`, `mltrain.rounds`,
+    /// `mltrain.bytes_sent`.
+    pub fn attach_telemetry(&mut self, registry: Registry) {
+        self.telemetry = Some(registry);
     }
 
     /// The hook's display name.
@@ -180,6 +191,18 @@ impl DataParallelTrainer {
             top1,
             top5,
         };
+        if let Some(reg) = &self.telemetry {
+            let key = |field: &str| format!("mltrain.epoch.{}.{field}", stats.epoch);
+            reg.float_gauge(&key("train_loss"))
+                .set(f64::from(stats.train_loss));
+            reg.float_gauge(&key("top1")).set(stats.top1);
+            reg.float_gauge(&key("top5")).set(stats.top5);
+            reg.counter("mltrain.epochs").inc();
+            reg.counter("mltrain.rounds")
+                .add(u64::from(self.cfg.rounds_per_epoch));
+            reg.gauge("mltrain.bytes_sent")
+                .set_max(self.hook.bytes_sent());
+        }
         self.epoch += 1;
         stats
     }
@@ -304,6 +327,34 @@ mod tests {
             t.evaluate()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn epoch_telemetry_records_accuracy_trajectory() {
+        let (train, test) = task(5);
+        let mut t = DataParallelTrainer::new(
+            &[16, 24, 5],
+            train,
+            test,
+            Box::new(BaselineHook::new(2)),
+            ParallelConfig {
+                workers: 2,
+                ..cfg()
+            },
+        );
+        let reg = Registry::new();
+        t.attach_telemetry(reg.clone());
+        let e0 = t.run_epoch();
+        let e1 = t.run_epoch();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("mltrain.epochs"), 2);
+        assert_eq!(snap.counter("mltrain.rounds"), 20);
+        assert_eq!(snap.gauge("mltrain.bytes_sent"), t.bytes_sent());
+        assert!((snap.float("mltrain.epoch.0.top1") - e0.top1).abs() < 1e-12);
+        assert!((snap.float("mltrain.epoch.1.top1") - e1.top1).abs() < 1e-12);
+        assert!(
+            (snap.float("mltrain.epoch.1.train_loss") - f64::from(e1.train_loss)).abs() < 1e-12
+        );
     }
 
     #[test]

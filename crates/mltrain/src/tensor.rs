@@ -218,7 +218,7 @@ mod tests {
     fn transposed_variants_agree_with_explicit_transpose() {
         let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // 3×2
         let b = m(3, 4, &(0..12).map(|i| i as f32).collect::<Vec<_>>()); // 3×4
-        // aᵀ·b via t_matmul vs manual transpose.
+                                                                         // aᵀ·b via t_matmul vs manual transpose.
         let at = m(2, 3, &[1.0, 3.0, 5.0, 2.0, 4.0, 6.0]);
         assert_eq!(a.t_matmul(&b).as_slice(), at.matmul(&b).as_slice());
         // a·cᵀ via matmul_t vs manual transpose.

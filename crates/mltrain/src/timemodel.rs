@@ -268,7 +268,7 @@ mod tests {
     fn round_time_composition() {
         let m = TimeModel::default();
         let coords = 6_250_000u64; // 25 MB of f32
-        // Baseline: no encoding, reliable comm.
+                                   // Baseline: no encoding, reliable comm.
         let base = m.round_time(None, coords, 25_000_000, 0.01);
         assert_eq!(base.encode_s, 0.0);
         assert!(base.comm_s > 5.0 * 2e-3 * 0.9);

@@ -180,7 +180,12 @@ pub fn install_incast(
         let flow_id = flow_base + i as u64;
         sim.install_app(
             h,
-            Box::new(BulkSenderApp::new(receiver, bytes_per_sender, packet_size, flow_id)),
+            Box::new(BulkSenderApp::new(
+                receiver,
+                bytes_per_sender,
+                packet_size,
+                flow_id,
+            )),
         );
         flows.push(FlowId(flow_id));
     }
@@ -199,7 +204,11 @@ mod tests {
     fn bulk_sender_packet_count_and_sizes() {
         let app = BulkSenderApp::new(NodeId(1), 100_000, 1500, 1);
         assert_eq!(app.packet_count(), 67);
-        let mut api = HostApi::new(SimTime::ZERO, NodeId(0));
+        let mut api = HostApi::new(
+            SimTime::ZERO,
+            NodeId(0),
+            trimgrad_telemetry::Registry::new(),
+        );
         let mut app = app;
         app.on_start(&mut api);
         assert_eq!(api.outbox.len(), 67);

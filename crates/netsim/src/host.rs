@@ -10,22 +10,25 @@
 use crate::packet::{Packet, PacketSpec};
 use crate::time::SimTime;
 use crate::NodeId;
+use trimgrad_telemetry::Registry;
 
 /// The per-callback interface an app uses to act on the network.
 #[derive(Debug)]
 pub struct HostApi {
     now: SimTime,
     node: NodeId,
+    registry: Registry,
     pub(crate) outbox: Vec<PacketSpec>,
     pub(crate) timers: Vec<(SimTime, u64)>,
     pub(crate) completed_flows: Vec<crate::FlowId>,
 }
 
 impl HostApi {
-    pub(crate) fn new(now: SimTime, node: NodeId) -> Self {
+    pub(crate) fn new(now: SimTime, node: NodeId, registry: Registry) -> Self {
         Self {
             now,
             node,
+            registry,
             outbox: Vec::new(),
             timers: Vec::new(),
             completed_flows: Vec::new(),
@@ -42,6 +45,14 @@ impl HostApi {
     #[must_use]
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// The simulation-wide telemetry registry. Apps record their own metrics
+    /// here (e.g. `collective.rank.N.*`); the counters land in the same
+    /// [`trimgrad_telemetry::Snapshot`] as the fabric's `netsim.*` series.
+    #[must_use]
+    pub fn telemetry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Hands a packet to the NIC (enqueued on the egress port when the
@@ -136,7 +147,7 @@ mod tests {
 
     #[test]
     fn api_buffers_actions() {
-        let mut api = HostApi::new(SimTime::from_micros(5), NodeId(3));
+        let mut api = HostApi::new(SimTime::from_micros(5), NodeId(3), Registry::new());
         assert_eq!(api.now(), SimTime::from_micros(5));
         assert_eq!(api.node(), NodeId(3));
         api.send(PacketSpec::synthetic(NodeId(1), FlowId(2), 100, 0));
@@ -150,7 +161,7 @@ mod tests {
     #[test]
     fn sink_counts() {
         let mut sink = SinkApp::default();
-        let mut api = HostApi::new(SimTime::ZERO, NodeId(0));
+        let mut api = HostApi::new(SimTime::ZERO, NodeId(0), Registry::new());
         let mut pkt = crate::packet::Packet {
             id: 1,
             flow: FlowId(1),

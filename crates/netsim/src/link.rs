@@ -24,6 +24,14 @@ pub struct LinkParams {
     pub drop_prob: f64,
 }
 
+/// The stable label for one unidirectional channel, used to key per-port
+/// telemetry (`netsim.port.<label>.*`) and anything else that needs a
+/// deterministic, human-readable name for a `from → to` direction.
+#[must_use]
+pub fn channel_label(from: crate::NodeId, to: crate::NodeId) -> String {
+    format!("{}->{}", from.0, to.0)
+}
+
 impl LinkParams {
     /// A perfect link: no random loss.
     #[must_use]
@@ -38,7 +46,10 @@ impl LinkParams {
     /// Adds random loss.
     #[must_use]
     pub fn with_drop_prob(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "drop probability {p} out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability {p} out of range"
+        );
         self.drop_prob = p;
         self
     }
@@ -48,6 +59,16 @@ impl LinkParams {
 mod tests {
     use super::*;
     use crate::time::gbps;
+
+    #[test]
+    fn channel_label_is_directional() {
+        use crate::NodeId;
+        assert_eq!(channel_label(NodeId(2), NodeId(5)), "2->5");
+        assert_ne!(
+            channel_label(NodeId(2), NodeId(5)),
+            channel_label(NodeId(5), NodeId(2))
+        );
+    }
 
     #[test]
     fn constructor_defaults() {

@@ -171,8 +171,7 @@ impl PacketSpec {
             dst,
             flow,
             // Frame length of a metadata packet: full header stack + 24 B.
-            size: (trimgrad_wire::packet::STACK_OVERHEAD
-                - trimgrad_wire::trimhdr::HEADER_LEN
+            size: (trimgrad_wire::packet::STACK_OVERHEAD - trimgrad_wire::trimhdr::HEADER_LEN
                 + trimgrad_wire::meta::PAYLOAD_LEN) as u32,
             priority: true,
             reliable: true,
@@ -255,7 +254,11 @@ mod tests {
             row_id: 0,
             epoch: 0,
         };
-        packetize_row(&enc, &cfg).packets.into_iter().next().unwrap()
+        packetize_row(&enc, &cfg)
+            .packets
+            .into_iter()
+            .next()
+            .unwrap()
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::topology::{NodeKind, Routes, Topology};
 use crate::NodeId;
 use std::collections::HashMap;
 use trimgrad_hadamard::prng::Xoshiro256StarStar;
+use trimgrad_telemetry::{Registry, Snapshot};
 
 /// The host NIC queue policy: deep FIFO, no trimming (the sending host can
 /// hold its own backlog; congestion logic lives in the fabric's switches).
@@ -41,6 +42,7 @@ pub struct Simulator {
     in_flight: u64,
     rng: Xoshiro256StarStar,
     queue_sample_interval: Option<SimTime>,
+    registry: Registry,
 }
 
 impl Simulator {
@@ -63,6 +65,7 @@ impl Simulator {
                 NodeKind::Switch(_) => None,
             });
         }
+        let registry = Registry::new();
         Self {
             topo,
             routes,
@@ -71,11 +74,12 @@ impl Simulator {
             started: false,
             queue: EventQueue::new(),
             now: SimTime::ZERO,
-            stats: Stats::new(),
+            stats: Stats::with_registry(registry.clone()),
             next_pkt_id: 0,
             in_flight: 0,
             rng: Xoshiro256StarStar::new(seed),
             queue_sample_interval: None,
+            registry,
         }
     }
 
@@ -118,6 +122,37 @@ impl Simulator {
         self.in_flight
     }
 
+    /// The simulation-wide telemetry registry. The fabric's `netsim.*`
+    /// counters live here, and every installed [`App`] sees the same registry
+    /// through [`HostApi::telemetry`].
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A point-in-time [`Snapshot`] of every metric the simulation tracks:
+    /// the live `netsim.*` / app counters plus per-port series
+    /// (`netsim.port.<from>-><to>.*`, see [`crate::link::channel_label`])
+    /// materialized from each egress port's [`crate::switch::PortCounters`].
+    ///
+    /// Port tallies are exported into a scratch registry on every call, so
+    /// repeated snapshots never double-count.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        let scratch = Registry::new();
+        for (&(from, to), port) in &self.ports {
+            let label = crate::link::channel_label(NodeId(from), NodeId(to));
+            let prefix = format!("netsim.port.{label}");
+            port.counters.export_to(&scratch, &prefix);
+            scratch
+                .gauge(&format!("{prefix}.max_low_bytes"))
+                .set_max(u64::from(port.max_low_bytes));
+        }
+        let mut snap = self.registry.snapshot();
+        snap.merge(&scratch.snapshot());
+        snap
+    }
+
     /// The topology.
     #[must_use]
     pub fn topology(&self) -> &Topology {
@@ -151,7 +186,8 @@ impl Simulator {
                 }
             }
             if let Some(interval) = self.queue_sample_interval {
-                self.queue.schedule(self.now + interval, EventKind::StatsSample);
+                self.queue
+                    .schedule(self.now + interval, EventKind::StatsSample);
             }
         }
         while let Some(at) = self.queue.peek_time() {
@@ -206,7 +242,8 @@ impl Simulator {
                 }
                 if let Some(interval) = self.queue_sample_interval {
                     if !self.queue.is_empty() {
-                        self.queue.schedule(self.now + interval, EventKind::StatsSample);
+                        self.queue
+                            .schedule(self.now + interval, EventKind::StatsSample);
                     }
                 }
             }
@@ -303,7 +340,7 @@ impl Simulator {
         let Some(mut app) = self.apps[node.0].take() else {
             return;
         };
-        let mut api = HostApi::new(self.now, node);
+        let mut api = HostApi::new(self.now, node, self.registry.clone());
         f(app.as_mut(), &mut api);
         self.apps[node.0] = Some(app);
         let HostApi {
@@ -431,7 +468,10 @@ mod tests {
             .collect();
         let mut sim = Simulator::new(t);
         for (i, &h) in senders.iter().enumerate() {
-            sim.install_app(h, Box::new(BulkSenderApp::new(recv, 150_000, 1500, i as u64)));
+            sim.install_app(
+                h,
+                Box::new(BulkSenderApp::new(recv, 150_000, 1500, i as u64)),
+            );
         }
         sim.run_until(SimTime::from_millis(100));
         assert!(sim.stats().dropped_data_full() > 0, "incast must overflow");
@@ -454,17 +494,17 @@ mod tests {
             .collect();
         let mut sim = Simulator::new(t);
         for (i, &h) in senders.iter().enumerate() {
-            sim.install_app(h, Box::new(BulkSenderApp::new(recv, 150_000, 1500, i as u64)));
+            sim.install_app(
+                h,
+                Box::new(BulkSenderApp::new(recv, 150_000, 1500, i as u64)),
+            );
         }
         sim.run_until(SimTime::from_millis(100));
         // Same offered load as the droptail test, but trimming salvages
         // every overflow: no data-queue drops, some trimmed deliveries.
         assert_eq!(sim.stats().dropped_data_full(), 0);
         assert!(sim.stats().trimmed_packets() > 0);
-        assert_eq!(
-            sim.stats().delivered_packets(),
-            sim.stats().sent_packets()
-        );
+        assert_eq!(sim.stats().delivered_packets(), sim.stats().sent_packets());
         assert!(sim.stats().trim_fraction() > 0.0);
         assert!(sim.conservation_holds());
         // The sink on the receiver saw the trimmed arrivals.
@@ -560,6 +600,55 @@ mod tests {
         assert_eq!(sim.stats().delivered_packets(), 0);
         assert_eq!(sim.stats().dropped_total(), 1);
         assert!(sim.conservation_holds());
+    }
+
+    #[test]
+    fn telemetry_snapshot_matches_stats_and_is_idempotent() {
+        // Fast ingress, slow egress: the switch queue must overflow and trim.
+        let mut t = Topology::new();
+        let a = t.add_host();
+        let b = t.add_host();
+        let s = t.add_switch(QueuePolicy {
+            data_capacity: 4500,
+            prio_capacity: 64_000,
+            ecn_threshold: None,
+            action: FullAction::Trim { grad_depth: 1 },
+        });
+        t.link(a, s, gbps(10.0), SimTime::from_micros(1));
+        t.link(s, b, gbps(1.0), SimTime::from_micros(1));
+        let mut sim = Simulator::new(t);
+        sim.install_app(a, Box::new(BulkSenderApp::new(b, 45_000, 1500, 1)));
+        sim.run_until(SimTime::from_millis(50));
+        assert!(sim.stats().trimmed_packets() > 0, "load must trim");
+
+        let snap = sim.telemetry_snapshot();
+        assert_eq!(snap.counter("netsim.sent"), sim.stats().sent_packets());
+        assert_eq!(
+            snap.counter("netsim.delivered"),
+            sim.stats().delivered_packets()
+        );
+        assert_eq!(
+            snap.counter("netsim.trimmed"),
+            sim.stats().trimmed_packets()
+        );
+        // The per-port trim tally aggregates to the fabric-wide counter: only
+        // the switch's egress port toward `b` trims.
+        let mut trim_sum = 0;
+        for (name, _) in snap.iter() {
+            if name.starts_with("netsim.port.") && name.ends_with(".trimmed") {
+                trim_sum += snap.counter(name);
+            }
+        }
+        assert_eq!(trim_sum, sim.stats().trimmed_packets());
+        // Conservation straight off the snapshot (everything drained).
+        assert_eq!(
+            snap.counter("netsim.sent"),
+            snap.counter("netsim.delivered") + snap.counter_sum("netsim.dropped.")
+        );
+        // Snapshotting twice never double-counts the port export.
+        assert_eq!(snap, sim.telemetry_snapshot());
+        // JSON export is deterministic.
+        assert_eq!(snap.to_json(), sim.telemetry_snapshot().to_json());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use crate::time::SimTime;
 use crate::FlowId;
 use std::collections::HashMap;
+use trimgrad_telemetry::{Counter, Gauge, Registry, Snapshot};
 
 /// Per-flow record.
 #[derive(Debug, Clone, Copy, Default)]
@@ -45,68 +46,122 @@ impl FlowRecord {
 }
 
 /// Global and per-flow counters.
-#[derive(Debug, Default)]
+///
+/// The global counters are backed by a [`trimgrad_telemetry::Registry`] so
+/// that every number the simulator reports is also available in a
+/// [`Snapshot`] under the `netsim.*` namespace. Per-flow records stay plain
+/// data: flow identities are unbounded and belong in [`Stats::fct_summary`],
+/// not the metric namespace.
+#[derive(Debug)]
 pub struct Stats {
-    sent: u64,
-    delivered: u64,
-    delivered_trimmed: u64,
-    forwarded: u64,
-    trimmed: u64,
-    dropped_data_full: u64,
-    dropped_prio_full: u64,
-    dropped_random: u64,
-    ecn_marked: u64,
+    registry: Registry,
+    sent: Counter,
+    delivered: Counter,
+    delivered_trimmed: Counter,
+    forwarded: Counter,
+    trimmed: Counter,
+    dropped_data_full: Counter,
+    dropped_prio_full: Counter,
+    dropped_random: Counter,
+    ecn_marked: Counter,
+    max_queue_bytes: Gauge,
     flows: HashMap<FlowId, FlowRecord>,
-    max_queue_bytes: u32,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Stats {
-    /// Fresh, all-zero statistics.
+    /// Fresh, all-zero statistics with a private registry.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self::with_registry(Registry::new())
+    }
+
+    /// Fresh statistics registering their counters in `registry`.
+    #[must_use]
+    pub fn with_registry(registry: Registry) -> Self {
+        let sent = registry.counter("netsim.sent");
+        let delivered = registry.counter("netsim.delivered");
+        let delivered_trimmed = registry.counter("netsim.delivered_trimmed");
+        let forwarded = registry.counter("netsim.forwarded");
+        let trimmed = registry.counter("netsim.trimmed");
+        let dropped_data_full = registry.counter("netsim.dropped.data_full");
+        let dropped_prio_full = registry.counter("netsim.dropped.prio_full");
+        let dropped_random = registry.counter("netsim.dropped.random");
+        let ecn_marked = registry.counter("netsim.ecn_marked");
+        let max_queue_bytes = registry.gauge("netsim.queue.max_bytes");
+        Self {
+            registry,
+            sent,
+            delivered,
+            delivered_trimmed,
+            forwarded,
+            trimmed,
+            dropped_data_full,
+            dropped_prio_full,
+            dropped_random,
+            ecn_marked,
+            max_queue_bytes,
+            flows: HashMap::new(),
+        }
+    }
+
+    /// The registry holding the global counters.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of the global counters.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
     }
 
     pub(crate) fn on_sent(&mut self, flow: FlowId, now: SimTime) {
-        self.sent += 1;
+        self.sent.inc();
         let rec = self.flows.entry(flow).or_default();
         rec.sent += 1;
         rec.first_sent.get_or_insert(now);
     }
 
     pub(crate) fn on_delivered(&mut self, flow: FlowId, bytes: u32, trimmed: bool) {
-        self.delivered += 1;
+        self.delivered.inc();
         let rec = self.flows.entry(flow).or_default();
         rec.delivered += 1;
         rec.bytes_delivered += u64::from(bytes);
         if trimmed {
-            self.delivered_trimmed += 1;
+            self.delivered_trimmed.inc();
             rec.delivered_trimmed += 1;
         }
     }
 
     pub(crate) fn on_forwarded(&mut self) {
-        self.forwarded += 1;
+        self.forwarded.inc();
     }
 
     pub(crate) fn on_trimmed(&mut self) {
-        self.trimmed += 1;
+        self.trimmed.inc();
     }
 
     pub(crate) fn on_dropped_data_full(&mut self) {
-        self.dropped_data_full += 1;
+        self.dropped_data_full.inc();
     }
 
     pub(crate) fn on_dropped_prio_full(&mut self) {
-        self.dropped_prio_full += 1;
+        self.dropped_prio_full.inc();
     }
 
     pub(crate) fn on_dropped_random(&mut self) {
-        self.dropped_random += 1;
+        self.dropped_random.inc();
     }
 
     pub(crate) fn on_ecn_marked(&mut self) {
-        self.ecn_marked += 1;
+        self.ecn_marked.inc();
     }
 
     pub(crate) fn on_flow_complete(&mut self, flow: FlowId, now: SimTime) {
@@ -115,83 +170,84 @@ impl Stats {
     }
 
     pub(crate) fn observe_queue(&mut self, bytes: u32) {
-        self.max_queue_bytes = self.max_queue_bytes.max(bytes);
+        self.max_queue_bytes.set_max(u64::from(bytes));
     }
 
     /// Packets handed to NICs by apps.
     #[must_use]
     pub fn sent_packets(&self) -> u64 {
-        self.sent
+        self.sent.get()
     }
 
     /// Packets delivered to destination hosts.
     #[must_use]
     pub fn delivered_packets(&self) -> u64 {
-        self.delivered
+        self.delivered.get()
     }
 
     /// Delivered packets that arrived trimmed.
     #[must_use]
     pub fn delivered_trimmed_packets(&self) -> u64 {
-        self.delivered_trimmed
+        self.delivered_trimmed.get()
     }
 
     /// Switch forwarding operations.
     #[must_use]
     pub fn forwarded_packets(&self) -> u64 {
-        self.forwarded
+        self.forwarded.get()
     }
 
     /// Packets trimmed by switches.
     #[must_use]
     pub fn trimmed_packets(&self) -> u64 {
-        self.trimmed
+        self.trimmed.get()
     }
 
     /// Packets dropped at full data queues.
     #[must_use]
     pub fn dropped_data_full(&self) -> u64 {
-        self.dropped_data_full
+        self.dropped_data_full.get()
     }
 
     /// Packets dropped at full priority queues.
     #[must_use]
     pub fn dropped_prio_full(&self) -> u64 {
-        self.dropped_prio_full
+        self.dropped_prio_full.get()
     }
 
     /// Packets dropped by random link loss.
     #[must_use]
     pub fn dropped_random(&self) -> u64 {
-        self.dropped_random
+        self.dropped_random.get()
     }
 
     /// Total drops of all causes.
     #[must_use]
     pub fn dropped_total(&self) -> u64 {
-        self.dropped_data_full + self.dropped_prio_full + self.dropped_random
+        self.dropped_data_full() + self.dropped_prio_full() + self.dropped_random()
     }
 
     /// ECN marks applied.
     #[must_use]
     pub fn ecn_marked(&self) -> u64 {
-        self.ecn_marked
+        self.ecn_marked.get()
     }
 
     /// The deepest data-queue occupancy observed anywhere, in bytes.
     #[must_use]
     pub fn max_queue_bytes(&self) -> u32 {
-        self.max_queue_bytes
+        u32::try_from(self.max_queue_bytes.get()).unwrap_or(u32::MAX)
     }
 
     /// Fraction of delivered packets that arrived trimmed (0 when nothing
     /// was delivered).
     #[must_use]
     pub fn trim_fraction(&self) -> f64 {
-        if self.delivered == 0 {
+        let delivered = self.delivered.get();
+        if delivered == 0 {
             0.0
         } else {
-            self.delivered_trimmed as f64 / self.delivered as f64
+            self.delivered_trimmed.get() as f64 / delivered as f64
         }
     }
 
@@ -217,7 +273,7 @@ impl Stats {
     /// the network (queued or propagating).
     #[must_use]
     pub fn conservation_holds(&self, in_flight: u64) -> bool {
-        self.sent == self.delivered + self.dropped_total() + in_flight
+        self.sent.get() == self.delivered.get() + self.dropped_total() + in_flight
     }
 
     /// Flow-completion-time summary over all completed flows — the paper's
@@ -359,6 +415,26 @@ mod tests {
         let mut s = Stats::new();
         s.on_sent(FlowId(1), SimTime::ZERO); // sent but never completed
         assert!(s.fct_summary().is_none());
+    }
+
+    #[test]
+    fn snapshot_mirrors_getters() {
+        let mut s = Stats::new();
+        let f = FlowId(3);
+        s.on_sent(f, SimTime::ZERO);
+        s.on_sent(f, SimTime::from_micros(1));
+        s.on_delivered(f, 64, true);
+        s.on_trimmed();
+        s.on_dropped_random();
+        s.observe_queue(4096);
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("netsim.sent"), s.sent_packets());
+        assert_eq!(snap.counter("netsim.delivered"), 1);
+        assert_eq!(snap.counter("netsim.delivered_trimmed"), 1);
+        assert_eq!(snap.counter("netsim.trimmed"), 1);
+        assert_eq!(snap.counter("netsim.dropped.random"), 1);
+        assert_eq!(snap.counter_sum("netsim.dropped."), s.dropped_total());
+        assert_eq!(snap.gauge("netsim.queue.max_bytes"), 4096);
     }
 
     #[test]

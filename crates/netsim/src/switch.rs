@@ -15,6 +15,7 @@
 
 use crate::packet::Packet;
 use std::collections::VecDeque;
+use trimgrad_telemetry::Registry;
 
 /// What to do with a data packet that arrives to a full data queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +103,72 @@ impl EnqueueOutcome {
     }
 }
 
+/// Monotone per-port event tallies, kept as plain integers on the hot path
+/// and exported into a [`Registry`] on demand (see [`PortCounters::export_to`]).
+///
+/// Conservation invariant, checked by tests:
+///
+/// ```text
+/// arrived = queued_data + queued_prio + trimmed
+///           + dropped_data_full + dropped_prio_full
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PortCounters {
+    /// Packets offered to the port.
+    pub arrived: u64,
+    /// Packets queued untouched in the data queue.
+    pub queued_data: u64,
+    /// Intact priority packets queued in the high-priority queue.
+    pub queued_prio: u64,
+    /// Packets trimmed on overflow and requeued high-priority.
+    pub trimmed: u64,
+    /// Packets dropped at a full data queue.
+    pub dropped_data_full: u64,
+    /// Packets dropped at a full priority queue.
+    pub dropped_prio_full: u64,
+    /// Packets freshly ECN-marked at this port.
+    pub ecn_marked: u64,
+    /// Packets handed to the serializer.
+    pub dequeued: u64,
+}
+
+impl PortCounters {
+    /// Packets that survived enqueue in some form.
+    #[must_use]
+    pub fn queued_total(&self) -> u64 {
+        self.queued_data + self.queued_prio + self.trimmed
+    }
+
+    /// Packets dropped at this port, either queue.
+    #[must_use]
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_data_full + self.dropped_prio_full
+    }
+
+    /// Whether every offered packet is accounted for.
+    #[must_use]
+    pub fn conserved(&self) -> bool {
+        self.arrived == self.queued_total() + self.dropped_total()
+    }
+
+    /// Adds the tallies to `registry` as counters named `{prefix}.{field}`.
+    pub fn export_to(&self, registry: &Registry, prefix: &str) {
+        let fields: [(&str, u64); 8] = [
+            ("arrived", self.arrived),
+            ("queued_data", self.queued_data),
+            ("queued_prio", self.queued_prio),
+            ("trimmed", self.trimmed),
+            ("dropped_data_full", self.dropped_data_full),
+            ("dropped_prio_full", self.dropped_prio_full),
+            ("ecn_marked", self.ecn_marked),
+            ("dequeued", self.dequeued),
+        ];
+        for (field, value) in fields {
+            registry.counter(&format!("{prefix}.{field}")).add(value);
+        }
+    }
+}
+
 /// The queues and serializer state of one egress port.
 #[derive(Debug, Default)]
 pub struct PortState {
@@ -113,6 +180,8 @@ pub struct PortState {
     pub busy: bool,
     /// Deepest data-queue occupancy seen (bytes).
     pub max_low_bytes: u32,
+    /// Monotone event tallies for this port.
+    pub counters: PortCounters,
 }
 
 impl PortState {
@@ -147,14 +216,28 @@ impl PortState {
     }
 
     /// Enqueues under `policy`, possibly trimming or dropping.
-    pub fn enqueue(&mut self, mut pkt: Packet, policy: &QueuePolicy) -> EnqueueOutcome {
+    pub fn enqueue(&mut self, pkt: Packet, policy: &QueuePolicy) -> EnqueueOutcome {
+        let outcome = self.enqueue_inner(pkt, policy);
+        self.counters.arrived += 1;
+        match outcome {
+            EnqueueOutcome::Data => self.counters.queued_data += 1,
+            EnqueueOutcome::Priority => self.counters.queued_prio += 1,
+            EnqueueOutcome::Trimmed => self.counters.trimmed += 1,
+            EnqueueOutcome::DroppedDataFull => self.counters.dropped_data_full += 1,
+            EnqueueOutcome::DroppedPrioFull => self.counters.dropped_prio_full += 1,
+        }
+        outcome
+    }
+
+    fn enqueue_inner(&mut self, mut pkt: Packet, policy: &QueuePolicy) -> EnqueueOutcome {
         if pkt.priority {
             return self.enqueue_high(pkt, policy);
         }
         if self.low_bytes + pkt.size <= policy.data_capacity {
             if let Some(thresh) = policy.ecn_threshold {
-                if self.low_bytes + pkt.size > thresh {
+                if self.low_bytes + pkt.size > thresh && !pkt.ecn {
                     pkt.ecn = true;
+                    self.counters.ecn_marked += 1;
                 }
             }
             self.low_bytes += pkt.size;
@@ -192,10 +275,12 @@ impl PortState {
     pub fn dequeue(&mut self) -> Option<Packet> {
         if let Some(p) = self.high.pop_front() {
             self.high_bytes -= p.size;
+            self.counters.dequeued += 1;
             return Some(p);
         }
         if let Some(p) = self.low.pop_front() {
             self.low_bytes -= p.size;
+            self.counters.dequeued += 1;
             return Some(p);
         }
         None
@@ -250,8 +335,13 @@ mod tests {
         let pol = QueuePolicy::trim_default();
         assert_eq!(port.enqueue(data_pkt(1, 100), &pol), EnqueueOutcome::Data);
         assert_eq!(port.enqueue(data_pkt(2, 100), &pol), EnqueueOutcome::Data);
-        assert_eq!(port.enqueue(prio_pkt(3, 64), &pol), EnqueueOutcome::Priority);
-        let order: Vec<u64> = std::iter::from_fn(|| port.dequeue()).map(|p| p.id).collect();
+        assert_eq!(
+            port.enqueue(prio_pkt(3, 64), &pol),
+            EnqueueOutcome::Priority
+        );
+        let order: Vec<u64> = std::iter::from_fn(|| port.dequeue())
+            .map(|p| p.id)
+            .collect();
         assert_eq!(order, vec![3, 1, 2]);
         assert!(port.is_empty());
         assert_eq!(port.low_bytes(), 0);
@@ -340,6 +430,47 @@ mod tests {
         let _ = port.dequeue();
         port.enqueue(data_pkt(3, 100), &pol);
         assert_eq!(port.max_low_bytes, 3000);
+    }
+
+    #[test]
+    fn port_counters_conserve_and_export() {
+        let mut port = PortState::new();
+        let pol = tiny_policy(FullAction::Trim { grad_depth: 1 });
+        port.enqueue(data_pkt(1, 1500), &pol);
+        port.enqueue(data_pkt(2, 1500), &pol);
+        port.enqueue(prio_pkt(3, 64), &pol);
+        port.enqueue(data_pkt(4, 1500), &pol); // trimmed
+        port.enqueue(data_pkt(5, SYNTHETIC_TRIM_STUB), &pol); // untrimmable → drop
+        while port.dequeue().is_some() {}
+        let c = port.counters;
+        assert_eq!(c.arrived, 5);
+        assert_eq!(c.queued_data, 2);
+        assert_eq!(c.queued_prio, 1);
+        assert_eq!(c.trimmed, 1);
+        assert_eq!(c.dropped_data_full, 1);
+        assert_eq!(c.dequeued, 4);
+        assert!(c.conserved());
+
+        let reg = Registry::new();
+        c.export_to(&reg, "netsim.port.0->1");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("netsim.port.0->1.arrived"), 5);
+        assert_eq!(snap.counter("netsim.port.0->1.trimmed"), 1);
+        assert_eq!(snap.counter("netsim.port.0->1.dequeued"), 4);
+    }
+
+    #[test]
+    fn ecn_mark_counts_fresh_marks_only() {
+        let mut port = PortState::new();
+        let pol = QueuePolicy {
+            ecn_threshold: Some(1000),
+            ..QueuePolicy::droptail_default()
+        };
+        port.enqueue(data_pkt(1, 1500), &pol); // crosses threshold → marked
+        let mut pre_marked = data_pkt(2, 1500);
+        pre_marked.ecn = true;
+        port.enqueue(pre_marked, &pol); // already marked upstream
+        assert_eq!(port.counters.ecn_marked, 1);
     }
 
     #[test]

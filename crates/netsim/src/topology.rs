@@ -351,7 +351,10 @@ mod tests {
         // Intra-rack traffic never leaves the leaf.
         let same_rack_dst = hosts[1];
         let nh = routes.next_hop(src, same_rack_dst, FlowId(3)).unwrap();
-        assert_eq!(routes.next_hop(nh, same_rack_dst, FlowId(3)), Some(same_rack_dst));
+        assert_eq!(
+            routes.next_hop(nh, same_rack_dst, FlowId(3)),
+            Some(same_rack_dst)
+        );
     }
 
     #[test]

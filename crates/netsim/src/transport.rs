@@ -122,9 +122,7 @@ impl ReliableSenderApp {
     }
 
     fn fill_window(&mut self, api: &mut HostApi) {
-        while self.next_new < self.total
-            && self.next_new - self.base < self.cfg.window as u64
-        {
+        while self.next_new < self.total && self.next_new - self.base < self.cfg.window as u64 {
             api.send(self.data_spec(self.next_new));
             self.next_new += 1;
         }
@@ -525,7 +523,12 @@ mod tests {
         let mut sim = Simulator::with_seed(t, 7);
         sim.install_app(
             a,
-            Box::new(ReliableSenderApp::new(b, MSG_LONG, 1, TransportConfig::default())),
+            Box::new(ReliableSenderApp::new(
+                b,
+                MSG_LONG,
+                1,
+                TransportConfig::default(),
+            )),
         );
         sim.install_app(b, Box::new(ReliableReceiverApp::new()));
         sim.run_until(SimTime::from_secs(5));
@@ -575,12 +578,19 @@ mod tests {
         let mut sim = Simulator::with_seed(t, 3);
         sim.install_app(
             a,
-            Box::new(ReliableSenderApp::new(recv, MSG, 1, TransportConfig::default())),
+            Box::new(ReliableSenderApp::new(
+                recv,
+                MSG,
+                1,
+                TransportConfig::default(),
+            )),
         );
         // Cross traffic to congest the egress.
         sim.install_app(
             c,
-            Box::new(crate::crosstraffic::BulkSenderApp::new(recv, 600_000, 1500, 99)),
+            Box::new(crate::crosstraffic::BulkSenderApp::new(
+                recv, 600_000, 1500, 99,
+            )),
         );
         sim.install_app(recv, Box::new(ReliableReceiverApp::new()));
         sim.run_until(SimTime::from_secs(10));
@@ -602,12 +612,19 @@ mod tests {
         let mut sim = Simulator::with_seed(t, 5);
         sim.install_app(
             a,
-            Box::new(TrimmingSenderApp::new(recv, MSG, 1, TransportConfig::default())),
+            Box::new(TrimmingSenderApp::new(
+                recv,
+                MSG,
+                1,
+                TransportConfig::default(),
+            )),
         );
         if cross {
             sim.install_app(
                 c,
-                Box::new(crate::crosstraffic::BulkSenderApp::new(recv, 600_000, 1500, 99)),
+                Box::new(crate::crosstraffic::BulkSenderApp::new(
+                    recv, 600_000, 1500, 99,
+                )),
             );
         }
         sim.install_app(
@@ -668,11 +685,18 @@ mod tests {
         let mut sim = Simulator::with_seed(t, 5);
         sim.install_app(
             a,
-            Box::new(ReliableSenderApp::new(recv, MSG, 1, TransportConfig::default())),
+            Box::new(ReliableSenderApp::new(
+                recv,
+                MSG,
+                1,
+                TransportConfig::default(),
+            )),
         );
         sim.install_app(
             c,
-            Box::new(crate::crosstraffic::BulkSenderApp::new(recv, 600_000, 1500, 99)),
+            Box::new(crate::crosstraffic::BulkSenderApp::new(
+                recv, 600_000, 1500, 99,
+            )),
         );
         sim.install_app(recv, Box::new(ReliableReceiverApp::new()));
         sim.run_until(SimTime::from_secs(10));
@@ -699,7 +723,12 @@ mod tests {
         let mut sim = Simulator::with_seed(t, 11);
         sim.install_app(
             a,
-            Box::new(TrimmingSenderApp::new(b, MSG, 1, TransportConfig::default())),
+            Box::new(TrimmingSenderApp::new(
+                b,
+                MSG,
+                1,
+                TransportConfig::default(),
+            )),
         );
         sim.install_app(
             b,

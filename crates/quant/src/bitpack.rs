@@ -178,7 +178,11 @@ impl BitBuf {
     /// Panics if `bits > self.len()`.
     #[must_use]
     pub fn prefix(&self, bits: usize) -> BitBuf {
-        assert!(bits <= self.len, "prefix {bits} exceeds length {}", self.len);
+        assert!(
+            bits <= self.len,
+            "prefix {bits} exceeds length {}",
+            self.len
+        );
         let mut bytes = self.bytes[..bits.div_ceil(8)].to_vec();
         // Zero the slack bits in the final byte so equality is structural.
         if !bits.is_multiple_of(8) {
@@ -244,7 +248,10 @@ impl BitBuf {
             self.len += full_bytes * 8;
             let rem = other.len % 8;
             if rem > 0 {
-                self.push_bits(u64::from(other.bytes[full_bytes]) & ((1 << rem) - 1), rem as u32);
+                self.push_bits(
+                    u64::from(other.bytes[full_bytes]) & ((1 << rem) - 1),
+                    rem as u32,
+                );
             }
             return;
         }
@@ -340,7 +347,9 @@ pub fn pack_fixed(values: &[u64], width: u32) -> BitBuf {
 /// Panics if the buffer holds fewer than `n·width` bits.
 #[must_use]
 pub fn unpack_fixed(buf: &BitBuf, n: usize, width: u32) -> Vec<u64> {
-    (0..n).map(|i| buf.get_bits(i * width as usize, width)).collect()
+    (0..n)
+        .map(|i| buf.get_bits(i * width as usize, width))
+        .collect()
 }
 
 #[cfg(test)]

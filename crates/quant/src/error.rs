@@ -77,8 +77,16 @@ pub fn cosine_similarity(est: &[f32], truth: &[f32]) -> f64 {
         .zip(truth)
         .map(|(e, t)| f64::from(*e) * f64::from(*t))
         .sum();
-    let ne: f64 = est.iter().map(|&v| f64::from(v).powi(2)).sum::<f64>().sqrt();
-    let nt: f64 = truth.iter().map(|&v| f64::from(v).powi(2)).sum::<f64>().sqrt();
+    let ne: f64 = est
+        .iter()
+        .map(|&v| f64::from(v).powi(2))
+        .sum::<f64>()
+        .sqrt();
+    let nt: f64 = truth
+        .iter()
+        .map(|&v| f64::from(v).powi(2))
+        .sum::<f64>()
+        .sqrt();
     if ne == 0.0 || nt == 0.0 {
         0.0
     } else {

@@ -219,7 +219,9 @@ mod tests {
         let r = gaussian_row(64, 5);
         let enc = s.encode(&r, 6);
         let depths: Vec<usize> = (0..enc.n).map(|i| i % 4).collect(); // includes 0 = lost
-        let dec = s.decode(&enc.view_with_depths(&depths), &enc.meta, 6).unwrap();
+        let dec = s
+            .decode(&enc.view_with_depths(&depths), &enc.meta, 6)
+            .unwrap();
         assert_eq!(dec.len(), r.len());
         assert!(dec.iter().all(|d| d.is_finite()));
     }

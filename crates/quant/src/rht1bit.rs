@@ -178,8 +178,8 @@ mod tests {
     #[test]
     fn heads_only_beats_signmag_in_l2() {
         // The whole point of the rotation (paper Fig 3 at 50% trim).
-        use crate::signmag::SignMagnitude;
         use crate::scheme::TrimmableScheme as _;
+        use crate::signmag::SignMagnitude;
         // A spiky row is the adversarial case for per-coordinate ±σ decoding.
         let mut r = vec![0.01f32; 1024];
         r[5] = 10.0;
@@ -215,7 +215,9 @@ mod tests {
         let enc = s.encode(&r, 5);
         // Half the coordinates keep their tails.
         let depths: Vec<usize> = (0..enc.n).map(|i| if i % 2 == 0 { 2 } else { 1 }).collect();
-        let half = s.decode(&enc.view_with_depths(&depths), &enc.meta, 5).unwrap();
+        let half = s
+            .decode(&enc.view_with_depths(&depths), &enc.meta, 5)
+            .unwrap();
         let err = |dec: &[f32]| -> f64 {
             dec.iter()
                 .zip(&r)
@@ -280,9 +282,7 @@ mod tests {
                 *a += f64::from(*d);
             }
         }
-        let norm = (r.iter().map(|&v| f64::from(v).powi(2)).sum::<f64>()
-            / r.len() as f64)
-            .sqrt();
+        let norm = (r.iter().map(|&v| f64::from(v).powi(2)).sum::<f64>() / r.len() as f64).sqrt();
         for (a, &v) in acc.iter().zip(&r) {
             let mean = a / trials as f64;
             assert!(

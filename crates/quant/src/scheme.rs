@@ -147,7 +147,13 @@ impl EncodedRow {
                 .parts
                 .iter()
                 .enumerate()
-                .map(|(k, p)| if k < depth { PartView::Full(p) } else { PartView::Absent })
+                .map(|(k, p)| {
+                    if k < depth {
+                        PartView::Full(p)
+                    } else {
+                        PartView::Absent
+                    }
+                })
                 .collect(),
         }
     }
@@ -363,14 +369,24 @@ impl core::fmt::Display for DecodeError {
             DecodeError::PartCountMismatch { expected, got } => {
                 write!(f, "expected {expected} parts, got {got}")
             }
-            DecodeError::LengthMismatch { part, expected, got } => {
+            DecodeError::LengthMismatch {
+                part,
+                expected,
+                got,
+            } => {
                 write!(f, "part {part}: expected {expected} bits, got {got}")
             }
             DecodeError::PrefixViolation { coord, part } => {
-                write!(f, "coordinate {coord} has part {part} but misses an earlier part")
+                write!(
+                    f,
+                    "coordinate {coord} has part {part} but misses an earlier part"
+                )
             }
             DecodeError::BadOriginalLen { n, original_len } => {
-                write!(f, "original_len {original_len} inconsistent with encoded n {n}")
+                write!(
+                    f,
+                    "original_len {original_len} inconsistent with encoded n {n}"
+                )
             }
         }
     }
@@ -410,8 +426,12 @@ pub trait TrimmableScheme: Send + Sync {
     /// # Errors
     ///
     /// Structural errors only ([`DecodeError`]); trimming is not an error.
-    fn decode(&self, row: &PartialRow<'_>, meta: &RowMeta, seed: u64)
-        -> Result<Vec<f32>, DecodeError>;
+    fn decode(
+        &self,
+        row: &PartialRow<'_>,
+        meta: &RowMeta,
+        seed: u64,
+    ) -> Result<Vec<f32>, DecodeError>;
 
     /// Head width in bits (`part_bits()[0]`).
     fn head_bits(&self) -> u32 {
@@ -523,7 +543,10 @@ mod tests {
         let v = row.full_view();
         assert_eq!(
             v.validate(&[1, 3, 7]),
-            Err(DecodeError::PartCountMismatch { expected: 3, got: 2 })
+            Err(DecodeError::PartCountMismatch {
+                expected: 3,
+                got: 2
+            })
         );
     }
 
@@ -584,7 +607,10 @@ mod tests {
     fn decode_error_messages() {
         let e = DecodeError::PrefixViolation { coord: 3, part: 1 };
         assert!(e.to_string().contains("coordinate 3"));
-        let e = DecodeError::BadOriginalLen { n: 8, original_len: 9 };
+        let e = DecodeError::BadOriginalLen {
+            n: 8,
+            original_len: 9,
+        };
         assert!(e.to_string().contains("inconsistent"));
     }
 }

@@ -136,7 +136,11 @@ mod tests {
         let r = row();
         let enc = s.encode(&r, 0);
         let dec = s
-            .decode(&enc.view_with_depths(&[0, 2, 1, 0, 2, 2, 2, 2]), &enc.meta, 0)
+            .decode(
+                &enc.view_with_depths(&[0, 2, 1, 0, 2, 2, 2, 2]),
+                &enc.meta,
+                0,
+            )
             .unwrap();
         assert_eq!(dec[0], 0.0);
         assert_eq!(dec[1].to_bits(), r[1].to_bits());

@@ -1,0 +1,681 @@
+//! Lightweight telemetry for the trimgrad stack.
+//!
+//! The paper's whole evaluation is a story told through counters: packets
+//! trimmed vs. dropped per switch port, gradient parts recovered per row,
+//! time-to-baseline-accuracy per scheme. This crate gives every layer of the
+//! stack one shared, dependency-free way to emit those numbers:
+//!
+//! * [`Counter`] — a monotone `u64`, updated with relaxed atomics so the
+//!   simulator hot path pays one uncontended atomic add;
+//! * [`Gauge`] — a last-value `u64` with a `set_max` high-watermark helper
+//!   (queue depths);
+//! * [`FloatGauge`] — a last-value `f64` (accuracies, throughputs);
+//! * [`Histogram`] — fixed 64-bucket log2 histogram (FCTs, queue depths);
+//! * [`Registry`] — a cloneable, thread-safe name → metric table that layers
+//!   share by handle;
+//! * [`Snapshot`] — an immutable, deterministically ordered capture of a
+//!   registry with hand-rolled JSON export, so two runs with the same seed
+//!   produce byte-identical snapshots.
+//!
+//! Naming convention: dot-separated lowercase paths, most-general first,
+//! e.g. `netsim.port.2->5.trimmed` or `collective.rank.0.bytes_sent`.
+//! Snapshots order keys lexicographically (via `BTreeMap`), which makes
+//! JSON output reproducible without any canonicalization pass.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of buckets in a [`Histogram`]: one per possible `log2` of a `u64`,
+/// plus a zero bucket folded into index 0.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotone event counter.
+///
+/// Cloning shares the underlying value (handles are `Arc`-backed), so a
+/// hot loop can hold a clone and increment without touching the registry.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge for integral quantities (queue bytes, window sizes).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-watermark tracking).
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge for real-valued quantities (accuracy, seconds).
+///
+/// Stored as the `f64` bit pattern in an atomic; reads and writes are
+/// lossless.
+#[derive(Debug, Clone, Default)]
+pub struct FloatGauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl FloatGauge {
+    /// A fresh gauge at `0.0`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-size log2-bucketed histogram of `u64` observations.
+///
+/// Bucket `i` counts observations `v` with `floor(log2(v)) == i`; zero lands
+/// in bucket 0 alongside 1. This trades resolution for a fixed footprint and
+/// allocation-free recording — right for queue depths and flow sizes where
+/// order of magnitude is what matters.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let idx = if v <= 1 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of observations, or `0.0` if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    fn bucket_counts(&self) -> Vec<u64> {
+        self.inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    FloatGauge(FloatGauge),
+    Histogram(Histogram),
+}
+
+/// A thread-safe, cloneable table of named metrics.
+///
+/// Clones share the table. Layers register (or re-open) metrics by name once
+/// and keep the returned handle for the hot path; the registry lock is only
+/// taken at registration and snapshot time.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.metrics.lock().expect("telemetry registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric '{name}' is not a counter: {other:?}"),
+        }
+    }
+
+    /// Returns the gauge named `name`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.metrics.lock().expect("telemetry registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric '{name}' is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Returns the float gauge named `name`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn float_gauge(&self, name: &str) -> FloatGauge {
+        let mut map = self.metrics.lock().expect("telemetry registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::FloatGauge(FloatGauge::new()))
+        {
+            Metric::FloatGauge(g) => g.clone(),
+            other => panic!("metric '{name}' is not a float gauge: {other:?}"),
+        }
+    }
+
+    /// Returns the histogram named `name`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.metrics.lock().expect("telemetry registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric '{name}' is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Captures an immutable, deterministically ordered snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.metrics.lock().expect("telemetry registry poisoned");
+        let values = map
+            .iter()
+            .map(|(name, m)| {
+                let v = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::FloatGauge(g) => MetricValue::Float(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets: h.bucket_counts(),
+                    },
+                };
+                (name.clone(), v)
+            })
+            .collect();
+        Snapshot { values }
+    }
+}
+
+/// The captured value of one metric inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter value.
+    Counter(u64),
+    /// Last gauge value.
+    Gauge(u64),
+    /// Last float-gauge value.
+    Float(f64),
+    /// Histogram totals and per-bucket counts (64 log2 buckets).
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations.
+        sum: u64,
+        /// Per-bucket observation counts.
+        buckets: Vec<u64>,
+    },
+}
+
+/// An immutable capture of a [`Registry`], ordered by metric name.
+///
+/// Two snapshots compare equal iff every metric name and value matches, and
+/// [`Snapshot::to_json`] is a pure function of that content — so equal
+/// snapshots serialize to byte-identical JSON.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    values: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// The captured value of `name`, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.values.get(name)
+    }
+
+    /// The captured counter value of `name`, or 0 if absent.
+    ///
+    /// Missing-as-zero matches how counters behave: a counter that was never
+    /// registered was never incremented.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.values.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The captured gauge value of `name`, or 0 if absent.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        match self.values.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The captured float-gauge value of `name`, or `0.0` if absent.
+    #[must_use]
+    pub fn float(&self, name: &str) -> f64 {
+        match self.values.get(name) {
+            Some(MetricValue::Float(v)) => *v,
+            _ => 0.0,
+        }
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    ///
+    /// Useful for rolling up per-port or per-rank counters, e.g.
+    /// `snapshot.counter_sum("netsim.port.") // all ports`.
+    #[must_use]
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.values
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .filter_map(|(_, v)| match v {
+                MetricValue::Counter(c) => Some(*c),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Iterates `(name, value)` pairs in lexicographic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of captured metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the snapshot is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Merges another snapshot into this one, summing counters and histogram
+    /// buckets with matching names, taking the max of gauges, and the last
+    /// value of float gauges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is present in both with different metric kinds.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, theirs) in &other.values {
+            match self.values.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(theirs.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    match (e.get_mut(), theirs) {
+                        (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                        (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = (*a).max(*b),
+                        (MetricValue::Float(a), MetricValue::Float(b)) => *a = *b,
+                        (
+                            MetricValue::Histogram {
+                                count,
+                                sum,
+                                buckets,
+                            },
+                            MetricValue::Histogram {
+                                count: c2,
+                                sum: s2,
+                                buckets: b2,
+                            },
+                        ) => {
+                            *count += c2;
+                            *sum += s2;
+                            for (a, b) in buckets.iter_mut().zip(b2) {
+                                *a += b;
+                            }
+                        }
+                        (mine, _) => panic!("metric '{name}' kind mismatch in merge: {mine:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serializes to a deterministic JSON object keyed by metric name.
+    ///
+    /// Schema per value:
+    /// * counters: `{"type":"counter","value":N}`
+    /// * gauges: `{"type":"gauge","value":N}`
+    /// * float gauges: `{"type":"float","value":X}`
+    /// * histograms: `{"type":"histogram","count":N,"sum":N,"buckets":[...]}`
+    ///   (trailing zero buckets elided)
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (name, v)) in self.values.iter().enumerate() {
+            let _ = write!(out, "  {}: ", json_string(name));
+            match v {
+                MetricValue::Counter(n) => {
+                    let _ = write!(out, "{{\"type\":\"counter\",\"value\":{n}}}");
+                }
+                MetricValue::Gauge(n) => {
+                    let _ = write!(out, "{{\"type\":\"gauge\",\"value\":{n}}}");
+                }
+                MetricValue::Float(x) => {
+                    let _ = write!(out, "{{\"type\":\"float\",\"value\":{}}}", json_f64(*x));
+                }
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                } => {
+                    let last = buckets.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
+                    let body: Vec<String> = buckets[..last].iter().map(u64::to_string).collect();
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"histogram\",\"count\":{count},\"sum\":{sum},\"buckets\":[{}]}}",
+                        body.join(",")
+                    );
+                }
+            }
+            out.push_str(if i + 1 < self.values.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal (used by [`Snapshot::to_json`]
+/// and by callers composing larger JSON documents out of snapshots).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (finite values only; non-finite values
+/// map to `null`). Rust's shortest-roundtrip float formatting is
+/// deterministic, which keeps snapshots byte-stable.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_shares_state_across_clones() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(r.snapshot().counter("x"), 4);
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_high_watermark() {
+        let g = Gauge::new();
+        g.set_max(5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn float_gauge_round_trips_exactly() {
+        let g = FloatGauge::new();
+        g.set(0.1 + 0.2);
+        assert_eq!(g.get(), 0.1 + 0.2);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1034);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 2); // 0 and 1
+        assert_eq!(buckets[1], 2); // 2 and 3
+        assert_eq!(buckets[2], 1); // 4
+        assert_eq!(buckets[10], 1); // 1024
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_stable() {
+        let r = Registry::new();
+        r.counter("b.count").add(2);
+        r.counter("a.count").add(1);
+        r.gauge("c.depth").set(7);
+        let json = r.snapshot().to_json();
+        let a = json.find("\"a.count\"").unwrap();
+        let b = json.find("\"b.count\"").unwrap();
+        let c = json.find("\"c.depth\"").unwrap();
+        assert!(a < b && b < c, "keys not sorted in {json}");
+        assert_eq!(json, r.snapshot().to_json());
+    }
+
+    #[test]
+    fn counter_sum_rolls_up_prefix() {
+        let r = Registry::new();
+        r.counter("port.0.trimmed").add(2);
+        r.counter("port.1.trimmed").add(3);
+        r.counter("portal.trimmed").add(100); // different prefix
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_sum("port."), 5);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_gauges() {
+        let r1 = Registry::new();
+        r1.counter("n").add(2);
+        r1.gauge("g").set(5);
+        let r2 = Registry::new();
+        r2.counter("n").add(3);
+        r2.gauge("g").set(4);
+        r2.counter("only2").add(1);
+        let mut snap = r1.snapshot();
+        snap.merge(&r2.snapshot());
+        assert_eq!(snap.counter("n"), 5);
+        assert_eq!(snap.gauge("g"), 5);
+        assert_eq!(snap.counter("only2"), 1);
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_chars() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn snapshots_of_equal_histories_are_byte_identical(
+            adds in proptest::collection::vec((0usize..8, 1u64..1000), 1..50)
+        ) {
+            let build = || {
+                let r = Registry::new();
+                for (slot, n) in &adds {
+                    r.counter(&format!("k.{slot}")).add(*n);
+                }
+                r.snapshot()
+            };
+            let (s1, s2) = (build(), build());
+            prop_assert_eq!(&s1, &s2);
+            prop_assert_eq!(s1.to_json(), s2.to_json());
+        }
+
+        #[test]
+        fn histogram_count_matches_observations(
+            values in proptest::collection::vec(0u64..1_000_000, 0..200)
+        ) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            prop_assert_eq!(h.count(), values.len() as u64);
+            prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+            let total: u64 = h.bucket_counts().iter().sum();
+            prop_assert_eq!(total, values.len() as u64);
+        }
+    }
+}

@@ -145,7 +145,10 @@ mod tests {
 
     #[test]
     fn mac_display_and_broadcast() {
-        assert_eq!(MacAddr([1, 2, 3, 0xAB, 0xCD, 0xEF]).to_string(), "01:02:03:ab:cd:ef");
+        assert_eq!(
+            MacAddr([1, 2, 3, 0xAB, 0xCD, 0xEF]).to_string(),
+            "01:02:03:ab:cd:ef"
+        );
         assert!(MacAddr::BROADCAST.is_broadcast());
         assert!(!MacAddr::for_host(1).is_broadcast());
     }

@@ -302,7 +302,7 @@ mod tests {
         );
         buf.truncate(HEADER_LEN + 10);
         let mut pkt = Ipv4Packet::new_checked(&mut buf[..]).unwrap_err(); // total_len still 120
-        // Must patch length before the view validates.
+                                                                          // Must patch length before the view validates.
         let _ = &mut pkt;
         let mut raw = buf;
         raw[2..4].copy_from_slice(&((HEADER_LEN + 10) as u16).to_be_bytes());

@@ -128,7 +128,9 @@ mod tests {
 
     #[test]
     fn buffer_with_embedded_checksum_verifies_to_zero() {
-        let mut data = vec![0x45u8, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let mut data = vec![
+            0x45u8, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0,
+        ];
         let csum = internet_checksum(&data);
         data[10] = (csum >> 8) as u8;
         data[11] = (csum & 0xFF) as u8;

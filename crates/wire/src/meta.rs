@@ -192,7 +192,10 @@ mod tests {
         );
         let mut bad = good;
         bad[0] = 0;
-        assert_eq!(RowMetaPacket::from_bytes(&bad).unwrap_err(), WireError::BadMagic);
+        assert_eq!(
+            RowMetaPacket::from_bytes(&bad).unwrap_err(),
+            WireError::BadMagic
+        );
         let mut bad = good;
         bad[2] = 9;
         assert_eq!(

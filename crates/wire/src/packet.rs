@@ -106,7 +106,8 @@ impl GradPacket {
         for s in sections {
             app.extend_from_slice(s);
         }
-        let udp_bytes = udp::build_datagram(net.src_ip, net.dst_ip, net.src_port, net.dst_port, &app);
+        let udp_bytes =
+            udp::build_datagram(net.src_ip, net.dst_ip, net.src_port, net.dst_port, &app);
         let ip_bytes = ipv4::build_packet(net.src_ip, net.dst_ip, PROTO_UDP, DSCP_BULK, &udp_bytes);
         let frame = ethernet::build_frame(net.dst_mac, net.src_mac, ETHERTYPE_IPV4, &ip_bytes);
         Self { frame }
@@ -183,7 +184,11 @@ impl GradPacket {
             return Err(WireError::Truncated);
         }
         let sections = (0..depth).map(|j| &body[layout.section_range(j)]).collect();
-        Ok(ParsedGrad { net, fields, sections })
+        Ok(ParsedGrad {
+            net,
+            fields,
+            sections,
+        })
     }
 
     /// Performs the switch trim: keep only the first `depth` payload
@@ -221,8 +226,8 @@ impl GradPacket {
 
         // Patch the TrimGrad depth.
         let app_start = ethernet::HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN;
-        let mut hdr =
-            TrimGradHeader::new_unchecked_mut(&mut self.frame[app_start..]).expect("truncated above header");
+        let mut hdr = TrimGradHeader::new_unchecked_mut(&mut self.frame[app_start..])
+            .expect("truncated above header");
         hdr.set_trim_depth(depth);
 
         // Patch UDP length + checksum.
@@ -403,8 +408,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "length mismatch")]
-    fn build_rejects_wrong_section_length()
-    {
+    fn build_rejects_wrong_section_length() {
         let fields = sample_fields(10);
         let _ = GradPacket::build(
             &NetAddrs::between_hosts(1, 2),

@@ -113,8 +113,7 @@ pub fn packetize_row(enc: &EncodedRow, cfg: &PacketizeConfig) -> PacketizedRow {
 /// including Ethernet framing — the quantity that loads links and queues.
 #[must_use]
 pub fn wire_bytes(row: &PacketizedRow, net: &NetAddrs) -> usize {
-    row.packets.iter().map(GradPacket::wire_len).sum::<usize>()
-        + row.meta.build_frame(net).len()
+    row.packets.iter().map(GradPacket::wire_len).sum::<usize>() + row.meta.build_frame(net).len()
 }
 
 /// Protocol efficiency report for §2's in-text numbers: how an MTU-sized
@@ -137,8 +136,7 @@ pub fn layout_report(part_bits: &[u32], mtu: usize) -> Option<LayoutReport> {
     let budget = mtu.saturating_sub(ipv4::HEADER_LEN + udp::HEADER_LEN + trimhdr::HEADER_LEN);
     let coords = max_coords_for_budget(part_bits, budget)?;
     let layout = PayloadLayout::new(part_bits, coords);
-    let overhead =
-        ethernet::HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN + trimhdr::HEADER_LEN;
+    let overhead = ethernet::HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN + trimhdr::HEADER_LEN;
     let full = overhead + layout.total_len();
     let trimmed = overhead + layout.trim_point(1);
     Some(LayoutReport {
@@ -152,9 +150,9 @@ pub fn layout_report(part_bits: &[u32], mtu: usize) -> Option<LayoutReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trimgrad_quant::rht1bit::RhtOneBit;
     use trimgrad_quant::scheme::TrimmableScheme;
     use trimgrad_quant::signmag::SignMagnitude;
-    use trimgrad_quant::rht1bit::RhtOneBit;
 
     fn cfg() -> PacketizeConfig {
         PacketizeConfig {
@@ -254,10 +252,7 @@ mod tests {
     fn small_mtu_produces_more_packets() {
         let row: Vec<f32> = (0..512).map(|i| i as f32).collect();
         let enc = SignMagnitude.encode(&row, 0);
-        let small = PacketizeConfig {
-            mtu: 256,
-            ..cfg()
-        };
+        let small = PacketizeConfig { mtu: 256, ..cfg() };
         let pr_small = packetize_row(&enc, &small);
         let pr_big = packetize_row(&enc, &cfg());
         assert!(pr_small.packets.len() > pr_big.packets.len());

@@ -212,8 +212,8 @@ mod tests {
     use super::*;
     use crate::packet::NetAddrs;
     use crate::packetize::{packetize_row, PacketizeConfig};
-    use trimgrad_quant::scheme::TrimmableScheme;
     use trimgrad_quant::rht1bit::RhtOneBit;
+    use trimgrad_quant::scheme::TrimmableScheme;
     use trimgrad_quant::signmag::SignMagnitude;
 
     fn cfg() -> PacketizeConfig {

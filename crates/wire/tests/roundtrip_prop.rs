@@ -83,6 +83,85 @@ proptest! {
         }
     }
 
+    /// Telemetry agreement: running the packetize → trim → reassemble path
+    /// while tallying counters into a registry must reproduce the
+    /// assembler's own bookkeeping exactly — delivered + lost == made,
+    /// trimmed/parts-lost counts match the applied fates, and the coords
+    /// counter equals what the assembler reports as received.
+    #[test]
+    fn roundtrip_counters_match_telemetry(
+        scheme_idx in 0usize..SchemeId::ALL.len(),
+        len in 1usize..1200,
+        seed in any::<u64>(),
+        mtu in 300usize..1500,
+        fates in proptest::collection::vec(0u8..=4, 1..64)
+    ) {
+        let scheme_id = SchemeId::ALL[scheme_idx];
+        let scheme = scheme_for(scheme_id);
+        let data = row(len, seed);
+        let enc = scheme.encode(&data, seed);
+        let c = cfg(mtu);
+        let pr = packetize_row(&enc, &c);
+        let n_parts = scheme_id.part_bits().len();
+
+        let reg = trimgrad_telemetry::Registry::new();
+        let made = reg.counter("wire.packets_made");
+        let delivered = reg.counter("wire.packets_delivered");
+        let lost = reg.counter("wire.packets_lost");
+        let trimmed = reg.counter("wire.packets_trimmed");
+        let parts_lost = reg.counter("wire.parts_lost");
+        let coords = reg.counter("wire.coords_delivered");
+
+        let mut asm = RowAssembler::new(scheme_id, c.msg_id, c.row_id, len);
+        asm.ingest_meta(&pr.meta).expect("meta matches");
+        let mut expect_delivered = 0u64;
+        let mut expect_trimmed = 0u64;
+        let mut expect_parts_lost = 0u64;
+        for (i, pkt) in pr.packets.iter().enumerate() {
+            made.inc();
+            let fate = fates[i % fates.len()];
+            if fate == 0 {
+                lost.inc();
+                continue;
+            }
+            let depth = (fate as usize).min(n_parts);
+            let mut p = pkt.clone();
+            if depth < n_parts {
+                p.trim_to_depth(depth as u8).expect("trimmable");
+                trimmed.inc();
+                parts_lost.add((n_parts - depth) as u64);
+                expect_trimmed += 1;
+                expect_parts_lost += (n_parts - depth) as u64;
+            }
+            let fields = p.quick_fields().expect("valid");
+            asm.ingest(&p).expect("ingest ok");
+            delivered.inc();
+            coords.add(u64::from(fields.coord_count));
+            expect_delivered += 1;
+        }
+
+        let snap = reg.snapshot();
+        prop_assert_eq!(snap.counter("wire.packets_made"), pr.packets.len() as u64);
+        prop_assert_eq!(
+            snap.counter("wire.packets_delivered") + snap.counter("wire.packets_lost"),
+            snap.counter("wire.packets_made"),
+            "wire conservation violated"
+        );
+        prop_assert_eq!(snap.counter("wire.packets_delivered"), expect_delivered);
+        prop_assert_eq!(snap.counter("wire.packets_trimmed"), expect_trimmed);
+        prop_assert_eq!(snap.counter("wire.parts_lost"), expect_parts_lost);
+        // Head coords the assembler holds == head coords the counters say
+        // arrived (re-delivery of the same range cannot double-count in the
+        // assembler, but each packet covers a disjoint range here).
+        prop_assert_eq!(
+            snap.counter("wire.coords_delivered") as usize,
+            asm.coords_received(),
+            "telemetry coords disagree with assembler bookkeeping"
+        );
+        // Snapshots are pure reads: a second one is identical.
+        prop_assert_eq!(snap, reg.snapshot());
+    }
+
     /// Every produced frame is structurally valid and within the MTU
     /// (plus Ethernet framing), before and after any legal trim.
     #[test]

@@ -38,7 +38,11 @@ fn run(policy: QueuePolicy, label: &str) {
     let st = sim.stats();
     println!("== {label} ==");
     println!("  sent:      {:6}", st.sent_packets());
-    println!("  delivered: {:6}  (of which trimmed: {})", st.delivered_packets(), st.delivered_trimmed_packets());
+    println!(
+        "  delivered: {:6}  (of which trimmed: {})",
+        st.delivered_packets(),
+        st.delivered_trimmed_packets()
+    );
     println!("  dropped:   {:6}", st.dropped_total());
     println!("  max queue: {:6} B", st.max_queue_bytes());
     let completed = flows
@@ -56,11 +60,15 @@ fn run(policy: QueuePolicy, label: &str) {
 }
 
 fn main() {
-    println!(
-        "{SENDERS}-to-1 incast, {BYTES_PER_SENDER} B per sender, 150 KB switch buffer\n"
+    println!("{SENDERS}-to-1 incast, {BYTES_PER_SENDER} B per sender, 150 KB switch buffer\n");
+    run(
+        QueuePolicy::droptail_default(),
+        "tail-drop switch (baseline fabric)",
     );
-    run(QueuePolicy::droptail_default(), "tail-drop switch (baseline fabric)");
-    run(QueuePolicy::trim_default(), "trimming switch (NDP/UEC-style)");
+    run(
+        QueuePolicy::trim_default(),
+        "trimming switch (NDP/UEC-style)",
+    );
     println!("With trimming, every sent packet is accounted for at the receiver —");
     println!("the payload of trimmed packets is gone, but for trimmable gradients");
     println!("the surviving heads ARE the compressed gradient.");

@@ -87,6 +87,9 @@ fn main() {
     }
     println!("\nfinal:");
     for (name, curve) in &runs {
-        println!("  {name:>9}: top-1 {:.3}", curve.last().expect("epochs > 0"));
+        println!(
+            "  {name:>9}: top-1 {:.3}",
+            curve.last().expect("epochs > 0")
+        );
     }
 }

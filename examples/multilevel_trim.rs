@@ -22,7 +22,10 @@ fn main() {
     let enc = scheme.encode(&gradient, 7);
 
     // --- Part 1: what each switch trim level costs in accuracy. ---
-    println!("switch trim levels of the {} encoding:", Scheme::MultiLevelRht.name());
+    println!(
+        "switch trim levels of the {} encoding:",
+        Scheme::MultiLevelRht.name()
+    );
     let part_bits = scheme.part_bits();
     for depth in (1..=part_bits.len()).rev() {
         let kept_bits: u32 = part_bits[..depth].iter().sum();

@@ -46,7 +46,9 @@ fn main() {
         }
 
         // Receiver: reassemble + decode whatever arrived.
-        let decoded = pipe.decode(&packets, &tx.metas, 0, 0).expect("valid packets");
+        let decoded = pipe
+            .decode(&packets, &tx.metas, 0, 0)
+            .expect("valid packets");
 
         println!(
             "{:8}  wire: {:7} B -> {:7} B ({:4.1}% saved)   nmse vs original: {:.4}",

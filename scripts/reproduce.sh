@@ -6,6 +6,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mkdir -p results
+# The figure binaries also dump their telemetry snapshots as
+# results/<name>.snapshot.json (see EXPERIMENTS.md); TRIMGRAD_SNAPSHOT_DIR
+# overrides the destination.
+export TRIMGRAD_SNAPSHOT_DIR=results
 cargo build --release -p trimgrad-bench --bins
 
 run() {
@@ -23,4 +27,5 @@ run lowrank_ablation   # §5.2 low-rank prefix-decodable compression (instant)
 run fig3_tta           # Fig 3 TTA curves (~10 min)
 run fig4_ttba          # Fig 4 time-to-baseline-accuracy (~35 min)
 
-echo "All experiment outputs saved under results/."
+echo "All experiment outputs saved under results/ (figure binaries also"
+echo "write machine-readable telemetry to results/*.snapshot.json)."

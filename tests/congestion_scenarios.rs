@@ -9,8 +9,7 @@ use trimgrad::netsim::switch::QueuePolicy;
 use trimgrad::netsim::time::{gbps, SimTime};
 use trimgrad::netsim::topology::Topology;
 use trimgrad::netsim::transport::{
-    ReliableReceiverApp, ReliableSenderApp, TransportConfig, TrimmingReceiverApp,
-    TrimmingSenderApp,
+    ReliableReceiverApp, ReliableSenderApp, TransportConfig, TrimmingReceiverApp, TrimmingSenderApp,
 };
 use trimgrad::netsim::{FlowId, NodeId};
 
@@ -141,13 +140,23 @@ fn transport_loss_tolerance_shapes() {
         if reliable {
             sim.install_app(
                 a,
-                Box::new(ReliableSenderApp::new(b, 1_500_000, 1, TransportConfig::default())),
+                Box::new(ReliableSenderApp::new(
+                    b,
+                    1_500_000,
+                    1,
+                    TransportConfig::default(),
+                )),
             );
             sim.install_app(b, Box::new(ReliableReceiverApp::new()));
         } else {
             sim.install_app(
                 a,
-                Box::new(TrimmingSenderApp::new(b, 1_500_000, 1, TransportConfig::default())),
+                Box::new(TrimmingSenderApp::new(
+                    b,
+                    1_500_000,
+                    1,
+                    TransportConfig::default(),
+                )),
             );
             sim.install_app(
                 b,

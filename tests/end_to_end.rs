@@ -15,9 +15,16 @@ fn blob(n: usize, seed: u64) -> Vec<f32> {
 /// Gradient → pipeline → real switch trim (byte level) → pipeline → gradient.
 #[test]
 fn pipeline_survives_real_switch_trimming() {
-    for scheme in [Scheme::SignMagnitude, Scheme::RhtOneBit, Scheme::MultiLevelRht] {
+    for scheme in [
+        Scheme::SignMagnitude,
+        Scheme::RhtOneBit,
+        Scheme::MultiLevelRht,
+    ] {
         let pipe = TrimmablePipeline::new(
-            PipelineConfig::builder().scheme(scheme).row_len(1 << 11).build(),
+            PipelineConfig::builder()
+                .scheme(scheme)
+                .row_len(1 << 11)
+                .build(),
         );
         let g = blob(6000, 1);
         let tx = pipe.encode(&g, 2, 5, 1, 2);
@@ -119,7 +126,10 @@ fn training_and_transcript_reproducibility() {
         t.run_epoch();
     }
     let (top1, _) = t.evaluate();
-    assert!(top1 > 0.5, "training through trimmed exchange stuck at {top1}");
+    assert!(
+        top1 > 0.5,
+        "training through trimmed exchange stuck at {top1}"
+    );
 
     // Transcript: record one trimmed exchange, replay bit-identically.
     let scheme = scheme_for(Scheme::RhtOneBit);
@@ -147,7 +157,10 @@ fn training_and_transcript_reproducibility() {
 fn lossless_full_stack_all_schemes() {
     for scheme in trimgrad::quant::SchemeId::ALL {
         let pipe = TrimmablePipeline::new(
-            PipelineConfig::builder().scheme(scheme).row_len(512).build(),
+            PipelineConfig::builder()
+                .scheme(scheme)
+                .row_len(512)
+                .build(),
         );
         let g = blob(1500, 2);
         let tx = pipe.encode(&g, 0, 0, 3, 4);
@@ -155,7 +168,9 @@ fn lossless_full_stack_all_schemes() {
         for p in &tx.packets {
             p.parse().expect("valid frame");
         }
-        let dec = pipe.decode(&tx.packets, &tx.metas, 0, 0).expect("decodable");
+        let dec = pipe
+            .decode(&tx.packets, &tx.metas, 0, 0)
+            .expect("decodable");
         for (d, v) in dec.iter().zip(&g) {
             assert!((d - v).abs() < 1e-4, "{scheme}: {d} vs {v}");
         }
@@ -183,7 +198,10 @@ fn adaptive_and_sparsify_compose() {
     assert_eq!(kept, 512);
 
     let pipe = TrimmablePipeline::new(
-        PipelineConfig::builder().scheme(scheme).row_len(1 << 10).build(),
+        PipelineConfig::builder()
+            .scheme(scheme)
+            .row_len(1 << 10)
+            .build(),
     );
     let tx = pipe.encode(&sparse, 0, 0, 1, 2);
     let mut packets = tx.packets;
