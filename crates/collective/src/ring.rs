@@ -26,7 +26,7 @@ pub fn ring_all_reduce<C: GradChannel>(
     epoch: u32,
     base_msg_id: u32,
 ) {
-    let w = workers.len() as u32;
+    let w = trimgrad_wire::narrow::to_u32(workers.len(), "worker count");
     ring_reduce_scatter(workers, channels, epoch, base_msg_id);
     ring_all_gather(workers, channels, epoch, base_msg_id + w * w);
 }

@@ -175,6 +175,7 @@ impl TrimInjector {
         let view = enc.view_with_depths(&depths);
         let dec = scheme
             .decode(&view, &enc.meta, seed)
+            // trimlint: allow(no-panic) -- documented # Panics contract: the view was built from this encoder's own parts and depths, so a decode failure is a codec geometry bug
             .expect("injected view is structurally valid");
         (dec, stats)
     }

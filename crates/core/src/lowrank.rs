@@ -15,6 +15,7 @@
 //! then trim tail ranks exactly like it trims tail bits.
 
 use trimgrad_hadamard::prng::Xoshiro256StarStar;
+use trimgrad_quant::fcmp;
 
 /// PowerSGD-style low-rank compressor.
 #[derive(Debug, Clone, Copy)]
@@ -85,7 +86,7 @@ impl LowRankCompressor {
         // Order components by importance (‖q_k‖ estimates σ_k).
         let mut order: Vec<usize> = (0..r).collect();
         let norms: Vec<f64> = q.iter().map(|qk| norm(qk)).collect();
-        order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).expect("finite"));
+        order.sort_by(|&a, &b| norms[b].total_cmp(&norms[a]));
         let components = order
             .into_iter()
             .map(|k| RankComponent {
@@ -147,7 +148,7 @@ impl LowRankMessage {
         let mut out = vec![0.0f32; self.rows * self.cols];
         for c in &self.components[..ranks] {
             for (i, &pi) in c.p.iter().enumerate() {
-                if pi == 0.0 {
+                if fcmp::exactly_zero(pi) {
                     continue;
                 }
                 let row = &mut out[i * self.cols..(i + 1) * self.cols];

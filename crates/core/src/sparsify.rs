@@ -85,7 +85,7 @@ impl TopKSparsifier {
         // Threshold = k-th largest magnitude (via select_nth on a copy).
         let mut mags: Vec<f32> = comp.iter().map(|v| v.abs()).collect();
         let idx = mags.len() - k;
-        mags.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("finite"));
+        mags.select_nth_unstable_by(idx, |a, b| a.total_cmp(b));
         let threshold = mags[idx];
         let mut out = vec![0.0f32; comp.len()];
         let mut kept = 0usize;

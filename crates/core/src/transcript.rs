@@ -13,7 +13,7 @@
 //! bit-reproducible. Transcripts serialize to a stable sorted text format
 //! for archival ([`TrimTranscript::to_bytes`]).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use trimgrad_quant::scheme::EncodedRow;
 use trimgrad_wire::payload::max_coords_for_budget;
 
@@ -34,7 +34,7 @@ pub struct PacketKey {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TrimTranscript {
     /// Only non-full-depth fates are stored; absent keys mean "untrimmed".
-    events: HashMap<PacketKey, u8>,
+    events: BTreeMap<PacketKey, u8>,
 }
 
 impl TrimTranscript {
@@ -194,9 +194,9 @@ impl RecordingInjector {
                         epoch,
                         msg_id,
                         row_id,
-                        chunk_id: chunk_id as u16,
+                        chunk_id: trimgrad_wire::narrow::to_u16(chunk_id, "chunk id"),
                     },
-                    chunk[0] as u8,
+                    trimgrad_wire::narrow::to_u8(chunk[0], "trim depth"),
                 );
             }
         }

@@ -1,0 +1,505 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! Good enough for rule matching: it distinguishes identifiers, numeric
+//! literals, string/char literals, and punctuation, tracks source lines, and
+//! swallows comments (while extracting `trimlint:` suppression directives).
+//! It does **not** build a syntax tree — the rules in [`crate::rules`] work
+//! directly on the token stream.
+
+/// Token kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (integer or float, any radix, with suffix).
+    Num,
+    /// String literal (regular, raw, or byte).
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Punctuation (longest-match for two/three-character operators).
+    Punct,
+}
+
+/// One token with its starting source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// Source text (empty for string literals — contents never matter here).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    #[must_use]
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A parsed `// trimlint: allow(rule, …) -- reason` directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule ids this directive allows.
+    pub rules: Vec<String>,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// True when no code precedes the comment on its line; a standalone
+    /// directive also covers the line directly below it.
+    pub standalone: bool,
+}
+
+/// Lexer output: the token stream plus suppression directives.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Well-formed suppression directives.
+    pub suppressions: Vec<Suppression>,
+    /// Lines holding a `trimlint:` comment that failed to parse.
+    pub malformed: Vec<u32>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "<<=", ">>=", "==", "!=", "<=", ">=", "::", "..", "->", "=>", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+];
+
+/// Tokenizes `src`.
+#[must_use]
+pub fn lex(src: &str) -> LexOut {
+    let c: Vec<char> = src.chars().collect();
+    let mut out = LexOut::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_had_token = false;
+
+    while i < c.len() {
+        let ch = c[i];
+        if ch == '\n' {
+            line += 1;
+            line_had_token = false;
+            i += 1;
+            continue;
+        }
+        if ch.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if ch == '/' && i + 1 < c.len() && c[i + 1] == '/' {
+            let start = i;
+            while i < c.len() && c[i] != '\n' {
+                i += 1;
+            }
+            let text: String = c[start..i].iter().collect();
+            parse_directive(&text, line, !line_had_token, &mut out);
+            continue;
+        }
+        if ch == '/' && i + 1 < c.len() && c[i + 1] == '*' {
+            let mut depth = 1u32;
+            i += 2;
+            while i < c.len() && depth > 0 {
+                if c[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if c[i] == '/' && i + 1 < c.len() && c[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if c[i] == '*' && i + 1 < c.len() && c[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        line_had_token = true;
+        let start_line = line;
+
+        // String literal.
+        if ch == '"' {
+            i = skip_string(&c, i + 1, &mut line);
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Lifetime, char literal.
+        if ch == '\'' {
+            if i + 1 < c.len()
+                && (c[i + 1].is_alphabetic() || c[i + 1] == '_')
+                && !(i + 2 < c.len() && c[i + 2] == '\'')
+            {
+                // Lifetime: `'a` — consume and emit nothing.
+                i += 2;
+                while i < c.len() && (c[i].is_alphanumeric() || c[i] == '_') {
+                    i += 1;
+                }
+                continue;
+            }
+            i = skip_char_literal(&c, i + 1, &mut line);
+            out.toks.push(Tok {
+                kind: TokKind::Char,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Number.
+        if ch.is_ascii_digit() {
+            let start = i;
+            i = skip_number(&c, i);
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: c[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Identifier / keyword (and raw/byte string prefixes).
+        if ch.is_alphabetic() || ch == '_' {
+            let start = i;
+            while i < c.len() && (c[i].is_alphanumeric() || c[i] == '_') {
+                i += 1;
+            }
+            let text: String = c[start..i].iter().collect();
+            if (text == "r" || text == "b" || text == "br") && i < c.len() {
+                if c[i] == '"' {
+                    // `b"..."` escapes like a normal string; `r"..."` is raw.
+                    i = if text == "b" {
+                        skip_string(&c, i + 1, &mut line)
+                    } else {
+                        skip_raw_string(&c, i + 1, 0, &mut line)
+                    };
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                    continue;
+                }
+                if c[i] == '#' {
+                    // Raw string `r#"…"#` (any hash depth) or raw ident `r#foo`.
+                    let mut hashes = 0usize;
+                    let mut j = i;
+                    while j < c.len() && c[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < c.len() && c[j] == '"' {
+                        i = skip_raw_string(&c, j + 1, hashes, &mut line);
+                        out.toks.push(Tok {
+                            kind: TokKind::Str,
+                            text: String::new(),
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                    if text == "r" && j < c.len() && (c[j].is_alphabetic() || c[j] == '_') {
+                        // Raw identifier.
+                        i = j;
+                        let id_start = i;
+                        while i < c.len() && (c[i].is_alphanumeric() || c[i] == '_') {
+                            i += 1;
+                        }
+                        out.toks.push(Tok {
+                            kind: TokKind::Ident,
+                            text: c[id_start..i].iter().collect(),
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                }
+                if text == "b" && c[i] == '\'' {
+                    i = skip_char_literal(&c, i + 1, &mut line);
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                    continue;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        // Punctuation: longest match first.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let n = op.chars().count();
+            if i + n <= c.len() && c[i..i + n].iter().collect::<String>() == **op {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*op).to_string(),
+                    line: start_line,
+                });
+                i += n;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: ch.to_string(),
+                line: start_line,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Skips past a regular (escapable) string body; `i` points after the
+/// opening quote. Returns the index after the closing quote.
+fn skip_string(c: &[char], mut i: usize, line: &mut u32) -> usize {
+    while i < c.len() {
+        match c[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips past a raw string body with `hashes` trailing hashes; `i` points
+/// after the opening quote.
+fn skip_raw_string(c: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    while i < c.len() {
+        if c[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if c[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if i + 1 + k >= c.len() || c[i + 1 + k] != '#' {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips past a char literal body; `i` points after the opening quote.
+fn skip_char_literal(c: &[char], mut i: usize, line: &mut u32) -> usize {
+    if i < c.len() && c[i] == '\\' {
+        i += 2; // escape lead + escaped char (covers \', \\, \n, and starts \u)
+    }
+    while i < c.len() && c[i] != '\'' {
+        if c[i] == '\n' {
+            *line += 1;
+        }
+        i += 1;
+    }
+    i + 1
+}
+
+/// Skips past a numeric literal starting at `i`.
+fn skip_number(c: &[char], mut i: usize) -> usize {
+    if c[i] == '0' && i + 1 < c.len() && matches!(c[i + 1], 'x' | 'o' | 'b') {
+        i += 2;
+        while i < c.len() && (c[i].is_ascii_alphanumeric() || c[i] == '_') {
+            i += 1;
+        }
+        return i;
+    }
+    while i < c.len() && (c[i].is_ascii_digit() || c[i] == '_') {
+        i += 1;
+    }
+    // Fractional part — but not `1..x`, `1.method()`, or a field access.
+    if i < c.len() && c[i] == '.' && i + 1 < c.len() && c[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < c.len() && (c[i].is_ascii_digit() || c[i] == '_') {
+            i += 1;
+        }
+    }
+    // Exponent.
+    if i < c.len() && (c[i] == 'e' || c[i] == 'E') {
+        let mut j = i + 1;
+        if j < c.len() && (c[j] == '+' || c[j] == '-') {
+            j += 1;
+        }
+        if j < c.len() && c[j].is_ascii_digit() {
+            i = j;
+            while i < c.len() && (c[i].is_ascii_digit() || c[i] == '_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (`u8`, `f64`, …).
+    while i < c.len() && (c[i].is_ascii_alphanumeric() || c[i] == '_') {
+        i += 1;
+    }
+    i
+}
+
+/// Whether a numeric literal's text denotes a float.
+#[must_use]
+pub fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text.contains('e')
+        || text.contains('E')
+}
+
+/// Extracts a `trimlint:` directive from a line comment, if present.
+fn parse_directive(comment: &str, line: u32, standalone: bool, out: &mut LexOut) {
+    let Some(pos) = comment.find("trimlint:") else {
+        return;
+    };
+    let rest = comment[pos + "trimlint:".len()..].trim_start();
+    let parsed = (|| {
+        let rest = rest.strip_prefix("allow")?.trim_start();
+        let rest = rest.strip_prefix('(')?;
+        let close = rest.find(')')?;
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if rules.is_empty() {
+            return None;
+        }
+        let reason = rest[close + 1..].trim_start().strip_prefix("--")?.trim();
+        if reason.is_empty() {
+            return None;
+        }
+        Some(rules)
+    })();
+    match parsed {
+        Some(rules) => out.suppressions.push(Suppression {
+            rules,
+            line,
+            standalone,
+        }),
+        None => out.malformed.push(line),
+    }
+}
+
+/// Computes, for every token, whether it sits inside test-only code: an item
+/// annotated `#[test]` or `#[cfg(test)]` (attributes containing `not(…)` are
+/// conservatively treated as non-test, so `#[cfg(not(test))]` code is linted).
+#[must_use]
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+            let Some(close) = matching(toks, i + 1, "[", "]") else {
+                break;
+            };
+            let inner = &toks[i + 2..close];
+            let is_test = inner
+                .iter()
+                .any(|t| t.is_ident("test") || t.is_ident("should_panic"))
+                && !inner.iter().any(|t| t.is_ident("not"));
+            if !is_test {
+                i = close + 1;
+                continue;
+            }
+            // Mark the annotated item: scan forward for its `{ … }` body (or
+            // a `;` for body-less items), skipping any further attributes.
+            let mut j = close + 1;
+            while j < toks.len() {
+                if toks[j].is_punct("#") && j + 1 < toks.len() && toks[j + 1].is_punct("[") {
+                    match matching(toks, j + 1, "[", "]") {
+                        Some(c2) => {
+                            j = c2 + 1;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+                if toks[j].is_punct(";") {
+                    for m in &mut mask[i..=j] {
+                        *m = true;
+                    }
+                    break;
+                }
+                if toks[j].is_punct("{") {
+                    let body_close = matching(toks, j, "{", "}").unwrap_or(toks.len() - 1);
+                    for m in &mut mask[i..=body_close] {
+                        *m = true;
+                    }
+                    j = body_close;
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index of the token closing the bracket opened at `open` (which must hold
+/// punctuation `open_p`).
+fn matching(toks: &[Tok], open: usize, open_p: &str, close_p: &str) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(open_p) {
+            depth += 1;
+        } else if t.is_punct(close_p) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the token opening the bracket closed at `close`.
+#[must_use]
+pub fn matching_open(toks: &[Tok], close: usize, open_p: &str, close_p: &str) -> Option<usize> {
+    let mut depth = 0i64;
+    for k in (0..=close).rev() {
+        if toks[k].is_punct(close_p) {
+            depth += 1;
+        } else if toks[k].is_punct(open_p) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}

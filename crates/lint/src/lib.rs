@@ -1,0 +1,232 @@
+//! `trimgrad-lint` — repo-native static analysis for the trimgrad workspace.
+//!
+//! The paper's evaluation depends on two properties nothing in the type
+//! system enforces: the simulator must be **bit-deterministic** (identical
+//! seeds ⇒ identical transcripts and snapshots) and the **wire encoding**
+//! must agree byte-for-byte between the encoder, the switch trimmer, and the
+//! decoder. PR 1's telemetry makes violations observable at runtime; this
+//! crate prevents the well-known source-level bug classes from compiling at
+//! all — it runs as `cargo run -p trimgrad-lint -- check .` in CI and as a
+//! `#[test]` so it rides tier-1.
+//!
+//! There are no dependencies: a small hand-rolled lexer ([`lex`]) feeds a
+//! token-level rule engine ([`rules`]) plus one cross-file wire-format
+//! consistency pass ([`wirecheck`]).
+//!
+//! Suppress a diagnostic with an explicit, reasoned comment on the same line
+//! or the line above:
+//!
+//! ```text
+//! // trimlint: allow(no-panic) -- buffer is statically HEADER_LEN bytes
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lex;
+pub mod rules;
+pub mod wirecheck;
+
+use std::fmt;
+use std::path::Path;
+
+use lex::{lex, test_mask, LexOut};
+use rules::Finding;
+
+/// Crates whose non-test code bans panicking constructs and lossy casts.
+const HOT_CRATES: &[&str] = &["netsim", "wire", "collective", "core"];
+
+/// Crates whose iteration order leaks into snapshots, events, or traffic.
+const ORDER_CRATES: &[&str] = &["netsim", "wire", "collective", "core", "telemetry"];
+
+/// Crates the linter never walks: `bench` legitimately uses wall clocks and
+/// ad-hoc casts, `proptest` is the offline test-infrastructure shim, and
+/// `lint` is this crate.
+const SKIP_CRATES: &[&str] = &["bench", "lint", "proptest"];
+
+/// Rule ids with one-line summaries (the order diagnostics sort in).
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "no-panic",
+        "no unwrap()/expect()/panic!-family in non-test code of netsim/wire/collective/core",
+    ),
+    (
+        "ordered-map",
+        "no HashMap/HashSet in ordering-sensitive crates; use BTreeMap/BTreeSet",
+    ),
+    (
+        "wall-clock",
+        "no std::time::{Instant,SystemTime} or thread::sleep outside bench",
+    ),
+    (
+        "unseeded-rng",
+        "no OS-entropy RNG construction (thread_rng, from_entropy, OsRng, …)",
+    ),
+    (
+        "float-eq",
+        "no ==/!= against float literals; use trimgrad_quant::fcmp helpers",
+    ),
+    (
+        "lossy-cast",
+        "no narrowing `as` casts on byte/packet-count expressions; use try_from",
+    ),
+    (
+        "wire-consistency",
+        "HEADER_LEN constants in crates/wire must match the bytes serializers touch",
+    ),
+    (
+        "bad-suppression",
+        "trimlint comments must be `trimlint: allow(rule, …) -- reason`",
+    ),
+];
+
+/// One lint finding, formatted as `file:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the checked root.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Stable machine-readable rule id.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Lints one source file given its workspace-relative path (the path decides
+/// which rules apply). Suppressions are already applied.
+#[must_use]
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let Some(crate_name) = crate_of(rel_path) else {
+        return Vec::new();
+    };
+    let out = lex(src);
+    let mask = test_mask(&out.toks);
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    let mut push = |rule: &'static str, findings: Vec<Finding>| {
+        for (line, msg) in findings {
+            diags.push(Diagnostic {
+                file: rel_path.to_string(),
+                line,
+                rule,
+                msg,
+            });
+        }
+    };
+
+    let hot = HOT_CRATES.contains(&crate_name);
+    if hot {
+        push("no-panic", rules::no_panic(&out, &mask));
+        push("lossy-cast", rules::lossy_cast(&out, &mask));
+    }
+    if ORDER_CRATES.contains(&crate_name) {
+        push("ordered-map", rules::ordered_map(&out, &mask));
+    }
+    push("wall-clock", rules::wall_clock(&out, &mask));
+    push("unseeded-rng", rules::unseeded_rng(&out, &mask));
+    push("float-eq", rules::float_eq(&out, &mask));
+    if crate_name == "wire" {
+        push("wire-consistency", wirecheck::check(&out, &mask));
+    }
+
+    diags = apply_suppressions(diags, &out);
+    for line in &out.malformed {
+        diags.push(Diagnostic {
+            file: rel_path.to_string(),
+            line: *line,
+            rule: "bad-suppression",
+            msg: "malformed trimlint comment; expected \
+                  `trimlint: allow(rule, …) -- reason`"
+                .to_string(),
+        });
+    }
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags.dedup();
+    diags
+}
+
+/// Drops findings covered by a well-formed `trimlint: allow` comment on the
+/// same line, or on the line directly above when the comment stands alone.
+fn apply_suppressions(diags: Vec<Diagnostic>, out: &LexOut) -> Vec<Diagnostic> {
+    diags
+        .into_iter()
+        .filter(|d| {
+            !out.suppressions.iter().any(|s| {
+                s.rules.iter().any(|r| r == d.rule)
+                    && (s.line == d.line || (s.standalone && s.line + 1 == d.line))
+            })
+        })
+        .collect()
+}
+
+/// Maps a workspace-relative path to the crate whose rule set applies:
+/// `crates/<name>/src/**` → `<name>`, the umbrella `src/**` → `"suite"`,
+/// anything else (tests, benches, examples, skipped crates) → `None`.
+fn crate_of(rel_path: &str) -> Option<&str> {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    match parts.as_slice() {
+        ["crates", name, "src", ..] if !SKIP_CRATES.contains(name) => Some(name),
+        ["src", ..] => Some("suite"),
+        _ => None,
+    }
+}
+
+/// Walks `root` and lints every in-scope `.rs` file, returning diagnostics
+/// sorted by path, line, then rule.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory traversal or file reads.
+pub fn check_path(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        diags.extend(lint_source(&rel, &src));
+    }
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(diags)
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "results", "node_modules"];
+
+fn collect_rs_files(root: &Path, dir: &Path, files: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, files)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                if crate_of(&rel).is_some() {
+                    files.push(rel);
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! CLI for the repo-native linter.
+//!
+//! ```text
+//! cargo run -p trimgrad-lint -- check .       # lint the workspace
+//! cargo run -p trimgrad-lint -- rules         # list rule ids
+//! ```
+//!
+//! Exit status: `0` clean, `1` diagnostics found, `2` usage or I/O error.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let root = args.get(1).map_or(".", String::as_str);
+            check(Path::new(root))
+        }
+        Some("rules") => {
+            for (id, summary) in trimgrad_lint::RULES {
+                println!("{id:<18} {summary}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: trimgrad-lint check [PATH] | trimgrad-lint rules");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(root: &Path) -> ExitCode {
+    match trimgrad_lint::check_path(root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("trimgrad-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("trimgrad-lint: {} diagnostic(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("trimgrad-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

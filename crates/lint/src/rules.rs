@@ -1,0 +1,230 @@
+//! Token-level lint rules.
+//!
+//! Every rule walks the token stream produced by [`crate::lex`] with the
+//! test-code mask applied, and emits `(line, message)` pairs; the caller
+//! attaches the rule id and file path. See `DESIGN.md` §7 for the rationale
+//! behind each rule; per-crate scoping lives in [`crate::lint_source`].
+
+use crate::lex::{is_float_literal, matching_open, LexOut, Tok, TokKind};
+
+/// A rule's raw findings: source line plus human-readable message.
+pub type Finding = (u32, String);
+
+/// Panicking constructs banned from non-test code of the hot crates.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// `no-panic`: no `unwrap()`/`expect()`/`panic!`-family in non-test code.
+#[must_use]
+pub fn no_panic(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
+    let toks = &out.toks;
+    let mut f = Vec::new();
+    for i in 0..toks.len() {
+        if mask[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        if PANIC_MACROS.contains(&name) && i + 1 < toks.len() && toks[i + 1].is_punct("!") {
+            f.push((
+                toks[i].line,
+                format!("`{name}!` in non-test hot-crate code; return a typed error instead"),
+            ));
+        }
+        if PANIC_METHODS.contains(&name)
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct("(")
+        {
+            f.push((
+                toks[i].line,
+                format!("`.{name}()` in non-test hot-crate code; return a typed error instead"),
+            ));
+        }
+    }
+    f
+}
+
+/// `ordered-map`: ban `HashMap`/`HashSet` where iteration order leaks into
+/// snapshots, events, or wire traffic — require `BTreeMap`/`BTreeSet`.
+#[must_use]
+pub fn ordered_map(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
+    let mut f = Vec::new();
+    for (i, t) in out.toks.iter().enumerate() {
+        if mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "HashMap" || t.text == "HashSet" {
+            let alt = if t.text == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            f.push((
+                t.line,
+                format!(
+                    "`{}` iteration order is nondeterministic; use `{alt}` in \
+                     ordering-sensitive code",
+                    t.text
+                ),
+            ));
+        }
+    }
+    f
+}
+
+/// `wall-clock`: ban wall-clock time and real sleeps outside `bench` — the
+/// simulator's only clock is `SimTime`.
+#[must_use]
+pub fn wall_clock(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
+    let toks = &out.toks;
+    let mut f = Vec::new();
+    for i in 0..toks.len() {
+        if mask[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        if name == "Instant" || name == "SystemTime" {
+            f.push((
+                toks[i].line,
+                format!("wall-clock `{name}` breaks bit-determinism; use simulated `SimTime`"),
+            ));
+        }
+        if name == "sleep" && i >= 2 && toks[i - 1].is_punct("::") && toks[i - 2].is_ident("thread")
+        {
+            f.push((
+                toks[i].line,
+                "`thread::sleep` has no place in a discrete-event simulation".to_string(),
+            ));
+        }
+    }
+    f
+}
+
+/// `unseeded-rng`: every random stream must be constructed from an explicit
+/// seed, or runs stop being reproducible.
+#[must_use]
+pub fn unseeded_rng(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
+    let toks = &out.toks;
+    let mut f = Vec::new();
+    for i in 0..toks.len() {
+        if mask[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        let entropy_source = matches!(
+            name,
+            "thread_rng" | "from_entropy" | "from_os_rng" | "OsRng" | "RandomState" | "getrandom"
+        );
+        let rand_random = name == "random"
+            && i >= 2
+            && toks[i - 1].is_punct("::")
+            && toks[i - 2].is_ident("rand");
+        if entropy_source || rand_random {
+            f.push((
+                toks[i].line,
+                format!("`{name}` draws OS entropy; construct RNGs from an explicit seed"),
+            ));
+        }
+    }
+    f
+}
+
+/// `float-eq`: `==`/`!=` against a float literal. Exact float comparison is
+/// only meaningful through the shared helpers in `trimgrad_quant::fcmp`.
+#[must_use]
+pub fn float_eq(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
+    let toks = &out.toks;
+    let mut f = Vec::new();
+    for i in 0..toks.len() {
+        if mask[i] || !(toks[i].is_punct("==") || toks[i].is_punct("!=")) {
+            continue;
+        }
+        let float_neighbor = [i.checked_sub(1), Some(i + 1)]
+            .into_iter()
+            .flatten()
+            .filter_map(|j| toks.get(j))
+            .any(|t| t.kind == TokKind::Num && is_float_literal(&t.text));
+        if float_neighbor {
+            f.push((
+                toks[i].line,
+                format!(
+                    "float `{}` comparison; use `trimgrad_quant::fcmp` \
+                     (`exactly_zero` / `approx_eq`)",
+                    toks[i].text
+                ),
+            ));
+        }
+    }
+    f
+}
+
+/// Identifier fragments that mark an expression as a byte/packet count.
+const COUNT_LIKE: &[&str] = &[
+    "len", "size", "count", "total", "byte", "depth", "chunk", "seq", "offset", "part",
+];
+
+/// Narrow integer targets for which a count-expression `as` cast can
+/// silently truncate.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// `lossy-cast`: `expr as u8/u16/u32/…` where `expr` names a byte or packet
+/// count — truncation silently corrupts accounting; use `try_from`.
+#[must_use]
+pub fn lossy_cast(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
+    let toks = &out.toks;
+    let mut f = Vec::new();
+    for i in 0..toks.len() {
+        if mask[i] || !toks[i].is_ident("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if target.kind != TokKind::Ident || !NARROW_INTS.contains(&target.text.as_str()) {
+            continue;
+        }
+        let Some(src_name) = cast_source_ident(toks, i) else {
+            continue;
+        };
+        let lower = src_name.to_lowercase();
+        if COUNT_LIKE.iter().any(|frag| lower.contains(frag)) {
+            f.push((
+                toks[i].line,
+                format!(
+                    "lossy `as {}` on count-like `{src_name}`; use `{}::try_from` \
+                     and surface the error",
+                    target.text, target.text
+                ),
+            ));
+        }
+    }
+    f
+}
+
+/// Walks left from the `as` at index `i` to find the identifier naming the
+/// cast's source expression (the method or variable whose value is cast).
+fn cast_source_ident(toks: &[Tok], i: usize) -> Option<&str> {
+    let mut j = i.checked_sub(1)?;
+    loop {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident {
+            return Some(&t.text);
+        }
+        if t.is_punct("?") {
+            j = j.checked_sub(1)?;
+            continue;
+        }
+        if t.is_punct(")") || t.is_punct("]") {
+            let (op, cl) = if t.is_punct(")") {
+                ("(", ")")
+            } else {
+                ("[", "]")
+            };
+            let open = matching_open(toks, j, op, cl)?;
+            j = open.checked_sub(1)?;
+            continue;
+        }
+        return None;
+    }
+}

@@ -1,0 +1,22 @@
+//! The workspace itself must lint clean — this test makes `trimgrad-lint`
+//! ride tier-1 (`cargo test`) without any CI wiring.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = trimgrad_lint::check_path(&root).expect("workspace walk");
+    assert!(
+        diags.is_empty(),
+        "trimgrad-lint found {} violation(s):\n{}\n\
+         fix the code or add a reasoned `// trimlint: allow(rule) -- why` \
+         (see DESIGN.md)",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -4,6 +4,8 @@
 //! multiply plus the two transposed variants — written with an i-k-j loop
 //! order so the inner loop streams contiguously and auto-vectorizes.
 
+use trimgrad_quant::fcmp;
+
 /// A dense row-major matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
@@ -92,7 +94,7 @@ impl Matrix {
         for i in 0..m {
             for p in 0..k {
                 let a = self.data[i * k + p];
-                if a == 0.0 {
+                if fcmp::exactly_zero(a) {
                     continue;
                 }
                 let brow = &other.data[p * n..(p + 1) * n];
@@ -119,7 +121,7 @@ impl Matrix {
             let arow = &self.data[p * m..(p + 1) * m];
             let brow = &other.data[p * n..(p + 1) * n];
             for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
+                if fcmp::exactly_zero(a) {
                     continue;
                 }
                 let orow = &mut out.data[i * n..(i + 1) * n];

@@ -27,7 +27,7 @@
 //! The benchmark harness cross-checks both against the discrete-event
 //! simulator's measured completion times.
 
-use trimgrad_quant::SchemeId;
+use trimgrad_quant::{fcmp, SchemeId};
 
 /// How the reliable baseline's communication time inflates with loss.
 #[derive(Debug, Clone, Copy)]
@@ -123,7 +123,7 @@ impl TimeModel {
     #[must_use]
     pub fn reliable_slowdown(&self, p: f64, n_packets: u64) -> f64 {
         assert!((0.0..1.0).contains(&p), "loss probability out of range");
-        if p == 0.0 {
+        if fcmp::exactly_zero_f64(p) {
             return 1.0;
         }
         match self.slowdown {

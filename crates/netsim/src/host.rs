@@ -110,7 +110,7 @@ pub struct SinkApp {
     pub bytes: u64,
     /// Trimmed packets among them.
     pub trimmed: u64,
-    flows: std::collections::HashMap<crate::FlowId, (u64, Option<u64>)>,
+    flows: std::collections::BTreeMap<crate::FlowId, (u64, Option<u64>)>,
 }
 
 impl App for SinkApp {

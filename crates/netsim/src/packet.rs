@@ -155,7 +155,7 @@ impl PacketSpec {
         Self {
             dst,
             flow,
-            size: frame.wire_len() as u32,
+            size: trimgrad_wire::narrow::to_u32(frame.wire_len(), "frame length"),
             priority: false,
             reliable: false,
             seq,
@@ -204,7 +204,7 @@ impl Packet {
                 if frame.trim_to_depth(grad_depth).is_err() {
                     return false;
                 }
-                let new_size = frame.wire_len() as u32;
+                let new_size = trimgrad_wire::narrow::to_u32(frame.wire_len(), "frame length");
                 if new_size >= self.size {
                     return false; // already at (or below) this depth
                 }

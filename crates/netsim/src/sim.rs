@@ -13,7 +13,7 @@ use crate::switch::{EnqueueOutcome, PortState, QueuePolicy};
 use crate::time::SimTime;
 use crate::topology::{NodeKind, Routes, Topology};
 use crate::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use trimgrad_hadamard::prng::Xoshiro256StarStar;
 use trimgrad_telemetry::{Registry, Snapshot};
 
@@ -32,7 +32,7 @@ fn host_nic_policy() -> QueuePolicy {
 pub struct Simulator {
     topo: Topology,
     routes: Routes,
-    ports: HashMap<(usize, usize), PortState>,
+    ports: BTreeMap<(usize, usize), PortState>,
     apps: Vec<Option<Box<dyn App>>>,
     started: bool,
     queue: EventQueue,
@@ -69,7 +69,7 @@ impl Simulator {
         Self {
             topo,
             routes,
-            ports: HashMap::new(),
+            ports: BTreeMap::new(),
             apps,
             started: false,
             queue: EventQueue::new(),
@@ -194,7 +194,7 @@ impl Simulator {
             if at > t_end {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked");
+            let Some(ev) = self.queue.pop() else { break };
             debug_assert!(ev.at >= self.now, "time went backwards");
             self.now = ev.at;
             self.dispatch(ev.kind);

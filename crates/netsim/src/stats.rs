@@ -13,7 +13,7 @@
 
 use crate::time::SimTime;
 use crate::FlowId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use trimgrad_telemetry::{Counter, Gauge, Registry, Snapshot};
 
 /// Per-flow record.
@@ -65,7 +65,7 @@ pub struct Stats {
     dropped_random: Counter,
     ecn_marked: Counter,
     max_queue_bytes: Gauge,
-    flows: HashMap<FlowId, FlowRecord>,
+    flows: BTreeMap<FlowId, FlowRecord>,
 }
 
 impl Default for Stats {
@@ -106,7 +106,7 @@ impl Stats {
             dropped_random,
             ecn_marked,
             max_queue_bytes,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
         }
     }
 
@@ -287,6 +287,7 @@ impl Stats {
             return None;
         }
         fcts.sort_unstable();
+        let max = *fcts.last()?;
         let pick = |q: f64| {
             let idx = ((fcts.len() - 1) as f64 * q).round() as usize;
             fcts[idx]
@@ -298,7 +299,7 @@ impl Stats {
             p50: pick(0.50),
             p90: pick(0.90),
             p99: pick(0.99),
-            max: *fcts.last().expect("non-empty"),
+            max,
         })
     }
 }

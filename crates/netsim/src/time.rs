@@ -111,7 +111,8 @@ pub fn mbps(m: f64) -> Rate {
 
 impl Rate {
     /// The time to serialize `bytes` at this rate, rounded up to a whole
-    /// nanosecond.
+    /// nanosecond. Saturates at `u64::MAX` nanoseconds (≈ 584 years of
+    /// simulated time — effectively "never finishes").
     ///
     /// # Panics
     ///
@@ -121,7 +122,7 @@ impl Rate {
         assert!(self.0 > 0, "zero-rate link");
         let bits = bytes as u128 * 8;
         let ns = (bits * 1_000_000_000).div_ceil(self.0 as u128);
-        SimTime(u64::try_from(ns).expect("serialization time overflows u64"))
+        SimTime(u64::try_from(ns).unwrap_or(u64::MAX))
     }
 
     /// Bytes transferable in `dur` at this rate (rounded down).

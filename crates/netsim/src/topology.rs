@@ -117,6 +117,7 @@ impl Topology {
             .iter()
             .find(|(n, _)| *n == to)
             .map(|(_, p)| *p)
+            // trimlint: allow(no-panic) -- documented # Panics contract: callers route over links taken from this same adjacency, so a missing link is a topology-construction bug
             .unwrap_or_else(|| panic!("no link {from} → {to}"))
     }
 

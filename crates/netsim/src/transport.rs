@@ -24,7 +24,7 @@ use crate::host::{App, HostApi};
 use crate::packet::{ControlMsg, Packet, PacketBody, PacketSpec};
 use crate::time::SimTime;
 use crate::{FlowId, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Shared transport knobs.
 #[derive(Debug, Clone, Copy)]
@@ -216,7 +216,7 @@ pub struct ReliableReceiverApp {
     pub discarded_out_of_order: u64,
     /// Trimmed arrivals turned into NACKs.
     pub nacked_trimmed: u64,
-    expected: HashMap<FlowId, u64>,
+    expected: BTreeMap<FlowId, u64>,
 }
 
 impl ReliableReceiverApp {
@@ -447,17 +447,17 @@ impl App for TrimmingReceiverApp {
                 self.trimmed_arrivals += 1;
             }
         }
-        if !self.done && self.total == Some(self.count) {
-            self.done = true;
-            api.complete_flow(self.flow);
-            api.send(PacketSpec::control(
-                pkt.src,
-                self.flow,
-                ControlMsg::CumAck {
-                    upto: self.total.expect("set above"),
-                },
-            ));
-            return;
+        if let Some(total) = self.total {
+            if !self.done && total == self.count {
+                self.done = true;
+                api.complete_flow(self.flow);
+                api.send(PacketSpec::control(
+                    pkt.src,
+                    self.flow,
+                    ControlMsg::CumAck { upto: total },
+                ));
+                return;
+            }
         }
         if !self.done {
             // (Re)arm gap detection; stale timers are ignored by generation.

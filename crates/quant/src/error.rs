@@ -21,8 +21,8 @@ pub fn nmse(est: &[f32], truth: &[f32]) -> f64 {
         .map(|(e, t)| (f64::from(*e) - f64::from(*t)).powi(2))
         .sum();
     let den: f64 = truth.iter().map(|&t| f64::from(t).powi(2)).sum();
-    if den == 0.0 {
-        if num == 0.0 {
+    if crate::fcmp::exactly_zero_f64(den) {
+        if crate::fcmp::exactly_zero_f64(num) {
             0.0
         } else {
             f64::INFINITY
@@ -87,7 +87,7 @@ pub fn cosine_similarity(est: &[f32], truth: &[f32]) -> f64 {
         .map(|&v| f64::from(v).powi(2))
         .sum::<f64>()
         .sqrt();
-    if ne == 0.0 || nt == 0.0 {
+    if crate::fcmp::exactly_zero_f64(ne) || crate::fcmp::exactly_zero_f64(nt) {
         0.0
     } else {
         dot / (ne * nt)

@@ -55,6 +55,7 @@
 pub mod bitpack;
 pub mod dither;
 pub mod error;
+pub mod fcmp;
 pub mod multilevel;
 pub mod rht1bit;
 pub mod scheme;

@@ -55,7 +55,7 @@ pub fn l2_norm(xs: &[f32]) -> f64 {
 #[must_use]
 pub fn drive_scale(rotated: &[f32]) -> f32 {
     let l1 = l1_norm(rotated);
-    if l1 == 0.0 {
+    if crate::fcmp::exactly_zero_f64(l1) {
         return 0.0;
     }
     (l2_norm_sq(rotated) / l1) as f32

@@ -131,7 +131,11 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
 #[must_use]
 pub fn build_frame(dst: MacAddr, src: MacAddr, ethertype: u16, payload: &[u8]) -> Vec<u8> {
     let mut buf = vec![0u8; HEADER_LEN + payload.len()];
-    let mut frame = EthernetFrame::new_checked(&mut buf[..]).expect("sized above");
+    // Same-module construction: the buffer is sized for the header above, so
+    // the `new_checked` length test cannot fail — skip the fallible path.
+    let mut frame = EthernetFrame {
+        buffer: &mut buf[..],
+    };
     frame.set_dst(dst);
     frame.set_src(src);
     frame.set_ethertype(ethertype);

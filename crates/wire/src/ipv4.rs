@@ -224,16 +224,24 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
 }
 
 /// Builds a complete IPv4 packet around `payload`.
+///
+/// # Panics
+///
+/// Panics if the packet would exceed the 16-bit IPv4 total-length field.
 #[must_use]
 pub fn build_packet(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, dscp: u8, payload: &[u8]) -> Vec<u8> {
     let total = HEADER_LEN + payload.len();
-    assert!(total <= u16::MAX as usize, "payload too large for IPv4");
+    let total_field = crate::narrow::to_u16(total, "IPv4 total length");
     let mut buf = vec![0u8; total];
-    buf[0] = 0x45; // so new_checked's version test passes before init
-    buf[2..4].copy_from_slice(&(total as u16).to_be_bytes());
-    let mut pkt = Ipv4Packet::new_checked(&mut buf[..]).expect("sized above");
+    buf[2..4].copy_from_slice(&total_field.to_be_bytes());
+    // Same-module construction: the buffer is sized for the header above and
+    // `init` writes the version byte, so the fallible `new_checked` path
+    // (length + version tests) is not needed here.
+    let mut pkt = Ipv4Packet {
+        buffer: &mut buf[..],
+    };
     pkt.init();
-    pkt.set_total_len(total as u16);
+    pkt.set_total_len(total_field);
     pkt.set_dscp(dscp);
     pkt.set_ecn(ECN_ECT0);
     pkt.set_ttl(64);

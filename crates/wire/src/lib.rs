@@ -36,6 +36,7 @@
 pub mod ethernet;
 pub mod ipv4;
 pub mod meta;
+pub mod narrow;
 pub mod packet;
 pub mod packetize;
 pub mod payload;

@@ -1,0 +1,75 @@
+//! Checked narrowing into fixed-width wire fields.
+//!
+//! Header fields have fixed widths; a length or count that does not fit is a
+//! protocol-geometry bug upstream (an MTU far beyond the format's design
+//! range, or a row longer than the chunk-id space). Silently truncating such
+//! a value with `as` would emit a corrupt frame that parses as a *different*
+//! valid packet, so every narrowing into a wire field funnels through these
+//! helpers, which panic with context instead. Callers whose inputs are not
+//! structurally bounded document the panic in their `# Panics` section.
+
+/// Narrows `v` into a `u8` wire field.
+///
+/// # Panics
+///
+/// Panics if `v` exceeds `u8::MAX`; `what` names the field in the message.
+#[must_use]
+pub fn to_u8(v: usize, what: &'static str) -> u8 {
+    match u8::try_from(v) {
+        Ok(x) => x,
+        // trimlint: allow(no-panic) -- the checked-narrowing chokepoint: overflow here means a corrupt frame would otherwise hit the wire
+        Err(_) => panic!("{what} {v} does not fit the u8 wire field"),
+    }
+}
+
+/// Narrows `v` into a `u16` wire field.
+///
+/// # Panics
+///
+/// Panics if `v` exceeds `u16::MAX`; `what` names the field in the message.
+#[must_use]
+pub fn to_u16(v: usize, what: &'static str) -> u16 {
+    match u16::try_from(v) {
+        Ok(x) => x,
+        // trimlint: allow(no-panic) -- the checked-narrowing chokepoint: overflow here means a corrupt frame would otherwise hit the wire
+        Err(_) => panic!("{what} {v} does not fit the u16 wire field"),
+    }
+}
+
+/// Narrows `v` into a `u32` wire field.
+///
+/// # Panics
+///
+/// Panics if `v` exceeds `u32::MAX`; `what` names the field in the message.
+#[must_use]
+pub fn to_u32(v: usize, what: &'static str) -> u32 {
+    match u32::try_from(v) {
+        Ok(x) => x,
+        // trimlint: allow(no-panic) -- the checked-narrowing chokepoint: overflow here means a corrupt frame would otherwise hit the wire
+        Err(_) => panic!("{what} {v} does not fit the u32 wire field"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_pass_through() {
+        assert_eq!(to_u8(255, "x"), 255);
+        assert_eq!(to_u16(65_535, "x"), 65_535);
+        assert_eq!(to_u32(70_000, "x"), 70_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk id 256 does not fit the u8 wire field")]
+    fn overflow_panics_with_context() {
+        let _ = to_u8(256, "chunk id");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit the u16 wire field")]
+    fn u16_overflow_panics() {
+        let _ = to_u16(70_000, "length");
+    }
+}

@@ -226,24 +226,27 @@ impl GradPacket {
 
         // Patch the TrimGrad depth.
         let app_start = ethernet::HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN;
-        let mut hdr = TrimGradHeader::new_unchecked_mut(&mut self.frame[app_start..])
-            .expect("truncated above header");
+        let mut hdr = TrimGradHeader::new_unchecked_mut(&mut self.frame[app_start..])?;
         hdr.set_trim_depth(depth);
 
         // Patch UDP length + checksum.
         let udp_start = ethernet::HEADER_LEN + ipv4::HEADER_LEN;
         {
+            let udp_len_field =
+                u16::try_from(new_udp_len).map_err(|_| WireError::BadField("udp_len"))?;
             let udp_buf = &mut self.frame[udp_start..];
-            udp_buf[4..6].copy_from_slice(&(new_udp_len as u16).to_be_bytes());
-            let mut dgram = UdpDatagram::new_checked(udp_buf).expect("patched length");
+            udp_buf[4..6].copy_from_slice(&udp_len_field.to_be_bytes());
+            let mut dgram = UdpDatagram::new_checked(udp_buf)?;
             dgram.fill_checksum(src_ip, dst_ip);
         }
 
         // Patch IPv4 length, DSCP, checksum.
         {
+            let ip_len_field =
+                u16::try_from(new_ip_len).map_err(|_| WireError::BadField("total_len"))?;
             let ip_buf = &mut self.frame[ethernet::HEADER_LEN..];
-            ip_buf[2..4].copy_from_slice(&(new_ip_len as u16).to_be_bytes());
-            let mut ip = Ipv4Packet::new_checked(ip_buf).expect("patched length");
+            ip_buf[2..4].copy_from_slice(&ip_len_field.to_be_bytes());
+            let mut ip = Ipv4Packet::new_checked(ip_buf)?;
             ip.set_dscp(DSCP_TRIMMED);
             ip.fill_checksum();
         }

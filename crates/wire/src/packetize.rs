@@ -9,7 +9,7 @@ use crate::meta::RowMetaPacket;
 use crate::packet::{GradPacket, NetAddrs};
 use crate::payload::{max_coords_for_budget, PayloadLayout};
 use crate::trimhdr::{TrimGradFields, FLAG_LAST_CHUNK};
-use crate::{ethernet, ipv4, trimhdr, udp};
+use crate::{ethernet, ipv4, narrow, trimhdr, udp};
 use trimgrad_quant::EncodedRow;
 
 /// Configuration for packetizing one row.
@@ -58,7 +58,7 @@ pub fn packetize_row(enc: &EncodedRow, cfg: &PacketizeConfig) -> PacketizedRow {
         scheme: enc.scheme,
         msg_id: cfg.msg_id,
         row_id: cfg.row_id,
-        original_len: enc.meta.original_len as u32,
+        original_len: narrow::to_u32(enc.meta.original_len, "row length"),
         scale: enc.meta.scale,
         epoch: cfg.epoch,
     };
@@ -70,8 +70,9 @@ pub fn packetize_row(enc: &EncodedRow, cfg: &PacketizeConfig) -> PacketizedRow {
     }
     let part_bits = enc.scheme.part_bits();
     let per_packet = max_coords_for_budget(part_bits, cfg.payload_budget())
+        // trimlint: allow(no-panic) -- documented # Panics contract: an MTU too small for one coordinate is a static misconfiguration
         .unwrap_or_else(|| panic!("MTU {} cannot fit one coordinate", cfg.mtu));
-    let n_parts = part_bits.len() as u8;
+    let n_parts = narrow::to_u8(part_bits.len(), "part count");
     let n_chunks = enc.n.div_ceil(per_packet);
     let mut packets = Vec::with_capacity(n_chunks);
     for chunk_id in 0..n_chunks {
@@ -81,11 +82,11 @@ pub fn packetize_row(enc: &EncodedRow, cfg: &PacketizeConfig) -> PacketizedRow {
             scheme: enc.scheme,
             n_parts,
             trim_depth: n_parts,
-            chunk_id: chunk_id as u16,
+            chunk_id: narrow::to_u16(chunk_id, "chunk id"),
             msg_id: cfg.msg_id,
             row_id: cfg.row_id,
             coord_start: start as u32,
-            coord_count: count as u16,
+            coord_count: narrow::to_u16(count, "coordinate count"),
             flags: if chunk_id == n_chunks - 1 {
                 FLAG_LAST_CHUNK
             } else {

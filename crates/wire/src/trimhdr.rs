@@ -96,6 +96,7 @@ impl<T: AsRef<[u8]>> TrimGradHeader<T> {
     /// Encoding scheme.
     #[must_use]
     pub fn scheme(&self) -> SchemeId {
+        // trimlint: allow(no-panic) -- the scheme byte is validated by new_checked (readers) or written via set_scheme (builders) before this getter runs
         SchemeId::from_u8(self.b()[3]).expect("validated in new_checked")
     }
 
@@ -286,7 +287,11 @@ impl TrimGradFields {
     #[must_use]
     pub fn to_bytes(&self) -> [u8; HEADER_LEN] {
         let mut buf = [0u8; HEADER_LEN];
-        let mut h = TrimGradHeader::new_unchecked_mut(&mut buf[..]).expect("sized");
+        // Same-module construction: the array is exactly HEADER_LEN, so the
+        // `new_unchecked_mut` length test cannot fail — skip the fallible path.
+        let mut h = TrimGradHeader {
+            buffer: &mut buf[..],
+        };
         h.init();
         h.set_scheme(self.scheme);
         h.set_n_parts(self.n_parts);

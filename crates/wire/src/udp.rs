@@ -146,6 +146,10 @@ fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, udp_len: u16) -> u16 {
 }
 
 /// Builds a complete datagram with a valid checksum.
+///
+/// # Panics
+///
+/// Panics if the datagram would exceed the 16-bit UDP length field.
 #[must_use]
 pub fn build_datagram(
     src: Ipv4Addr,
@@ -155,10 +159,14 @@ pub fn build_datagram(
     payload: &[u8],
 ) -> Vec<u8> {
     let len = HEADER_LEN + payload.len();
-    assert!(len <= u16::MAX as usize, "payload too large for UDP");
     let mut buf = vec![0u8; len];
-    buf[4..6].copy_from_slice(&(len as u16).to_be_bytes());
-    let mut d = UdpDatagram::new_checked(&mut buf[..]).expect("sized above");
+    let len_field = crate::narrow::to_u16(len, "UDP length");
+    buf[4..6].copy_from_slice(&len_field.to_be_bytes());
+    // Same-module construction: the buffer is sized for the header above, so
+    // the `new_checked` length test cannot fail — skip the fallible path.
+    let mut d = UdpDatagram {
+        buffer: &mut buf[..],
+    };
     d.set_src_port(src_port);
     d.set_dst_port(dst_port);
     d.payload_mut().copy_from_slice(payload);
