@@ -125,6 +125,8 @@ struct RankMetrics {
     parts_lost: Counter,
     meta_received: Counter,
     steps_applied: Counter,
+    rejected_frames: Counter,
+    rejected_meta: Counter,
 }
 
 impl RankMetrics {
@@ -138,6 +140,8 @@ impl RankMetrics {
             parts_lost: registry.counter(&name("parts_lost")),
             meta_received: registry.counter(&name("meta_received")),
             steps_applied: registry.counter(&name("steps_applied")),
+            rejected_frames: registry.counter(&name("rejected_frames")),
+            rejected_meta: registry.counter(&name("rejected_meta")),
         }
     }
 }
@@ -154,6 +158,9 @@ pub struct RingWorkerApp {
     pub trimmed_received: u64,
     /// Total gradient packets this worker received.
     pub packets_received: u64,
+    /// Frames the receive path refused (unparseable header, unknown row,
+    /// or an ingest error such as a wrong epoch or truncated section).
+    pub rejected_frames: u64,
     done: bool,
     metrics: Option<RankMetrics>,
 }
@@ -180,6 +187,7 @@ impl RingWorkerApp {
             inbox: BTreeMap::new(),
             trimmed_received: 0,
             packets_received: 0,
+            rejected_frames: 0,
             done: false,
             metrics: None,
         }
@@ -339,13 +347,17 @@ impl App for RingWorkerApp {
     fn on_packet(&mut self, pkt: Packet, api: &mut HostApi) {
         match &pkt.body {
             PacketBody::GradData(frame) => {
-                // A frame the header parser rejects is dropped the way real
-                // hardware drops garbage; the final is_done() assertion makes
-                // a resulting stall loud instead of silently corrupting.
+                let m = self.metrics(api);
+                // A frame the receive path refuses is dropped the way real
+                // hardware drops garbage, but loudly: the rejected counters
+                // make fault-injected runs observable, and the final
+                // is_done() assertion turns a resulting stall into a test
+                // failure instead of silent corruption.
                 let Ok(fields) = frame.quick_fields() else {
+                    self.rejected_frames += 1;
+                    m.rejected_frames.inc();
                     return;
                 };
-                let m = self.metrics(api);
                 self.packets_received += 1;
                 m.packets_received.inc();
                 if fields.trim_depth < fields.n_parts {
@@ -358,22 +370,29 @@ impl App for RingWorkerApp {
                 let row_id = fields.row_id as usize;
                 let asm = self.ensure_assembly(msg_id);
                 let Some(row) = asm.rows.get_mut(row_id) else {
+                    self.rejected_frames += 1;
+                    m.rejected_frames.inc();
                     return;
                 };
                 if row.ingest(frame).is_err() {
+                    self.rejected_frames += 1;
+                    m.rejected_frames.inc();
                     return;
                 }
                 self.drain_ready(api);
             }
             PacketBody::GradMeta(meta) => {
-                self.metrics(api).meta_received.inc();
+                let m = self.metrics(api);
+                m.meta_received.inc();
                 let msg_id = meta.msg_id;
                 let row_id = meta.row_id as usize;
                 let asm = self.ensure_assembly(msg_id);
                 let Some(row) = asm.rows.get_mut(row_id) else {
+                    m.rejected_meta.inc();
                     return;
                 };
                 if row.ingest_meta(meta).is_err() {
+                    m.rejected_meta.inc();
                     return;
                 }
                 asm.meta_seen[row_id] = true;
@@ -430,6 +449,31 @@ pub fn run_ring_allreduce(
         trimmed as f64 / total as f64
     };
     (out, frac)
+}
+
+/// Same as [`run_ring_allreduce`] but with a deterministic [`FaultPlan`]
+/// installed on the fabric before the first packet is sent.
+///
+/// This is the collective-layer injection hook for chaos testing: every
+/// fault comes from the plan's seeded RNG, so a failing run is replayed
+/// exactly by re-running with `FaultPlan::new(plan.seed())` and the same
+/// policies.
+///
+/// # Panics
+///
+/// As [`run_ring_allreduce`]; additionally if the simulation already
+/// started (fault plans must be installed before the first event).
+///
+/// [`FaultPlan`]: trimgrad_netsim::fault::FaultPlan
+pub fn run_ring_allreduce_faulted(
+    sim: &mut trimgrad_netsim::sim::Simulator,
+    cfg: &RingNetConfig,
+    blobs: Vec<Vec<f32>>,
+    time_limit: trimgrad_netsim::time::SimTime,
+    plan: trimgrad_netsim::fault::FaultPlan,
+) -> (Vec<Vec<f32>>, f64) {
+    sim.install_fault_plan(plan);
+    run_ring_allreduce(sim, cfg, blobs, time_limit)
 }
 
 #[cfg(test)]
@@ -615,6 +659,90 @@ mod tests {
             })
             .sum();
         assert_eq!(received, snap.counter("netsim.delivered"));
+    }
+
+    #[test]
+    fn faulted_ring_with_nonlossy_faults_is_exact() {
+        use trimgrad_netsim::fault::{FaultPlan, FaultPolicy};
+        let w = 3;
+        let len = 2000;
+        let b = blobs(w, len, 7);
+        let expect = expected_sum(&b);
+        let run = |plan: Option<FaultPlan>| {
+            let (topo, hosts) = star_topology(w, QueuePolicy::trim_default(), 100.0);
+            let mut sim = Simulator::new(topo);
+            let c = cfg(SchemeId::RhtOneBit, hosts, len);
+            let out = match plan {
+                Some(p) => {
+                    run_ring_allreduce_faulted(&mut sim, &c, b.clone(), SimTime::from_secs(5), p).0
+                }
+                None => run_ring_allreduce(&mut sim, &c, b.clone(), SimTime::from_secs(5)).0,
+            };
+            (out, sim.telemetry_snapshot())
+        };
+        let (clean, _) = run(None);
+        let plan = FaultPlan::new(0xFA11).with_default(
+            FaultPolicy::none()
+                .with_duplicate(0.3)
+                .with_replay(0.2)
+                .with_reorder(0.5, SimTime::from_micros(30)),
+        );
+        let (faulted, snap) = run(Some(plan));
+        // Duplication, replay, and reordering never lose data, so the ring
+        // must converge to the identical bits the clean run produced.
+        assert_eq!(clean, faulted, "non-lossy faults changed the result");
+        for worker in &faulted {
+            let nmse = trimgrad_quant::error::nmse(worker, &expect);
+            assert!(nmse < 1e-6, "nmse {nmse}");
+        }
+        assert!(snap.counter("netsim.injected") > 0, "no fault ever fired");
+        assert!(snap.counter("netsim.fault.duplicated") > 0);
+        assert!(snap.counter("netsim.fault.replayed") > 0);
+        assert!(snap.counter("netsim.fault.reordered") > 0);
+    }
+
+    #[test]
+    fn garbage_frames_are_counted_as_rejected() {
+        struct GarbageApp {
+            dst: NodeId,
+        }
+        impl App for GarbageApp {
+            fn as_any(&self) -> &dyn core::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+                self
+            }
+            fn on_start(&mut self, api: &mut HostApi) {
+                // A frame of zeros: fails header validation at the receiver.
+                let frame = trimgrad_wire::packet::GradPacket::from_frame(vec![0u8; 80]);
+                api.send(PacketSpec::grad_data(self.dst, FlowId(0xBAD), 0, frame));
+            }
+            fn on_packet(&mut self, _pkt: Packet, _api: &mut HostApi) {}
+        }
+
+        let w = 2;
+        let len = 100;
+        let (mut topo, hosts) = star_topology(w, QueuePolicy::trim_default(), 100.0);
+        let switch = NodeId(0);
+        let attacker = topo.add_host();
+        topo.link(attacker, switch, gbps(100.0), SimTime::from_micros(1));
+        let mut sim = Simulator::new(topo);
+        sim.install_app(attacker, Box::new(GarbageApp { dst: hosts[0] }));
+        let b = blobs(w, len, 3);
+        let expect = expected_sum(&b);
+        let c = cfg(SchemeId::SignMagnitude, hosts.clone(), len);
+        let (out, _) = run_ring_allreduce(&mut sim, &c, b, SimTime::from_secs(5));
+        let snap = sim.telemetry_snapshot();
+        assert_eq!(snap.counter("collective.rank.0.rejected_frames"), 1);
+        let app: &RingWorkerApp = sim.app_ref(hosts[0]).unwrap();
+        assert_eq!(app.rejected_frames, 1);
+        // The garbage frame must not perturb the all-reduce.
+        for worker in &out {
+            for (a, e) in worker.iter().zip(&expect) {
+                assert!((a - e).abs() < 1e-4, "{a} vs {e}");
+            }
+        }
     }
 
     #[test]

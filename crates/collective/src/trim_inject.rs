@@ -96,6 +96,24 @@ impl TrimInjector {
         }
     }
 
+    /// Creates an injector whose RNG stream is bound to one simulated
+    /// channel, using the same seed derivation as the netsim fault layer
+    /// ([`trimgrad_netsim::link::channel_seed`]). A chaos run's per-link
+    /// fates can therefore be replayed in this lighter harness from the
+    /// same `(base_seed, from, to)` triple.
+    #[must_use]
+    pub fn for_channel(
+        trim_prob: f64,
+        base_seed: u64,
+        from: trimgrad_netsim::NodeId,
+        to: trimgrad_netsim::NodeId,
+    ) -> Self {
+        Self::new(
+            trim_prob,
+            trimgrad_netsim::link::channel_seed(base_seed, from, to),
+        )
+    }
+
     /// Adds whole-packet drops.
     #[must_use]
     pub fn with_drop_prob(mut self, p: f64) -> Self {
@@ -247,6 +265,24 @@ mod tests {
         let (dec, stats) = inj.roundtrip_row(&SignMagnitude, &r, 1);
         assert_eq!(stats.dropped as usize, 4);
         assert!(dec.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn channel_bound_injector_matches_netsim_seed_derivation() {
+        use trimgrad_netsim::link::channel_seed;
+        use trimgrad_netsim::NodeId;
+        let draw = |inj: TrimInjector| {
+            inj.with_chunk_coords(4)
+                .draw_depths(&SignMagnitude.encode(&row(64, 1), 0))
+                .0
+        };
+        let bound = TrimInjector::for_channel(0.5, 42, NodeId(3), NodeId(7));
+        let manual = TrimInjector::new(0.5, channel_seed(42, NodeId(3), NodeId(7)));
+        assert_eq!(draw(bound), draw(manual));
+        // Direction matters: the reverse channel gets an independent stream.
+        let reverse = TrimInjector::for_channel(0.5, 42, NodeId(7), NodeId(3));
+        let bound = TrimInjector::for_channel(0.5, 42, NodeId(3), NodeId(7));
+        assert_ne!(draw(bound), draw(reverse));
     }
 
     #[test]

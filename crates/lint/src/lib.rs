@@ -71,6 +71,10 @@ pub const RULES: &[(&str, &str)] = &[
         "no narrowing `as` casts on byte/packet-count expressions; use try_from",
     ),
     (
+        "unchecked-len-index",
+        "no indexing with packet-supplied lengths without a bounds check or trimgrad_wire::narrow",
+    ),
+    (
         "wire-consistency",
         "HEADER_LEN constants in crates/wire must match the bytes serializers touch",
     ),
@@ -129,6 +133,10 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     if hot {
         push("no-panic", rules::no_panic(&out, &mask));
         push("lossy-cast", rules::lossy_cast(&out, &mask));
+        push(
+            "unchecked-len-index",
+            rules::unchecked_len_index(&out, &mask),
+        );
     }
     if ORDER_CRATES.contains(&crate_name) {
         push("ordered-map", rules::ordered_map(&out, &mask));

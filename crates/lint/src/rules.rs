@@ -202,6 +202,68 @@ pub fn lossy_cast(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
     f
 }
 
+/// Header fields whose values arrive from the wire and size packet regions.
+/// An expression indexing a buffer with one of these reads at an
+/// attacker-chosen offset unless the range was validated first.
+const PACKET_LEN_IDENTS: &[&str] = &[
+    "total_len",
+    "udp_len",
+    "coord_count",
+    "coord_start",
+    "trim_depth",
+    "n_parts",
+];
+
+/// `unchecked-len-index`: indexing or slicing with a packet-supplied length
+/// field (`total_len`, `coord_count`, …). Receive paths must bounds-check
+/// the range (and suppress with the reason) or convert through
+/// `trimgrad_wire::narrow`, which panics with context instead of reading
+/// out of bounds silently.
+#[must_use]
+pub fn unchecked_len_index(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
+    let toks = &out.toks;
+    let mut f = Vec::new();
+    for i in 0..toks.len() {
+        if mask[i] || !toks[i].is_punct("[") {
+            continue;
+        }
+        // Only index expressions: the token before the bracket must end an
+        // expression (`buf[`, `payload()[`, `rows[0][`). Array literals,
+        // attributes, and type syntax keep their opening bracket after
+        // punctuation and stay out of scope.
+        let indexing = i > 0 && {
+            let p = &toks[i - 1];
+            p.kind == TokKind::Ident || p.is_punct(")") || p.is_punct("]")
+        };
+        if !indexing {
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut j = i + 1;
+        while j < toks.len() && depth > 0 {
+            if toks[j].is_punct("[") {
+                depth += 1;
+            } else if toks[j].is_punct("]") {
+                depth -= 1;
+            } else if depth == 1
+                && toks[j].kind == TokKind::Ident
+                && PACKET_LEN_IDENTS.contains(&toks[j].text.as_str())
+            {
+                f.push((
+                    toks[j].line,
+                    format!(
+                        "index bound uses packet-supplied `{}`; validate the range \
+                         first or convert via `trimgrad_wire::narrow`",
+                        toks[j].text
+                    ),
+                ));
+            }
+            j += 1;
+        }
+    }
+    f
+}
+
 /// Walks left from the `as` at index `i` to find the identifier naming the
 /// cast's source expression (the method or variable whose value is cast).
 fn cast_source_ident(toks: &[Tok], i: usize) -> Option<&str> {

@@ -202,6 +202,53 @@ fn f(sizes: &[usize]) -> u16 {
     assert_eq!(lint_netsim(src), vec![(2, "lossy-cast")]);
 }
 
+#[test]
+fn unchecked_len_index_flags_packet_supplied_bounds() {
+    let src = "\
+fn f(buf: &[u8], hdr: &Hdr, coord_start: usize) -> &[u8] {
+    let head = &buf[..hdr.total_len() as usize];
+    let tail = &hdr.payload()[coord_start..];
+    let _ = head;
+    tail
+}
+";
+    assert_eq!(
+        lint_netsim(src),
+        vec![(2, "unchecked-len-index"), (3, "unchecked-len-index")]
+    );
+}
+
+#[test]
+fn unchecked_len_index_ignores_literals_array_syntax_and_cold_crates() {
+    // Literal bounds, array literals holding a length, and slice types are
+    // not index expressions over packet-supplied values.
+    let src = "\
+fn f(buf: &[u8], n_parts: usize, idx: usize) -> u8 {
+    let table = [n_parts, 2];
+    let _ = (table, &buf[..4]);
+    buf[idx]
+}
+";
+    assert_eq!(lint_netsim(src), vec![]);
+    // The rule is scoped to hot crates; mltrain may index freely.
+    let diags = lint_source(
+        "crates/mltrain/src/fixture.rs",
+        "fn f(buf: &[u8], total_len: usize) -> &[u8] {\n    &buf[..total_len]\n}\n",
+    );
+    assert_eq!(diags, vec![]);
+}
+
+#[test]
+fn unchecked_len_index_respects_suppression() {
+    let src = "\
+fn f(buf: &[u8], total_len: usize) -> &[u8] {
+    // trimlint: allow(unchecked-len-index) -- caller validated total_len
+    &buf[..total_len]
+}
+";
+    assert_eq!(lint_netsim(src), vec![]);
+}
+
 // ---------------------------------------------------------------- suppression
 
 #[test]

@@ -15,6 +15,9 @@
 //! * [`link`] / [`switch`] / [`topology`] — the dataplane: store-and-forward
 //!   output-queued switches, two priority queues per port, a configurable
 //!   full-queue policy, static shortest-path routing with ECMP by flow hash.
+//! * [`fault`] — deterministic, seeded fault injection: per-link/per-switch
+//!   loss bursts, reordering, duplication, corruption, truncation, and stale
+//!   replay, replayable from the plan's seed.
 //! * [`host`] — the [`host::App`] trait: endpoint logic (transports,
 //!   collectives, traffic generators) runs as apps installed on hosts.
 //! * [`sim`] — the event loop.
@@ -51,6 +54,7 @@
 
 pub mod crosstraffic;
 pub mod event;
+pub mod fault;
 pub mod host;
 pub mod link;
 pub mod packet;

@@ -32,6 +32,16 @@ pub fn channel_label(from: crate::NodeId, to: crate::NodeId) -> String {
     format!("{}->{}", from.0, to.0)
 }
 
+/// Derives a per-channel RNG seed from a base seed and the channel's
+/// endpoints. Every consumer of channel-scoped randomness (fault injection,
+/// per-link jitter) derives through this single mix so streams stay
+/// independent across channels yet byte-reproducible for a given base seed,
+/// regardless of the order channels are first touched in.
+#[must_use]
+pub fn channel_seed(base: u64, from: crate::NodeId, to: crate::NodeId) -> u64 {
+    trimgrad_hadamard::prng::derive_seed(base, from.0 as u64, to.0 as u64)
+}
+
 impl LinkParams {
     /// A perfect link: no random loss.
     #[must_use]
@@ -68,6 +78,16 @@ mod tests {
             channel_label(NodeId(2), NodeId(5)),
             channel_label(NodeId(5), NodeId(2))
         );
+    }
+
+    #[test]
+    fn channel_seed_is_directional_and_stable() {
+        use crate::NodeId;
+        let a = channel_seed(42, NodeId(2), NodeId(5));
+        let b = channel_seed(42, NodeId(5), NodeId(2));
+        assert_ne!(a, b, "direction must matter");
+        assert_eq!(a, channel_seed(42, NodeId(2), NodeId(5)));
+        assert_ne!(a, channel_seed(43, NodeId(2), NodeId(5)));
     }
 
     #[test]

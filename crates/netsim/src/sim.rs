@@ -6,6 +6,7 @@
 //! identical inputs (topology, apps, seed) produce bit-identical runs.
 
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultPlan, FaultStats};
 use crate::host::{App, HostApi, SinkApp};
 use crate::packet::{Packet, PacketSpec};
 use crate::stats::Stats;
@@ -43,6 +44,7 @@ pub struct Simulator {
     rng: Xoshiro256StarStar,
     queue_sample_interval: Option<SimTime>,
     registry: Registry,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Simulator {
@@ -80,7 +82,34 @@ impl Simulator {
             rng: Xoshiro256StarStar::new(seed),
             queue_sample_interval: None,
             registry,
+            fault_plan: None,
         }
+    }
+
+    /// Installs a deterministic fault-injection plan (see [`crate::fault`]).
+    /// The plan is consulted once per packet as it starts serializing on an
+    /// egress port, after the link's independent `drop_prob` draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already started: mid-run installation would
+    /// make the fault schedule depend on when it was installed, breaking
+    /// seed-replayability.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            !self.started,
+            "fault plans must be installed before the first run"
+        );
+        self.fault_plan = Some(plan);
+    }
+
+    /// Per-fault tallies of the installed plan (all-zero when none is
+    /// installed).
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_plan
+            .as_ref()
+            .map_or_else(FaultStats::default, FaultPlan::stats)
     }
 
     /// Installs `app` on a host (replacing the default sink).
@@ -147,6 +176,9 @@ impl Simulator {
             scratch
                 .gauge(&format!("{prefix}.max_low_bytes"))
                 .set_max(u64::from(port.max_low_bytes));
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.stats().export_to(&scratch, "netsim.fault");
         }
         let mut snap = self.registry.snapshot();
         snap.merge(&scratch.snapshot());
@@ -310,7 +342,7 @@ impl Simulator {
         if port.busy {
             return;
         }
-        let Some(packet) = port.dequeue() else {
+        let Some(mut packet) = port.dequeue() else {
             return;
         };
         port.busy = true;
@@ -324,8 +356,33 @@ impl Simulator {
             self.stats.on_dropped_random();
             return;
         }
+        // Fault injection: the installed plan draws this packet's fate on
+        // the channel, possibly mutating it (corruption/truncation),
+        // destroying it, delaying it, or materializing extra clones.
+        let mut extra_delay = SimTime::ZERO;
+        if let Some(plan) = &mut self.fault_plan {
+            let outcome = plan.apply(node, to, &mut packet);
+            if outcome.drop {
+                self.in_flight -= 1;
+                self.stats.on_dropped_fault();
+                return;
+            }
+            extra_delay = outcome.extra_delay;
+            for (clone, jitter) in outcome.injected {
+                self.in_flight += 1;
+                self.stats.on_injected();
+                self.queue.schedule(
+                    self.now + ser + params.delay + jitter,
+                    EventKind::Arrive {
+                        node: to,
+                        from: node,
+                        packet: clone,
+                    },
+                );
+            }
+        }
         self.queue.schedule(
-            self.now + ser + params.delay,
+            self.now + ser + params.delay + extra_delay,
             EventKind::Arrive {
                 node: to,
                 from: node,
@@ -649,6 +706,74 @@ mod tests {
         assert_eq!(snap, sim.telemetry_snapshot());
         // JSON export is deterministic.
         assert_eq!(snap.to_json(), sim.telemetry_snapshot().to_json());
+    }
+
+    #[test]
+    fn fault_loss_is_counted_and_conserved() {
+        use crate::fault::{FaultPlan, FaultPolicy};
+        let (t, a, b) = line_topology(QueuePolicy::trim_default());
+        let mut sim = Simulator::new(t);
+        sim.install_fault_plan(FaultPlan::new(21).with_default(FaultPolicy::none().with_loss(0.3)));
+        sim.install_app(a, Box::new(BulkSenderApp::new(b, 300_000, 1500, 1)));
+        sim.run_until(SimTime::from_millis(50));
+        let fstats = sim.fault_stats();
+        assert!(fstats.dropped > 0, "30% loss must destroy packets");
+        assert_eq!(sim.stats().dropped_fault(), fstats.dropped);
+        assert!(sim.stats().delivered_packets() < sim.stats().sent_packets());
+        assert!(sim.conservation_holds());
+        let snap = sim.telemetry_snapshot();
+        assert_eq!(snap.counter("netsim.fault.dropped"), fstats.dropped);
+        assert_eq!(
+            snap.counter("netsim.sent") + snap.counter("netsim.injected"),
+            snap.counter("netsim.delivered") + snap.counter_sum("netsim.dropped.")
+        );
+        // Snapshotting twice never double-counts the fault export.
+        assert_eq!(snap, sim.telemetry_snapshot());
+    }
+
+    #[test]
+    fn fault_duplication_injects_extra_deliveries() {
+        use crate::fault::{FaultPlan, FaultPolicy};
+        let (t, a, b) = line_topology(QueuePolicy::trim_default());
+        let mut sim = Simulator::new(t);
+        // Duplicate only on the host's own uplink so each clone is counted
+        // once, not re-duplicated at the switch.
+        let s = NodeId(2);
+        sim.install_fault_plan(FaultPlan::new(5).with_channel(
+            a,
+            s,
+            FaultPolicy::none().with_duplicate(1.0),
+        ));
+        sim.install_app(a, Box::new(BulkSenderApp::new(b, 15_000, 1500, 1)));
+        sim.run_until(SimTime::from_millis(50));
+        let fstats = sim.fault_stats();
+        assert_eq!(fstats.duplicated, 10, "every packet must duplicate");
+        assert_eq!(sim.stats().injected_packets(), 10);
+        assert_eq!(sim.stats().delivered_packets(), 20);
+        assert!(sim.conservation_holds());
+    }
+
+    #[test]
+    fn fault_plan_keeps_runs_deterministic() {
+        use crate::fault::{FaultPlan, FaultPolicy};
+        let run = || {
+            let (t, a, b) = line_topology(QueuePolicy::trim_default());
+            let mut sim = Simulator::with_seed(t, 99);
+            sim.install_fault_plan(
+                FaultPlan::new(13).with_default(
+                    FaultPolicy::none()
+                        .with_loss_burst(0.05, 1, 3)
+                        .with_duplicate(0.1)
+                        .with_reorder(0.1, SimTime::from_micros(20))
+                        .with_replay(0.05),
+                ),
+            );
+            sim.install_app(a, Box::new(BulkSenderApp::new(b, 300_000, 1500, 1)));
+            sim.run_until(SimTime::from_millis(50));
+            assert!(sim.conservation_holds());
+            sim.telemetry_snapshot().to_json()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -4,9 +4,14 @@
 //! The conservation identity every run must satisfy:
 //!
 //! ```text
-//! sent = delivered + dropped_data_full + dropped_prio_full
-//!        + dropped_random + in_flight
+//! sent + injected = delivered + dropped_data_full + dropped_prio_full
+//!                   + dropped_random + dropped_fault + in_flight
 //! ```
+//!
+//! `injected` counts packets a [`crate::fault::FaultPlan`] materialized out
+//! of thin air (duplicates, stale replays) and `dropped_fault` the packets
+//! it destroyed; both are zero when no plan is installed, collapsing the
+//! identity to the original `sent = delivered + dropped + in_flight`.
 //!
 //! [`Stats::conservation_holds`] checks it given the current in-flight count;
 //! the simulator's tests assert it after every run.
@@ -63,6 +68,8 @@ pub struct Stats {
     dropped_data_full: Counter,
     dropped_prio_full: Counter,
     dropped_random: Counter,
+    dropped_fault: Counter,
+    injected: Counter,
     ecn_marked: Counter,
     max_queue_bytes: Gauge,
     flows: BTreeMap<FlowId, FlowRecord>,
@@ -92,6 +99,8 @@ impl Stats {
         let dropped_data_full = registry.counter("netsim.dropped.data_full");
         let dropped_prio_full = registry.counter("netsim.dropped.prio_full");
         let dropped_random = registry.counter("netsim.dropped.random");
+        let dropped_fault = registry.counter("netsim.dropped.fault");
+        let injected = registry.counter("netsim.injected");
         let ecn_marked = registry.counter("netsim.ecn_marked");
         let max_queue_bytes = registry.gauge("netsim.queue.max_bytes");
         Self {
@@ -104,6 +113,8 @@ impl Stats {
             dropped_data_full,
             dropped_prio_full,
             dropped_random,
+            dropped_fault,
+            injected,
             ecn_marked,
             max_queue_bytes,
             flows: BTreeMap::new(),
@@ -158,6 +169,14 @@ impl Stats {
 
     pub(crate) fn on_dropped_random(&mut self) {
         self.dropped_random.inc();
+    }
+
+    pub(crate) fn on_dropped_fault(&mut self) {
+        self.dropped_fault.inc();
+    }
+
+    pub(crate) fn on_injected(&mut self) {
+        self.injected.inc();
     }
 
     pub(crate) fn on_ecn_marked(&mut self) {
@@ -221,10 +240,26 @@ impl Stats {
         self.dropped_random.get()
     }
 
+    /// Packets destroyed by an installed [`crate::fault::FaultPlan`].
+    #[must_use]
+    pub fn dropped_fault(&self) -> u64 {
+        self.dropped_fault.get()
+    }
+
+    /// Extra packets a [`crate::fault::FaultPlan`] injected (duplicates and
+    /// stale replays the sender never sent).
+    #[must_use]
+    pub fn injected_packets(&self) -> u64 {
+        self.injected.get()
+    }
+
     /// Total drops of all causes.
     #[must_use]
     pub fn dropped_total(&self) -> u64 {
-        self.dropped_data_full() + self.dropped_prio_full() + self.dropped_random()
+        self.dropped_data_full()
+            + self.dropped_prio_full()
+            + self.dropped_random()
+            + self.dropped_fault()
     }
 
     /// ECN marks applied.
@@ -270,10 +305,13 @@ impl Stats {
     }
 
     /// Verifies packet conservation given the number of packets still inside
-    /// the network (queued or propagating).
+    /// the network (queued or propagating). Fault-injected packets count as
+    /// extra supply (`sent + injected`); fault drops count with the other
+    /// drop classes.
     #[must_use]
     pub fn conservation_holds(&self, in_flight: u64) -> bool {
-        self.sent.get() == self.delivered.get() + self.dropped_total() + in_flight
+        self.sent.get() + self.injected.get()
+            == self.delivered.get() + self.dropped_total() + in_flight
     }
 
     /// Flow-completion-time summary over all completed flows — the paper's
@@ -375,6 +413,34 @@ mod tests {
         assert!(s.conservation_holds(2));
         assert!(!s.conservation_holds(0));
         assert_eq!(s.dropped_total(), 2);
+    }
+
+    #[test]
+    fn conservation_identity_with_fault_injection() {
+        let mut s = Stats::new();
+        for i in 0..10 {
+            s.on_sent(FlowId(i), SimTime(i));
+        }
+        // The fault layer injects 3 clones and destroys 4 packets; 8 arrive.
+        for _ in 0..3 {
+            s.on_injected();
+        }
+        for _ in 0..4 {
+            s.on_dropped_fault();
+        }
+        for _ in 0..8 {
+            s.on_delivered(FlowId(0), 100, false);
+        }
+        // 10 + 3 = 8 + 4 + 1 in flight.
+        assert!(s.conservation_holds(1));
+        assert!(!s.conservation_holds(0));
+        assert_eq!(s.dropped_total(), 4);
+        assert_eq!(s.injected_packets(), 3);
+        assert_eq!(s.dropped_fault(), 4);
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("netsim.dropped.fault"), 4);
+        assert_eq!(snap.counter("netsim.injected"), 3);
+        assert_eq!(snap.counter_sum("netsim.dropped."), 4);
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub struct TransportConfig {
     /// Receiver gap timeout before NACKing missing sequences (trimming
     /// transport).
     pub gap_timeout: SimTime,
+    /// Fin re-probes a trimming sender issues (with exponential backoff)
+    /// before declaring the flow failed. Probes reset whenever the receiver
+    /// shows signs of life, so this bounds only the truly-silent case.
+    pub max_fin_probes: u32,
 }
 
 impl Default for TransportConfig {
@@ -47,6 +51,7 @@ impl Default for TransportConfig {
             window: 64,
             rto: SimTime::from_micros(500),
             gap_timeout: SimTime::from_micros(100),
+            max_fin_probes: 10,
         }
     }
 }
@@ -273,17 +278,26 @@ impl App for ReliableReceiverApp {
 // ---------------------------------------------------------------------------
 
 /// Sender half of the trimming transport: blast everything once, repair only
-/// whole-packet losses on receiver NACKs, re-probe with the fin packet if the
-/// receiver stays silent.
+/// whole-packet losses on receiver NACKs, re-probe with the fin packet
+/// (exponential backoff, bounded attempts) if the receiver stays silent.
 #[derive(Debug)]
 pub struct TrimmingSenderApp {
     dst: NodeId,
     flow: FlowId,
     total: u64,
     cfg: TransportConfig,
-    /// NACK-triggered retransmissions (whole-packet losses only).
+    /// NACK-triggered retransmissions (whole-packet losses only). Fin
+    /// keep-alive probes are counted separately in
+    /// [`Self::fin_probes`], never here.
     pub retransmissions: u64,
+    /// Fin re-probes issued against a silent receiver.
+    pub fin_probes: u64,
+    /// Consecutive probes since the receiver last showed signs of life.
+    probes_since_life: u32,
+    /// Current probe backoff (doubles per silent probe, capped).
+    probe_backoff: SimTime,
     done: bool,
+    failed: bool,
 }
 
 impl TrimmingSenderApp {
@@ -296,7 +310,11 @@ impl TrimmingSenderApp {
             total: packet_count(msg_bytes, cfg.packet_size),
             cfg,
             retransmissions: 0,
+            fin_probes: 0,
+            probes_since_life: 0,
+            probe_backoff: cfg.rto,
             done: false,
+            failed: false,
         }
     }
 
@@ -306,12 +324,27 @@ impl TrimmingSenderApp {
         self.done
     }
 
+    /// Whether the sender gave up after exhausting its fin probes against a
+    /// silent receiver. Terminal: a failed sender issues no further traffic.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
     fn data_spec(&self, seq: u64) -> PacketSpec {
         let mut spec = PacketSpec::synthetic(self.dst, self.flow, self.cfg.packet_size, seq);
         if seq == self.total - 1 {
             spec = spec.with_fin();
         }
         spec
+    }
+
+    /// Any control message from the receiver proves it is alive: reset the
+    /// probe budget and backoff so a long NACK-driven recovery is never
+    /// misdiagnosed as a dead peer.
+    fn note_receiver_alive(&mut self) {
+        self.probes_since_life = 0;
+        self.probe_backoff = self.cfg.rto;
     }
 }
 
@@ -337,12 +370,14 @@ impl App for TrimmingSenderApp {
         };
         match msg {
             ControlMsg::Nack { seq } => {
-                if seq < self.total && !self.done {
+                self.note_receiver_alive();
+                if seq < self.total && !self.done && !self.failed {
                     self.retransmissions += 1;
                     api.send(self.data_spec(seq));
                 }
             }
             ControlMsg::CumAck { upto } => {
+                self.note_receiver_alive();
                 if upto >= self.total {
                     self.done = true;
                 }
@@ -352,15 +387,43 @@ impl App for TrimmingSenderApp {
     }
 
     fn on_timer(&mut self, _token: u64, api: &mut HostApi) {
-        if self.done {
+        if self.done || self.failed {
             return;
         }
         // The receiver has not confirmed; the fin (or everything) may have
-        // been lost. Re-probe with the fin packet to retrigger gap detection.
-        self.retransmissions += 1;
+        // been lost. Re-probe with the fin packet to retrigger gap
+        // detection — a keep-alive, *not* a loss repair, so it is counted in
+        // `fin_probes` rather than `retransmissions`. Backoff doubles per
+        // silent probe; a bounded budget of silence is terminal.
+        if self.probes_since_life >= self.cfg.max_fin_probes {
+            self.failed = true;
+            api.telemetry()
+                .counter("transport.trimming.failed_flows")
+                .inc();
+            return;
+        }
+        self.fin_probes += 1;
+        self.probes_since_life += 1;
+        api.telemetry()
+            .counter("transport.trimming.fin_probes")
+            .inc();
         api.send(self.data_spec(self.total - 1));
-        api.timer_in(self.cfg.rto, 0);
+        api.timer_in(self.probe_backoff, 0);
+        self.probe_backoff = (self.probe_backoff * 2).min(self.cfg.rto * 64);
     }
+}
+
+/// Per-sequence arrival quality at a trimming receiver. Quality only ever
+/// improves: `Missing → Trimmed → Full` (the same upgrade-only lattice
+/// `trimgrad_wire`'s `RowAssembler` maintains per coordinate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArrivalQuality {
+    /// No copy of this sequence has arrived.
+    Missing,
+    /// Only a trimmed copy has arrived (payload heads survive).
+    Trimmed,
+    /// A full copy has arrived; later copies are duplicates.
+    Full,
 }
 
 /// Receiver half of the trimming transport.
@@ -368,13 +431,16 @@ impl App for TrimmingSenderApp {
 pub struct TrimmingReceiverApp {
     flow: FlowId,
     cfg: TransportConfig,
-    seen: Vec<bool>,
+    quality: Vec<ArrivalQuality>,
     count: u64,
     total: Option<u64>,
     sender: Option<NodeId>,
-    /// Arrivals that had been trimmed by a switch.
+    /// Arrivals that had been trimmed by a switch (first arrivals only).
     pub trimmed_arrivals: u64,
-    /// Duplicate arrivals (ignored).
+    /// Full copies that upgraded a previously trimmed sequence (a
+    /// retransmitted or duplicated original overtaking its trimmed head).
+    pub upgrades: u64,
+    /// Duplicate arrivals carrying no new information (ignored).
     pub duplicates: u64,
     /// NACKs issued for missing sequences.
     pub nacks_sent: u64,
@@ -389,11 +455,12 @@ impl TrimmingReceiverApp {
         Self {
             flow: FlowId(flow_id),
             cfg,
-            seen: Vec::new(),
+            quality: Vec::new(),
             count: 0,
             total: None,
             sender: None,
             trimmed_arrivals: 0,
+            upgrades: 0,
             duplicates: 0,
             nacks_sent: 0,
             done: false,
@@ -407,7 +474,7 @@ impl TrimmingReceiverApp {
         self.done
     }
 
-    /// Fraction of arrivals that were trimmed.
+    /// Fraction of first arrivals that were trimmed.
     #[must_use]
     pub fn trim_fraction(&self) -> f64 {
         if self.count == 0 {
@@ -415,6 +482,15 @@ impl TrimmingReceiverApp {
         } else {
             self.trimmed_arrivals as f64 / self.count as f64
         }
+    }
+
+    /// Sequences still stuck at trimmed quality (no full copy ever made it).
+    #[must_use]
+    pub fn residual_trimmed(&self) -> u64 {
+        self.quality
+            .iter()
+            .filter(|q| **q == ArrivalQuality::Trimmed)
+            .count() as u64
     }
 }
 
@@ -432,25 +508,49 @@ impl App for TrimmingReceiverApp {
             return;
         }
         self.sender = Some(pkt.src);
-        if self.seen.len() <= pkt.seq as usize {
-            self.seen.resize(pkt.seq as usize + 1, false);
+        if self.quality.len() <= pkt.seq as usize {
+            self.quality
+                .resize(pkt.seq as usize + 1, ArrivalQuality::Missing);
         }
         if pkt.fin {
             self.total = Some(pkt.seq + 1);
         }
-        if self.seen[pkt.seq as usize] {
-            self.duplicates += 1;
-        } else {
-            self.seen[pkt.seq as usize] = true;
-            self.count += 1;
-            if pkt.trimmed {
+        // Upgrade-only per-sequence quality: a full copy arriving after a
+        // trimmed one replaces it (the trimmed head carried only part of the
+        // payload); everything that adds no information is a duplicate.
+        match (self.quality[pkt.seq as usize], pkt.trimmed) {
+            (ArrivalQuality::Missing, true) => {
+                self.quality[pkt.seq as usize] = ArrivalQuality::Trimmed;
+                self.count += 1;
                 self.trimmed_arrivals += 1;
+                api.telemetry()
+                    .counter("transport.trimming.trimmed_arrivals")
+                    .inc();
+            }
+            (ArrivalQuality::Missing, false) => {
+                self.quality[pkt.seq as usize] = ArrivalQuality::Full;
+                self.count += 1;
+            }
+            (ArrivalQuality::Trimmed, false) => {
+                self.quality[pkt.seq as usize] = ArrivalQuality::Full;
+                self.upgrades += 1;
+                api.telemetry().counter("transport.trimming.upgrades").inc();
+            }
+            (ArrivalQuality::Trimmed, true) | (ArrivalQuality::Full, _) => {
+                self.duplicates += 1;
+                api.telemetry()
+                    .counter("transport.trimming.duplicates")
+                    .inc();
             }
         }
         if let Some(total) = self.total {
-            if !self.done && total == self.count {
-                self.done = true;
-                api.complete_flow(self.flow);
+            if total == self.count {
+                if !self.done {
+                    self.done = true;
+                    api.complete_flow(self.flow);
+                }
+                // (Re-)confirm completion — also answers duplicate fin
+                // probes whose original CumAck was lost in flight.
                 api.send(PacketSpec::control(
                     pkt.src,
                     self.flow,
@@ -474,9 +574,15 @@ impl App for TrimmingReceiverApp {
             return;
         };
         // NACK every hole below the known horizon.
-        let horizon = self.total.unwrap_or(self.seen.len() as u64);
+        let horizon = self.total.unwrap_or(self.quality.len() as u64);
         for seq in 0..horizon {
-            if !self.seen.get(seq as usize).copied().unwrap_or(false) {
+            let missing = self
+                .quality
+                .get(seq as usize)
+                .copied()
+                .unwrap_or(ArrivalQuality::Missing)
+                == ArrivalQuality::Missing;
+            if missing {
                 self.nacks_sent += 1;
                 api.send(PacketSpec::control(
                     sender,
@@ -708,6 +814,118 @@ mod tests {
             fct_trim < fct_rel,
             "trimming {fct_trim} must beat reliable {fct_rel} under congestion"
         );
+    }
+
+    /// Regression (bug: trimmed arrival marked its sequence `seen`, so the
+    /// later full copy was discarded as a duplicate — the opposite of the
+    /// upgrade-only semantics `RowAssembler` documents).
+    #[test]
+    fn full_copy_upgrades_trimmed_arrival() {
+        use crate::host::HostApi;
+        use trimgrad_telemetry::Registry;
+        let mk = |seq: u64, trimmed: bool| Packet {
+            id: seq,
+            flow: FlowId(1),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size: if trimmed { 64 } else { 1500 },
+            priority: trimmed,
+            reliable: false,
+            trimmed,
+            ecn: false,
+            seq,
+            fin: false,
+            sent_at: SimTime::ZERO,
+            body: PacketBody::Synthetic,
+        };
+        let mut rx = TrimmingReceiverApp::new(1, TransportConfig::default());
+        let reg = Registry::new();
+        let mut api = HostApi::new(SimTime::ZERO, NodeId(1), reg.clone());
+        rx.on_packet(mk(0, true), &mut api);
+        assert_eq!(rx.trimmed_arrivals, 1);
+        assert_eq!(rx.residual_trimmed(), 1);
+        // The full copy upgrades the trimmed one — it is NOT a duplicate.
+        rx.on_packet(mk(0, false), &mut api);
+        assert_eq!(rx.duplicates, 0, "full-after-trimmed must not be a dup");
+        assert_eq!(rx.upgrades, 1);
+        assert_eq!(rx.residual_trimmed(), 0);
+        // Quality never downgrades: further copies of any kind are dups.
+        rx.on_packet(mk(0, false), &mut api);
+        rx.on_packet(mk(0, true), &mut api);
+        assert_eq!(rx.upgrades, 1);
+        assert_eq!(rx.duplicates, 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("transport.trimming.trimmed_arrivals"), 1);
+        assert_eq!(snap.counter("transport.trimming.upgrades"), 1);
+        assert_eq!(snap.counter("transport.trimming.duplicates"), 2);
+    }
+
+    /// Regression (bug: fin re-probes were counted in `retransmissions` and
+    /// re-probed forever with no backoff against a dead receiver).
+    #[test]
+    fn silent_receiver_bounds_fin_probes_and_fails() {
+        let mut t = Topology::new();
+        let a = t.add_host();
+        let b = t.add_host(); // default SinkApp: never speaks the protocol
+        t.link(a, b, gbps(10.0), SimTime::from_micros(1));
+        let mut sim = Simulator::new(t);
+        sim.install_app(
+            a,
+            Box::new(TrimmingSenderApp::new(
+                b,
+                MSG,
+                1,
+                TransportConfig::default(),
+            )),
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let tx: &TrimmingSenderApp = sim.app_ref(a).unwrap();
+        assert!(!tx.is_done());
+        assert!(tx.is_failed(), "a silent receiver must be terminal");
+        // Keep-alives are not loss repairs.
+        assert_eq!(tx.retransmissions, 0);
+        let budget = u64::from(TransportConfig::default().max_fin_probes);
+        assert_eq!(tx.fin_probes, budget);
+        // Bounded total traffic: the 100-packet blast plus the probe budget,
+        // not a 5-second spin at the raw RTO.
+        assert_eq!(sim.stats().sent_packets(), 100 + budget);
+        let snap = sim.telemetry_snapshot();
+        assert_eq!(snap.counter("transport.trimming.fin_probes"), budget);
+        assert_eq!(snap.counter("transport.trimming.failed_flows"), 1);
+    }
+
+    /// The probe backoff must double (capped), so the failure verdict lands
+    /// after a geometric, not linear, amount of silence.
+    #[test]
+    fn fin_probe_backoff_is_exponential() {
+        use crate::host::HostApi;
+        use trimgrad_telemetry::Registry;
+        let cfg = TransportConfig::default();
+        let mut tx = TrimmingSenderApp::new(NodeId(1), 1500, 1, cfg);
+        let reg = Registry::new();
+        let mut delays = Vec::new();
+        for _ in 0..cfg.max_fin_probes {
+            let mut api = HostApi::new(SimTime::ZERO, NodeId(0), reg.clone());
+            tx.on_timer(0, &mut api);
+            let (at, _) = api.timers[0];
+            delays.push(at);
+        }
+        // 0.5ms, 1ms, 2ms, ... capped at 64 × RTO = 32ms.
+        assert_eq!(delays[0], cfg.rto);
+        assert_eq!(delays[1], cfg.rto * 2);
+        assert_eq!(delays[2], cfg.rto * 4);
+        assert_eq!(*delays.last().unwrap(), cfg.rto * 64);
+        // The budget is spent: the next firing is terminal and arms nothing.
+        let mut api = HostApi::new(SimTime::ZERO, NodeId(0), reg.clone());
+        tx.on_timer(0, &mut api);
+        assert!(tx.is_failed());
+        assert!(api.timers.is_empty() && api.outbox.is_empty());
+        // Signs of life reset the budget and the backoff.
+        tx.failed = false;
+        tx.note_receiver_alive();
+        let mut api = HostApi::new(SimTime::ZERO, NodeId(0), reg.clone());
+        tx.on_timer(0, &mut api);
+        assert_eq!(api.timers[0].0, cfg.rto);
     }
 
     #[test]

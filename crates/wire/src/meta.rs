@@ -124,6 +124,7 @@ impl RowMetaPacket {
         if !ip.verify_checksum() {
             return Err(WireError::BadChecksum);
         }
+        // trimlint: allow(unchecked-len-index) -- new_checked bounds total_len
         let udp_slice = &eth.payload()[ipv4::HEADER_LEN..ip.total_len() as usize];
         let dgram = UdpDatagram::new_checked(udp_slice)?;
         if !dgram.verify_checksum(ip.src(), ip.dst()) {

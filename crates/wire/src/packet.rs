@@ -158,6 +158,7 @@ impl GradPacket {
             return Err(WireError::BadField("protocol"));
         }
         let (src_ip, dst_ip) = (ip.src(), ip.dst());
+        // trimlint: allow(unchecked-len-index) -- new_checked bounds total_len
         let udp_slice = &eth.payload()[ipv4::HEADER_LEN..ip.total_len() as usize];
         let udp = UdpDatagram::new_checked(udp_slice)?;
         if !udp.verify_checksum(src_ip, dst_ip) {
@@ -407,6 +408,31 @@ mod tests {
         let p = mid.parse().unwrap();
         assert_eq!(p.sections.len(), 1);
         assert!(p.sections[0].iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn crafted_overclaimed_parts_frame_is_rejected_not_panicked() {
+        // Regression: a frame with valid checksums whose TrimGrad header
+        // claims n_parts = trim_depth = 3 for a two-part scheme used to
+        // clear header validation and panic inside the payload-layout
+        // arithmetic during parse. Receive paths must reject it cleanly.
+        let net = NetAddrs::between_hosts(1, 2);
+        let mut fields = sample_fields(8); // RhtOneBit: really 2 parts
+        fields.n_parts = 3;
+        fields.trim_depth = 3;
+        let mut app = Vec::new();
+        app.extend_from_slice(&fields.to_bytes());
+        app.extend_from_slice(&[0u8; 64]); // plausible-looking payload
+        let udp_bytes =
+            udp::build_datagram(net.src_ip, net.dst_ip, net.src_port, net.dst_port, &app);
+        let ip_bytes = ipv4::build_packet(net.src_ip, net.dst_ip, PROTO_UDP, DSCP_BULK, &udp_bytes);
+        let frame = ethernet::build_frame(net.dst_mac, net.src_mac, ETHERTYPE_IPV4, &ip_bytes);
+        let pkt = GradPacket::from_frame(frame);
+        assert_eq!(pkt.parse().unwrap_err(), WireError::BadField("n_parts"));
+        assert_eq!(
+            pkt.quick_fields().unwrap_err(),
+            WireError::BadField("n_parts")
+        );
     }
 
     #[test]

@@ -60,12 +60,16 @@ impl<T: AsRef<[u8]>> TrimGradHeader<T> {
         if h.version() != VERSION {
             return Err(WireError::BadVersion);
         }
-        if SchemeId::from_u8(h.buffer.as_ref()[3]).is_none() {
+        let Some(scheme) = SchemeId::from_u8(h.buffer.as_ref()[3]) else {
             return Err(WireError::BadField("scheme"));
-        }
+        };
         let n_parts = h.n_parts();
         let depth = h.trim_depth();
-        if n_parts == 0 {
+        // n_parts must agree with the scheme's real part count: a crafted
+        // header claiming more parts than the scheme has would otherwise
+        // drive payload-layout arithmetic (and its `1..=n_parts` depth
+        // assertion) out of bounds downstream.
+        if n_parts as usize != scheme.part_bits().len() {
             return Err(WireError::BadField("n_parts"));
         }
         if depth == 0 || depth > n_parts {
@@ -408,6 +412,27 @@ mod tests {
         let mut f = fields();
         f.n_parts = 0;
         f.trim_depth = 0;
+        assert_eq!(
+            TrimGradHeader::new_checked(&f.to_bytes()[..]).unwrap_err(),
+            WireError::BadField("n_parts")
+        );
+    }
+
+    #[test]
+    fn rejects_n_parts_scheme_mismatch() {
+        // Regression: a crafted header claiming more parts than its scheme
+        // really has used to pass validation and drive the payload-layout
+        // arithmetic (which indexes `part_bits()` by depth) out of bounds.
+        let mut f = fields(); // RhtOneBit has exactly 2 parts
+        f.n_parts = 3;
+        f.trim_depth = 3;
+        assert_eq!(
+            TrimGradHeader::new_checked(&f.to_bytes()[..]).unwrap_err(),
+            WireError::BadField("n_parts")
+        );
+        let mut f = fields();
+        f.n_parts = 1;
+        f.trim_depth = 1;
         assert_eq!(
             TrimGradHeader::new_checked(&f.to_bytes()[..]).unwrap_err(),
             WireError::BadField("n_parts")
