@@ -1,13 +1,23 @@
 //! Macro-benchmark: event throughput of the discrete-event simulator under
-//! an 8-to-1 incast at a trimming switch.
+//! an 8-to-1 incast at a trimming switch, plus a micro-benchmark of the
+//! [`EventQueue`] itself under a chaotic push/pop mix.
+//!
+//! The `event_queue` group is the baseline for any future calendar-queue
+//! swap: `crates/netsim/tests/event_queue_oracle.rs` pins the ordering
+//! semantics, and this bench (recorded to `BENCH_netsim.json` by CI's bench
+//! smoke job) pins the cost.
+//!
+//! [`EventQueue`]: trimgrad::netsim::event::EventQueue
 
+use trimgrad::hadamard::prng::Xoshiro256StarStar;
 use trimgrad::netsim::crosstraffic::install_incast;
+use trimgrad::netsim::event::{EventKind, EventQueue};
 use trimgrad::netsim::sim::Simulator;
 use trimgrad::netsim::switch::QueuePolicy;
 use trimgrad::netsim::time::{gbps, SimTime};
 use trimgrad::netsim::topology::Topology;
 use trimgrad::netsim::NodeId;
-use trimgrad_bench::microbench::{Group, Throughput};
+use trimgrad_bench::microbench::{BenchOpts, BenchRecord, Group, Throughput};
 
 fn run_incast(policy: QueuePolicy) -> u64 {
     let mut topo = Topology::new();
@@ -27,8 +37,45 @@ fn run_incast(policy: QueuePolicy) -> u64 {
     sim.stats().delivered_packets() + sim.stats().dropped_total()
 }
 
-fn main() {
+/// A seeded chaos mix over the event calendar: bursts of schedules at random
+/// times interleaved with pops, ending with a full drain. This is the access
+/// pattern the simulator's hot loop produces (queue depth oscillates instead
+/// of growing monotonically), so it is the number a replacement priority
+/// queue must beat.
+fn event_queue_chaos(ops: usize, seed: u64) -> u64 {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut q = EventQueue::new();
+    for i in 0..ops {
+        // ~60% schedule, ~40% pop: the queue stays non-trivially full.
+        if rng.next_u64() % 5 < 3 {
+            let at = SimTime(rng.next_u64() % 1_000_000);
+            q.schedule(
+                at,
+                EventKind::AppTimer {
+                    node: NodeId(i % 64),
+                    token: i as u64,
+                },
+            );
+        } else {
+            let _ = q.pop();
+        }
+    }
+    while q.pop().is_some() {}
+    q.total_fired()
+}
+
+fn bench_event_queue(opts: &BenchOpts, records: &mut Vec<BenchRecord>) {
+    let ops = 10_000;
+    let mut g = Group::new("event_queue");
+    opts.configure(&mut g);
+    g.throughput(Throughput::Elements(ops as u64));
+    g.bench("chaos_push_pop_10k", || event_queue_chaos(ops, 0xE7E7));
+    records.extend(g.finish());
+}
+
+fn bench_incast(opts: &BenchOpts, records: &mut Vec<BenchRecord>) {
     let mut g = Group::new("netsim_incast_8to1");
+    opts.configure(&mut g);
     // 800 packets, each traversing 2 hops → ~3200 port events.
     g.throughput(Throughput::Elements(800));
     g.quick();
@@ -36,4 +83,13 @@ fn main() {
     g.bench("droptail_switch", || {
         run_incast(QueuePolicy::droptail_default())
     });
+    records.extend(g.finish());
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let mut records = Vec::new();
+    bench_event_queue(&opts, &mut records);
+    bench_incast(&opts, &mut records);
+    opts.write("netsim", &records);
 }

@@ -1,15 +1,24 @@
 //! Micro-benchmarks for the wire layer: packetizing a row, the in-switch
 //! trim operation (the hot path of a trimming ASIC model), and receiver-side
 //! parse + reassembly.
+//!
+//! `packetize_row_32k` builds each frame with the single-allocation
+//! `GradPacket::build_with` path; `packetize_row_32k_pooled` additionally
+//! recycles frames through a [`FramePool`], so its steady state performs no
+//! allocation at all. Both land in `BENCH_wire.json` under CI's bench smoke
+//! job.
+//!
+//! [`FramePool`]: trimgrad::wire::pool::FramePool
 
 use std::hint::black_box;
 use trimgrad::hadamard::prng::Xoshiro256StarStar;
 use trimgrad::quant::rht1bit::RhtOneBit;
 use trimgrad::quant::TrimmableScheme;
 use trimgrad::wire::packet::NetAddrs;
-use trimgrad::wire::packetize::{packetize_row, PacketizeConfig};
+use trimgrad::wire::packetize::{packetize_row, packetize_row_pooled, PacketizeConfig};
+use trimgrad::wire::pool::FramePool;
 use trimgrad::wire::reassemble::RowAssembler;
-use trimgrad_bench::microbench::{Group, Throughput};
+use trimgrad_bench::microbench::{BenchOpts, BenchRecord, Group, Throughput};
 
 fn cfg() -> PacketizeConfig {
     PacketizeConfig {
@@ -29,32 +38,46 @@ fn encoded_row() -> trimgrad::quant::EncodedRow {
     RhtOneBit.encode(&row, 42)
 }
 
-fn bench_packetize() {
+fn bench_packetize(opts: &BenchOpts, records: &mut Vec<BenchRecord>) {
     let enc = encoded_row();
     let mut g = Group::new("wire");
+    opts.configure(&mut g);
     g.throughput(Throughput::Elements(enc.n as u64));
     g.bench("packetize_row_32k", || {
         packetize_row(black_box(&enc), &cfg())
     });
+    // Steady-state pooled path: every frame buffer comes back out of the
+    // freelist, so iterations after the first allocate nothing.
+    let mut pool = FramePool::new();
+    g.bench("packetize_row_32k_pooled", || {
+        let pr = packetize_row_pooled(black_box(&enc), &cfg(), &mut pool);
+        let n = pr.packets.len();
+        pool.recycle_row(pr);
+        n
+    });
+    records.extend(g.finish());
 }
 
-fn bench_trim_op() {
+fn bench_trim_op(opts: &BenchOpts, records: &mut Vec<BenchRecord>) {
     let enc = encoded_row();
     let pr = packetize_row(&enc, &cfg());
     let packet = pr.packets[0].clone();
     let mut g = Group::new("wire");
+    opts.configure(&mut g);
     g.throughput(Throughput::Bytes(packet.wire_len() as u64));
     g.bench("switch_trim_to_heads", || {
         let mut p = packet.clone();
         p.trim_to_depth(1).expect("trimmable");
         p
     });
+    records.extend(g.finish());
 }
 
-fn bench_parse_and_reassemble() {
+fn bench_parse_and_reassemble(opts: &BenchOpts, records: &mut Vec<BenchRecord>) {
     let enc = encoded_row();
     let pr = packetize_row(&enc, &cfg());
     let mut g = Group::new("wire");
+    opts.configure(&mut g);
     g.throughput(Throughput::Elements(enc.n as u64));
     g.bench("reassemble_row_32k", || {
         let mut asm = RowAssembler::new(enc.scheme, 0, 0, enc.meta.original_len);
@@ -64,10 +87,14 @@ fn bench_parse_and_reassemble() {
         }
         asm.is_complete()
     });
+    records.extend(g.finish());
 }
 
 fn main() {
-    bench_packetize();
-    bench_trim_op();
-    bench_parse_and_reassemble();
+    let opts = BenchOpts::from_args();
+    let mut records = Vec::new();
+    bench_packetize(&opts, &mut records);
+    bench_trim_op(&opts, &mut records);
+    bench_parse_and_reassemble(&opts, &mut records);
+    opts.write("wire", &records);
 }

@@ -21,6 +21,111 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// One measured benchmark result, as printed and as serialized to JSON.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Group the benchmark belongs to.
+    pub group: String,
+    /// Benchmark label within the group.
+    pub label: String,
+    /// Best (least-interference) batch time, ns per iteration.
+    pub best_ns: f64,
+    /// Mean time over the whole measurement window, ns per iteration.
+    pub mean_ns: f64,
+    /// Throughput at the best time, with its unit (`"elem/s"` / `"B/s"`).
+    pub rate: Option<(f64, &'static str)>,
+}
+
+/// Command-line options shared by every bench binary.
+///
+/// `cargo bench -- --json BENCH_x.json [--quick]` writes machine-readable
+/// results next to the human table; unknown flags (including the
+/// `--bench` cargo appends) are ignored.
+#[derive(Debug, Default, Clone)]
+pub struct BenchOpts {
+    /// Write results as JSON to this path after the run.
+    pub json: Option<String>,
+    /// Shrink warmup/measure windows (CI smoke mode).
+    pub quick: bool,
+}
+
+impl BenchOpts {
+    /// Parses the process arguments.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => opts.json = args.next(),
+                "--quick" => opts.quick = true,
+                _ => {}
+            }
+        }
+        opts
+    }
+
+    /// Applies window options to a group.
+    pub fn configure(&self, g: &mut Group) {
+        if self.quick {
+            g.quick();
+        }
+    }
+
+    /// Writes `records` as JSON if `--json` was given. The report carries
+    /// the bench name and the global worker-pool width so speedup tables can
+    /// pair serial and parallel runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written — a bench run whose results
+    /// silently vanish is worse than a loud failure.
+    pub fn write(&self, bench_name: &str, records: &[BenchRecord]) {
+        if let Some(path) = &self.json {
+            let json = render_json(bench_name, records);
+            // Cargo runs benches with cwd = the crate dir; create missing
+            // parents so `--json results/…` works from any invocation root.
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).expect("create bench JSON dir");
+                }
+            }
+            std::fs::write(path, json).expect("write bench JSON");
+            println!("\nwrote {} records to {path}", records.len());
+        }
+    }
+}
+
+/// Renders the report as a hand-rolled JSON document (no serde offline).
+fn render_json(bench_name: &str, records: &[BenchRecord]) -> String {
+    let threads = trimgrad_par::WorkerPool::global().threads();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"bench\": \"{}\",\n", escape(bench_name)));
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str("    {");
+        s.push_str(&format!("\"group\": \"{}\", ", escape(&r.group)));
+        s.push_str(&format!("\"label\": \"{}\", ", escape(&r.label)));
+        s.push_str(&format!("\"best_ns\": {:.1}, ", r.best_ns));
+        s.push_str(&format!("\"mean_ns\": {:.1}", r.mean_ns));
+        if let Some((rate, unit)) = r.rate {
+            s.push_str(&format!(", \"rate\": {rate:.1}, \"rate_unit\": \"{unit}\""));
+        }
+        s.push('}');
+        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Escapes a string for a JSON literal (labels are ASCII identifiers, so
+/// only quotes and backslashes need care).
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 /// One named group of related benchmarks, printed as a table.
 #[derive(Debug)]
 pub struct Group {
@@ -28,6 +133,7 @@ pub struct Group {
     warmup: Duration,
     measure: Duration,
     throughput: Option<Throughput>,
+    records: Vec<BenchRecord>,
 }
 
 impl Group {
@@ -40,7 +146,14 @@ impl Group {
             warmup: Duration::from_millis(150),
             measure: Duration::from_millis(600),
             throughput: None,
+            records: Vec::new(),
         }
+    }
+
+    /// Consumes the group, returning its measured records (for JSON output).
+    #[must_use]
+    pub fn finish(self) -> Vec<BenchRecord> {
+        self.records
     }
 
     /// Sets the per-iteration throughput used for rate reporting.
@@ -100,6 +213,17 @@ impl Group {
             fmt_time(best),
             fmt_time(mean),
         );
+        self.records.push(BenchRecord {
+            group: self.name.clone(),
+            label: label.to_string(),
+            best_ns: best * 1e9,
+            mean_ns: mean * 1e9,
+            rate: match self.throughput {
+                Some(Throughput::Elements(n)) => Some((n as f64 / best, "elem/s")),
+                Some(Throughput::Bytes(n)) => Some((n as f64 / best, "B/s")),
+                None => None,
+            },
+        });
     }
 }
 
@@ -140,5 +264,60 @@ mod tests {
         assert!(fmt_time(2.5e-2).contains("ms"));
         assert!(fmt_rate(3.0e9).ends_with('G'));
         assert!(fmt_rate(3.0e4).ends_with('k'));
+    }
+
+    #[test]
+    fn groups_record_what_they_print() {
+        let mut g = Group::new("rec");
+        g.quick();
+        g.throughput(Throughput::Elements(100));
+        g.bench("noop", || 1 + 1);
+        let records = g.finish();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].group, "rec");
+        assert_eq!(records[0].label, "noop");
+        assert!(records[0].best_ns > 0.0);
+        assert!(records[0].mean_ns >= records[0].best_ns);
+        assert_eq!(records[0].rate.unwrap().1, "elem/s");
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let records = vec![
+            BenchRecord {
+                group: "g".into(),
+                label: "a".into(),
+                best_ns: 12.34,
+                mean_ns: 15.0,
+                rate: Some((1.0e9, "elem/s")),
+            },
+            BenchRecord {
+                group: "g".into(),
+                label: "b\"q\"".into(),
+                best_ns: 1.0,
+                mean_ns: 2.0,
+                rate: None,
+            },
+        ];
+        let json = render_json("encode", &records);
+        assert!(json.starts_with("{\n"));
+        assert!(json.contains("\"bench\": \"encode\""));
+        assert!(json.contains("\"threads\": "));
+        assert!(json.contains("\"best_ns\": 12.3"));
+        assert!(json.contains("\"rate_unit\": \"elem/s\""));
+        assert!(json.contains("b\\\"q\\\""), "quotes escaped: {json}");
+        // Balanced braces/brackets — the closest to a parse check offline.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_still_renders() {
+        let json = render_json("none", &[]);
+        assert!(json.contains("\"results\": [\n  ]"));
     }
 }

@@ -8,6 +8,7 @@
 //! across rows.
 
 use trimgrad_hadamard::prng::derive_seed;
+use trimgrad_par::WorkerPool;
 use trimgrad_quant::scheme::{EncodedRow, PartialRow, RowMeta};
 use trimgrad_quant::{scheme_for, SchemeId, TrimmableScheme};
 
@@ -77,18 +78,35 @@ impl MessageCodec {
     }
 
     /// Encodes a blob into rows.
+    ///
+    /// Rows encode in parallel on the process-wide [`WorkerPool`]; each
+    /// row's seed is derived from its index, so the result is bit-identical
+    /// for every pool width (and to the serial encoding).
     #[must_use]
     pub fn encode_message(&self, blob: &[f32], epoch: u32, msg_id: u32) -> Vec<EncodedRow> {
+        self.encode_message_pooled(blob, epoch, msg_id, &WorkerPool::global())
+    }
+
+    /// [`encode_message`](Self::encode_message) with an explicit pool (the
+    /// global pool is a convenience over this).
+    #[must_use]
+    pub fn encode_message_pooled(
+        &self,
+        blob: &[f32],
+        epoch: u32,
+        msg_id: u32,
+        pool: &WorkerPool,
+    ) -> Vec<EncodedRow> {
         if blob.is_empty() {
             return Vec::new();
         }
-        blob.chunks(self.row_len)
-            .enumerate()
-            .map(|(row_id, row)| {
-                self.scheme
-                    .encode(row, self.row_seed(epoch, msg_id, row_id as u32))
-            })
-            .collect()
+        let n_rows = self.rows_for(blob.len());
+        pool.map_indexed(n_rows, |row_id| {
+            let start = row_id * self.row_len;
+            let row = &blob[start..blob.len().min(start + self.row_len)];
+            self.scheme
+                .encode(row, self.row_seed(epoch, msg_id, row_id as u32))
+        })
     }
 
     /// Decodes one row view back into coordinates.

@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 use trimgrad_netsim::host::{App, HostApi};
 use trimgrad_netsim::packet::{Packet, PacketBody, PacketSpec};
 use trimgrad_netsim::{FlowId, NodeId};
+use trimgrad_par::WorkerPool;
 use trimgrad_quant::SchemeId;
 use trimgrad_telemetry::{Counter, Registry};
 use trimgrad_wire::packet::NetAddrs;
@@ -230,19 +231,28 @@ impl RingWorkerApp {
         let range = segment_range(self.cfg.blob_len, self.cfg.workers(), seg);
         let data = &self.blob[range];
         let msg_id = t as u32;
-        let rows = self.codec.encode_message(data, self.cfg.epoch, msg_id);
+        let pool = WorkerPool::global();
+        let rows = self
+            .codec
+            .encode_message_pooled(data, self.cfg.epoch, msg_id, &pool);
         let dst = self.next_host();
         let net = NetAddrs::between_hosts(api.node().0 as u32, dst.0 as u32);
+        // Packetize rows in parallel; the send loop below stays serial so
+        // frames enter the fabric in the same (row, chunk) order as before.
+        let packetized = pool.map_indexed(rows.len(), |row_id| {
+            packetize_row(
+                &rows[row_id],
+                &PacketizeConfig {
+                    mtu: self.cfg.mtu,
+                    net,
+                    msg_id,
+                    row_id: row_id as u32,
+                    epoch: self.cfg.epoch,
+                },
+            )
+        });
         let mut seq = 0u64;
-        for (row_id, enc) in rows.iter().enumerate() {
-            let pcfg = PacketizeConfig {
-                mtu: self.cfg.mtu,
-                net,
-                msg_id,
-                row_id: row_id as u32,
-                epoch: self.cfg.epoch,
-            };
-            let pr = packetize_row(enc, &pcfg);
+        for pr in packetized {
             for frame in pr.packets {
                 let spec = PacketSpec::grad_data(dst, self.flow(), seq, frame);
                 m.packets_sent.inc();
@@ -267,20 +277,27 @@ impl RingWorkerApp {
         let sender = (self.rank + self.cfg.workers() - 1) % self.cfg.workers();
         let seg = self.cfg.send_segment(sender, t);
         let range = segment_range(self.cfg.blob_len, self.cfg.workers(), seg);
-        let mut decoded = Vec::with_capacity(range.len());
-        for (row_id, row_asm) in asm.rows.iter().enumerate() {
-            let dec = self
-                .codec
+        // Decode rows in parallel; each row is a pure function of its
+        // assembled bytes and index, and concatenation in row order matches
+        // the serial loop exactly.
+        let codec = &self.codec;
+        let epoch = self.cfg.epoch;
+        let rows_dec = WorkerPool::global().map_indexed(asm.rows.len(), |row_id| {
+            let row_asm = &asm.rows[row_id];
+            codec
                 .decode_row(
                     &row_asm.partial_row(),
                     // trimlint: allow(no-panic) -- is_complete() verified meta_seen for every row before the assembly left the inbox
                     row_asm.meta().expect("meta ingested"),
-                    self.cfg.epoch,
+                    epoch,
                     msg_id,
                     row_id as u32,
                 )
                 // trimlint: allow(no-panic) -- every packet of the row passed ingest; a decode failure here is a codec geometry bug, not a runtime condition
-                .expect("assembled row is structurally valid");
+                .expect("assembled row is structurally valid")
+        });
+        let mut decoded = Vec::with_capacity(range.len());
+        for dec in rows_dec {
             decoded.extend(dec);
         }
         debug_assert_eq!(decoded.len(), range.len());

@@ -1,0 +1,73 @@
+//! Bit-identity of the parallel row-encode fan-out against the serial path.
+//!
+//! [`MessageCodec::encode_message_pooled`] splits a blob into rows by fixed
+//! index and derives each row's seed from `(epoch, msg_id, row_id)`, never
+//! from execution order — so for every pool width the encoded rows must be
+//! *byte-identical* to the 1-thread encoding. This is the collective-layer
+//! half of the guarantee `crates/hadamard/tests/par_prop.rs` pins for the
+//! transforms, and what keeps the seeded ring transcript byte-identical
+//! between `TRIMGRAD_THREADS=1` and `=4`.
+//!
+//! [`MessageCodec::encode_message_pooled`]: trimgrad_collective::chunk::MessageCodec::encode_message_pooled
+
+use proptest::prelude::*;
+use trimgrad_collective::chunk::MessageCodec;
+use trimgrad_hadamard::prng::Xoshiro256StarStar;
+use trimgrad_par::WorkerPool;
+use trimgrad_quant::scheme::EncodedRow;
+use trimgrad_quant::SchemeId;
+
+fn blob(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    (0..n).map(|_| rng.next_f32_range(-1.0, 1.0)).collect()
+}
+
+/// Flattens an encoding to raw part bytes + meta bits for exact comparison.
+fn fingerprint(rows: &[EncodedRow]) -> Vec<Vec<u8>> {
+    rows.iter()
+        .map(|r| {
+            let mut bytes = Vec::new();
+            for part in &r.parts {
+                bytes.extend_from_slice(part.as_bytes());
+            }
+            bytes.extend_from_slice(&r.meta.scale.to_bits().to_le_bytes());
+            bytes.extend_from_slice(&(r.meta.original_len as u64).to_le_bytes());
+            bytes
+        })
+        .collect()
+}
+
+#[test]
+fn pooled_encode_is_bit_identical_for_threads_1_to_8() {
+    for scheme in SchemeId::ALL {
+        let codec = MessageCodec::with_row_len(scheme, 11, 256);
+        // 9.5 rows: exercises the ragged final row under every width.
+        let b = blob(256 * 9 + 128, 0xC0DE);
+        let serial = codec.encode_message_pooled(&b, 3, 7, &WorkerPool::serial());
+        for threads in 1..=8 {
+            let par = codec.encode_message_pooled(&b, 3, 7, &WorkerPool::new(threads));
+            assert_eq!(par.len(), serial.len());
+            assert_eq!(
+                fingerprint(&par),
+                fingerprint(&serial),
+                "{scheme}: threads={threads} diverged"
+            );
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn pooled_encode_matches_serial_for_random_shapes(
+        len in 0usize..3000,
+        row_len in 1usize..600,
+        threads in 1usize..=8,
+        seed in any::<u64>()
+    ) {
+        let codec = MessageCodec::with_row_len(SchemeId::RhtOneBit, seed, row_len);
+        let b = blob(len, seed ^ 0x5EED);
+        let serial = codec.encode_message_pooled(&b, 1, 2, &WorkerPool::serial());
+        let par = codec.encode_message_pooled(&b, 1, 2, &WorkerPool::new(threads));
+        prop_assert_eq!(fingerprint(&par), fingerprint(&serial));
+    }
+}

@@ -1,6 +1,7 @@
 //! The end-to-end trimmable-gradient pipeline: blob ↔ packets.
 
 use trimgrad_collective::chunk::MessageCodec;
+use trimgrad_par::WorkerPool;
 use trimgrad_quant::SchemeId;
 use trimgrad_telemetry::Registry;
 use trimgrad_wire::meta::RowMetaPacket;
@@ -165,6 +166,11 @@ impl TrimmablePipeline {
     }
 
     /// Encodes and packetizes one gradient blob.
+    ///
+    /// Row encode and packetize both fan out over the process-wide
+    /// [`WorkerPool`]; per-row work depends only on the row index, and the
+    /// results merge in row order, so the output is byte-identical for every
+    /// pool width.
     #[must_use]
     pub fn encode(
         &self,
@@ -174,14 +180,13 @@ impl TrimmablePipeline {
         src_host: u32,
         dst_host: u32,
     ) -> TxMessage {
+        let pool = WorkerPool::global();
         let codec = self.codec();
-        let rows = codec.encode_message(blob, epoch, msg_id);
+        let rows = codec.encode_message_pooled(blob, epoch, msg_id, &pool);
         let net = NetAddrs::between_hosts(src_host, dst_host);
-        let mut packets = Vec::new();
-        let mut metas = Vec::with_capacity(rows.len());
-        for (row_id, enc) in rows.iter().enumerate() {
-            let pr = packetize_row(
-                enc,
+        let packetized = pool.map_indexed(rows.len(), |row_id| {
+            packetize_row(
+                &rows[row_id],
                 &PacketizeConfig {
                     mtu: self.cfg.mtu,
                     net,
@@ -189,7 +194,11 @@ impl TrimmablePipeline {
                     row_id: row_id as u32,
                     epoch,
                 },
-            );
+            )
+        });
+        let mut packets = Vec::new();
+        let mut metas = Vec::with_capacity(rows.len());
+        for pr in packetized {
             packets.extend(pr.packets);
             metas.push(pr.meta);
         }
@@ -242,6 +251,8 @@ impl TrimmablePipeline {
             .into_iter()
             .map(|a| a.ok_or(WireError::BadField("missing row meta")))
             .collect::<Result<_, _>>()?;
+        // Ingest stays serial: packets may interleave rows arbitrarily, and
+        // the first malformed packet must surface in arrival order.
         let mut trimmed_in = 0u64;
         let mut parts_lost = 0u64;
         for pkt in packets {
@@ -259,13 +270,18 @@ impl TrimmablePipeline {
             }
             assemblers[row].ingest(pkt)?;
         }
-        let mut out = Vec::new();
-        for (row_id, asm) in assemblers.iter().enumerate() {
+        // Decode rows in parallel; merging results (and picking the first
+        // error) in row-index order matches the serial early-return.
+        let decoded = WorkerPool::global().map_indexed(assemblers.len(), |row_id| {
+            let asm = &assemblers[row_id];
             let meta = asm.meta().ok_or(WireError::BadField("meta"))?;
-            let dec = codec
+            codec
                 .decode_row(&asm.partial_row(), meta, epoch, msg_id, row_id as u32)
-                .map_err(|_| WireError::BadField("row decode"))?;
-            out.extend(dec);
+                .map_err(|_| WireError::BadField("row decode"))
+        });
+        let mut out = Vec::new();
+        for dec in decoded {
+            out.extend(dec?);
         }
         if let Some(reg) = &self.telemetry {
             reg.counter("core.pipeline.rows_decoded")

@@ -14,6 +14,7 @@
 
 use crate::prng::derive_seed;
 use crate::rht::RandomizedHadamard;
+use trimgrad_par::WorkerPool;
 
 /// Default row length used by the paper: 2¹⁵ coordinates.
 pub const DEFAULT_ROW_LEN: usize = 1 << 15;
@@ -84,18 +85,27 @@ impl BlockRht {
     ///
     /// The output length is [`padded_len`](Self::padded_len)`(blob.len())`;
     /// the final partial row is zero-padded before rotation. An empty blob
-    /// yields an empty rotation.
+    /// yields an empty rotation. Rows rotate in parallel on the process-wide
+    /// [`WorkerPool`]; each row's transform is a pure function of the row
+    /// index and seed, so the output is bit-identical for every pool width.
     #[must_use]
     pub fn forward(&self, blob: &[f32]) -> Vec<f32> {
+        self.forward_pooled(blob, &WorkerPool::global())
+    }
+
+    /// [`forward`](Self::forward) with an explicit pool (the global pool is
+    /// a convenience over this).
+    #[must_use]
+    pub fn forward_pooled(&self, blob: &[f32], pool: &WorkerPool) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.padded_len(blob.len()));
-        for (row_idx, chunk) in blob.chunks(self.row_len).enumerate() {
-            let start = out.len();
-            out.extend_from_slice(chunk);
-            out.resize(start + self.row_len, 0.0);
+        out.extend_from_slice(blob);
+        out.resize(self.padded_len(blob.len()), 0.0);
+        pool.for_each_chunk_mut(&mut out, self.row_len, |row_idx, row| {
             self.row_transform(row_idx)
-                .forward(&mut out[start..start + self.row_len])
+                // Rows rotate independently; keep the inner butterfly serial.
+                .forward_pooled(row, &WorkerPool::serial())
                 .expect("row_len is a power of two");
-        }
+        });
         out
     }
 
@@ -121,12 +131,39 @@ impl BlockRht {
             "original_len {original_len} inconsistent with rotated length {}",
             rotated.len()
         );
+        self.inverse_pooled(rotated, original_len, &WorkerPool::global())
+    }
+
+    /// [`inverse`](Self::inverse) with an explicit pool.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`inverse`](Self::inverse).
+    #[must_use]
+    pub fn inverse_pooled(
+        &self,
+        rotated: &[f32],
+        original_len: usize,
+        pool: &WorkerPool,
+    ) -> Vec<f32> {
+        assert_eq!(
+            rotated.len() % self.row_len,
+            0,
+            "rotated length {} is not a multiple of row_len {}",
+            rotated.len(),
+            self.row_len
+        );
+        assert!(
+            original_len <= rotated.len() && self.padded_len(original_len) == rotated.len(),
+            "original_len {original_len} inconsistent with rotated length {}",
+            rotated.len()
+        );
         let mut out = rotated.to_vec();
-        for (row_idx, row) in out.chunks_mut(self.row_len).enumerate() {
+        pool.for_each_chunk_mut(&mut out, self.row_len, |row_idx, row| {
             self.row_transform(row_idx)
-                .inverse(row)
+                .inverse_pooled(row, &WorkerPool::serial())
                 .expect("row_len is a power of two");
-        }
+        });
         out.truncate(original_len);
         out
     }

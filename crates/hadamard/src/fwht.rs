@@ -15,6 +15,7 @@
 //!   inverse. This is the normalization the RHT layer builds on.
 
 use crate::{Error, Result};
+use trimgrad_par::{WorkerPool, PAR_MIN_LEN};
 
 /// Validates that `data.len()` is a non-zero power of two.
 fn check_pow2(data: &[f32]) -> Result<()> {
@@ -25,6 +26,30 @@ fn check_pow2(data: &[f32]) -> Result<()> {
         return Err(Error::NotPowerOfTwo { len: data.len() });
     }
     Ok(())
+}
+
+/// One butterfly stage of block width `2h` over the whole slice.
+fn butterfly_stage(data: &mut [f32], h: usize) {
+    // The inner loops are written so the compiler can auto-vectorize the
+    // add/sub pairs.
+    for block in data.chunks_exact_mut(2 * h) {
+        let (lo, hi) = block.split_at_mut(h);
+        for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+            let x = *a;
+            let y = *b;
+            *a = x + y;
+            *b = x - y;
+        }
+    }
+}
+
+/// All stages of the transform, without length validation.
+fn butterflies(data: &mut [f32]) {
+    let mut h = 1;
+    while h < data.len() {
+        butterfly_stage(data, h);
+        h *= 2;
+    }
 }
 
 /// Applies the unnormalized Walsh–Hadamard transform in place.
@@ -38,20 +63,49 @@ fn check_pow2(data: &[f32]) -> Result<()> {
 /// when the length is not a power of two.
 pub fn fwht_inplace(data: &mut [f32]) -> Result<()> {
     check_pow2(data)?;
+    butterflies(data);
+    Ok(())
+}
+
+/// Largest power of two not exceeding `x` (`x >= 1`).
+fn prev_pow2(x: usize) -> usize {
+    debug_assert!(x >= 1);
+    1 << (usize::BITS - 1 - x.leading_zeros())
+}
+
+/// [`fwht_inplace`] with the early stages block-parallel across `pool`.
+///
+/// The slice is split into `w` equal power-of-two segments (`w` = the
+/// largest power of two ≤ the pool width). Every stage whose butterfly
+/// blocks fit inside one segment touches only that segment, so each worker
+/// runs those stages serially on its own segment; the remaining `log2(w)`
+/// cross-segment stages run on the calling thread. Each element pair sees
+/// exactly the same additions in the same order as the serial transform, so
+/// the result is **bit-identical** to [`fwht_inplace`] for every pool width.
+///
+/// Inputs shorter than [`PAR_MIN_LEN`] (or a serial pool) take the serial
+/// path directly.
+///
+/// # Errors
+///
+/// Same conditions as [`fwht_inplace`].
+pub fn fwht_inplace_pooled(data: &mut [f32], pool: &WorkerPool) -> Result<()> {
+    check_pow2(data)?;
     let n = data.len();
-    let mut h = 1;
+    let workers = prev_pow2(pool.threads().min(n));
+    if workers <= 1 || n < PAR_MIN_LEN {
+        butterflies(data);
+        return Ok(());
+    }
+    let seg = n / workers;
+    // Stages with block width ≤ seg are fully contained in one segment;
+    // running the full serial transform on a segment performs exactly those
+    // stages of the global transform restricted to it.
+    pool.for_each_chunk_mut(data, seg, |_, segment| butterflies(segment));
+    // Cross-segment tail: log2(workers) stages over the whole slice.
+    let mut h = seg;
     while h < n {
-        // Butterflies over blocks of width 2h; the inner loops are written so
-        // the compiler can auto-vectorize the add/sub pairs.
-        for block in data.chunks_exact_mut(2 * h) {
-            let (lo, hi) = block.split_at_mut(h);
-            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
-                let x = *a;
-                let y = *b;
-                *a = x + y;
-                *b = x - y;
-            }
-        }
+        butterfly_stage(data, h);
         h *= 2;
     }
     Ok(())
@@ -67,11 +121,28 @@ pub fn fwht_inplace(data: &mut [f32]) -> Result<()> {
 /// Same conditions as [`fwht_inplace`].
 pub fn fwht_orthonormal(data: &mut [f32]) -> Result<()> {
     fwht_inplace(data)?;
+    scale_by_inv_sqrt_n(data);
+    Ok(())
+}
+
+/// [`fwht_orthonormal`] with the butterfly stages running on `pool` — see
+/// [`fwht_inplace_pooled`] for the chunking rule and the bit-identity
+/// guarantee (the `1/√n` scale is the same per-element multiply either way).
+///
+/// # Errors
+///
+/// Same conditions as [`fwht_inplace`].
+pub fn fwht_orthonormal_pooled(data: &mut [f32], pool: &WorkerPool) -> Result<()> {
+    fwht_inplace_pooled(data, pool)?;
+    scale_by_inv_sqrt_n(data);
+    Ok(())
+}
+
+fn scale_by_inv_sqrt_n(data: &mut [f32]) {
     let scale = 1.0 / (data.len() as f32).sqrt();
     for v in data.iter_mut() {
         *v *= scale;
     }
-    Ok(())
 }
 
 /// Computes one entry of the Hadamard matrix, `H_n[row, col] ∈ {+1, -1}`,

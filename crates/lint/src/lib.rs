@@ -63,6 +63,10 @@ pub const RULES: &[(&str, &str)] = &[
         "no OS-entropy RNG construction (thread_rng, from_entropy, OsRng, …)",
     ),
     (
+        "no-raw-spawn",
+        "no raw thread spawn outside crates/par; use trimgrad_par::WorkerPool",
+    ),
+    (
         "float-eq",
         "no ==/!= against float literals; use trimgrad_quant::fcmp helpers",
     ),
@@ -143,6 +147,11 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     }
     push("wall-clock", rules::wall_clock(&out, &mask));
     push("unseeded-rng", rules::unseeded_rng(&out, &mask));
+    // `par` is the one crate allowed to touch std::thread: it *is* the
+    // deterministic pool everyone else must go through.
+    if crate_name != "par" {
+        push("no-raw-spawn", rules::no_raw_spawn(&out, &mask));
+    }
     push("float-eq", rules::float_eq(&out, &mask));
     if crate_name == "wire" {
         push("wire-consistency", wirecheck::check(&out, &mask));

@@ -101,6 +101,35 @@ pub fn wall_clock(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
     f
 }
 
+/// `no-raw-spawn`: thread creation outside `crates/par` — `thread::spawn`,
+/// `scope.spawn`, `Builder::spawn` — bypasses the deterministic
+/// [`WorkerPool`]'s fixed chunk/merge order, so parallel output can stop
+/// being bit-identical to serial. All fan-out must route through
+/// `trimgrad_par`.
+///
+/// [`WorkerPool`]: https://docs.rs/trimgrad-par
+#[must_use]
+pub fn no_raw_spawn(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
+    let toks = &out.toks;
+    let mut f = Vec::new();
+    for i in 0..toks.len() {
+        if mask[i] || !toks[i].is_ident("spawn") {
+            continue;
+        }
+        let called = i + 1 < toks.len() && toks[i + 1].is_punct("(");
+        let qualified = i > 0 && (toks[i - 1].is_punct("::") || toks[i - 1].is_punct("."));
+        if called && qualified {
+            f.push((
+                toks[i].line,
+                "raw thread `spawn`; route parallelism through \
+                 `trimgrad_par::WorkerPool` so results stay deterministic"
+                    .to_string(),
+            ));
+        }
+    }
+    f
+}
+
 /// `unseeded-rng`: every random stream must be constructed from an explicit
 /// seed, or runs stop being reproducible.
 #[must_use]

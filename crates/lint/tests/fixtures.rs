@@ -159,6 +159,46 @@ fn f() {
 }
 
 #[test]
+fn no_raw_spawn_flags_thread_creation() {
+    let src = "\
+fn f() {
+    let h = std::thread::spawn(|| 1 + 1);
+    std::thread::scope(|s| {
+        s.spawn(|| ());
+    });
+    let _ = h.join();
+}
+";
+    assert_eq!(
+        lint_netsim(src),
+        vec![(2, "no-raw-spawn"), (4, "no-raw-spawn")]
+    );
+}
+
+#[test]
+fn no_raw_spawn_exempts_par_and_ignores_lookalikes() {
+    // crates/par is the deterministic pool itself — raw spawn is its job.
+    let diags = lint_source(
+        "crates/par/src/fixture.rs",
+        "fn f() { std::thread::scope(|s| { s.spawn(|| ()); }); }\n",
+    );
+    assert_eq!(diags, vec![]);
+    // A free function named spawn (no `::`/`.` qualifier) is not a thread.
+    assert_eq!(lint_netsim("fn g() { spawn(); }\nfn spawn() {}\n"), vec![]);
+    // Test code may spawn raw threads (e.g. to provoke races on purpose).
+    let test_src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        std::thread::spawn(|| ()).join().unwrap();
+    }
+}
+";
+    assert_eq!(lint_netsim(test_src), vec![]);
+}
+
+#[test]
 fn float_eq_flags_literal_comparisons() {
     let src = "\
 fn f(x: f32) -> bool {

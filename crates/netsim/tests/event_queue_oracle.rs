@@ -1,0 +1,116 @@
+//! Ordering oracle for the event calendar.
+//!
+//! The simulator's bit-determinism rests on [`EventQueue`] firing events in
+//! exact `(time, insertion-sequence)` order under *any* interleaving of
+//! schedules and pops. This test pins that contract against a naive
+//! sorted-`Vec` oracle over seeded chaotic op sequences, so a future
+//! calendar-queue (or other priority-queue) replacement — motivated by the
+//! `event_queue` group of `benches/netsim.rs` — must reproduce the semantics
+//! exactly before it can land.
+//!
+//! [`EventQueue`]: trimgrad_netsim::event::EventQueue
+
+use proptest::prelude::*;
+use trimgrad_hadamard::prng::Xoshiro256StarStar;
+use trimgrad_netsim::event::{EventKind, EventQueue};
+use trimgrad_netsim::time::SimTime;
+use trimgrad_netsim::NodeId;
+
+/// The naive oracle: every scheduled event as `(time, seq, token)`, popped
+/// by scanning for the minimum `(time, seq)` — O(n) per pop, obviously
+/// correct.
+#[derive(Default)]
+struct OracleQueue {
+    pending: Vec<(SimTime, u64, u64)>,
+    next_seq: u64,
+}
+
+impl OracleQueue {
+    fn schedule(&mut self, at: SimTime, token: u64) {
+        self.pending.push((at, self.next_seq, token));
+        self.next_seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        let min = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(at, seq, _))| (at, seq))?
+            .0;
+        let (at, _, token) = self.pending.swap_remove(min);
+        Some((at, token))
+    }
+}
+
+fn token_of(kind: &EventKind) -> u64 {
+    match kind {
+        EventKind::AppTimer { token, .. } => *token,
+        _ => unreachable!("test schedules only AppTimer events"),
+    }
+}
+
+/// Runs `ops` chaos operations with the given seed on both queues, checking
+/// every pop against the oracle, then drains both.
+fn chaos_matches_oracle(ops: usize, seed: u64, max_time: u64) {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut q = EventQueue::new();
+    let mut oracle = OracleQueue::default();
+    let mut token = 0u64;
+    for _ in 0..ops {
+        if rng.next_u64() % 5 < 3 {
+            // Times collide often (small range) so tie-breaking is exercised.
+            let at = SimTime(rng.next_u64() % max_time);
+            q.schedule(
+                at,
+                EventKind::AppTimer {
+                    node: NodeId(0),
+                    token,
+                },
+            );
+            oracle.schedule(at, token);
+            token += 1;
+        } else {
+            let got = q.pop().map(|e| (e.at, token_of(&e.kind)));
+            assert_eq!(got, oracle.pop(), "mid-stream pop diverged (seed {seed})");
+        }
+        assert_eq!(q.len(), oracle.pending.len());
+        assert_eq!(
+            q.peek_time(),
+            oracle.pending.iter().map(|&(at, ..)| at).min()
+        );
+    }
+    loop {
+        let got = q.pop().map(|e| (e.at, token_of(&e.kind)));
+        let want = oracle.pop();
+        assert_eq!(got, want, "drain diverged (seed {seed})");
+        if got.is_none() {
+            break;
+        }
+    }
+    assert_eq!(q.total_fired(), q.total_scheduled());
+}
+
+#[test]
+fn chaos_mix_matches_sorted_vec_oracle() {
+    for seed in 0..8 {
+        chaos_matches_oracle(2_000, 0x0E7E_0000 + seed, 500);
+    }
+}
+
+#[test]
+fn all_ties_fire_in_insertion_order() {
+    // Degenerate case: every event at the same instant.
+    chaos_matches_oracle(1_000, 7, 1);
+}
+
+proptest! {
+    #[test]
+    fn random_shapes_match_oracle(
+        ops in 1usize..600,
+        seed in any::<u64>(),
+        max_time in 1u64..10_000
+    ) {
+        chaos_matches_oracle(ops, seed, max_time);
+    }
+}

@@ -239,6 +239,98 @@ impl BitBuf {
         }
     }
 
+    /// Copies bits `[offset, offset + len)` into `dst` without allocating.
+    ///
+    /// `dst` must be exactly `len.div_ceil(8)` bytes; it receives the same
+    /// bytes `self.slice(offset, len).as_bytes()` would produce (LSB-first,
+    /// slack bits of the final byte zeroed), which is what packet sections
+    /// carry on the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the buffer or `dst` has the wrong size.
+    pub fn copy_bits_to(&self, offset: usize, len: usize, dst: &mut [u8]) {
+        assert!(
+            offset + len <= self.len,
+            "copy [{offset}, {}) out of range (len {})",
+            offset + len,
+            self.len
+        );
+        assert_eq!(
+            dst.len(),
+            len.div_ceil(8),
+            "destination must be exactly {} bytes for {len} bits",
+            len.div_ceil(8)
+        );
+        if len == 0 {
+            return;
+        }
+        let start_byte = offset / 8;
+        let shift = offset % 8;
+        if shift == 0 {
+            dst.copy_from_slice(&self.bytes[start_byte..start_byte + dst.len()]);
+        } else {
+            for (i, d) in dst.iter_mut().enumerate() {
+                let lo = self.bytes[start_byte + i] >> shift;
+                let hi = self
+                    .bytes
+                    .get(start_byte + i + 1)
+                    .map_or(0, |&b| b << (8 - shift));
+                *d = lo | hi;
+            }
+        }
+        let slack = len % 8;
+        if slack != 0 {
+            if let Some(last) = dst.last_mut() {
+                *last &= (1u8 << slack) - 1;
+            }
+        }
+    }
+
+    /// Overwrites `len` bits at bit `offset` from packed source bytes
+    /// (bit `i` of the range comes from bit `i % 8` of `src[i / 8]`),
+    /// without allocating — the inverse of [`copy_bits_to`](Self::copy_bits_to)
+    /// and the zero-copy form of [`write_bits_from`](Self::write_bits_from).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination range exceeds the buffer or `src` is too
+    /// short to hold `len` bits.
+    pub fn write_bits_from_bytes(&mut self, offset: usize, src: &[u8], len: usize) {
+        assert!(
+            offset + len <= self.len,
+            "write [{offset}, {}) out of range (len {})",
+            offset + len,
+            self.len
+        );
+        assert!(
+            src.len() * 8 >= len,
+            "{} source bytes cannot hold {len} bits",
+            src.len()
+        );
+        if len == 0 {
+            return;
+        }
+        if offset.is_multiple_of(8) {
+            let dst_byte = offset / 8;
+            let full = len / 8;
+            self.bytes[dst_byte..dst_byte + full].copy_from_slice(&src[..full]);
+            let rem = len % 8;
+            if rem > 0 {
+                let v = u64::from(src[full]) & ((1u64 << rem) - 1);
+                self.set_bits(offset + full * 8, v, rem as u32);
+            }
+            return;
+        }
+        let mut pos = 0;
+        while pos < len {
+            let take = (len - pos).min(64);
+            let v = read_bits_from_bytes(src, pos, take as u32);
+            self.set_bits(offset + pos, v, take as u32);
+            pos += take;
+        }
+    }
+
     /// Appends all bits of `other`.
     pub fn extend(&mut self, other: &BitBuf) {
         // Fast path: byte-aligned destination.
@@ -262,6 +354,24 @@ impl BitBuf {
             off += take;
         }
     }
+}
+
+/// Reads `width <= 64` bits starting at bit `offset` of LSB-first packed
+/// bytes (same addressing as [`BitBuf::get_bits`], but over a raw slice).
+fn read_bits_from_bytes(src: &[u8], offset: usize, width: u32) -> u64 {
+    let mut out: u64 = 0;
+    let mut got: u32 = 0;
+    let mut pos = offset;
+    while got < width {
+        let byte = src[pos / 8];
+        let bit_in_byte = pos % 8;
+        let take = (8 - bit_in_byte as u32).min(width - got);
+        let chunk = (u64::from(byte) >> bit_in_byte) & ((1u64 << take) - 1);
+        out |= chunk << got;
+        got += take;
+        pos += take as usize;
+    }
+    out
 }
 
 /// A fixed-size, bit-addressed presence mask (one bit per coordinate).
@@ -530,6 +640,68 @@ mod tests {
     }
 
     #[test]
+    fn copy_bits_to_matches_slice_bytes() {
+        let values: Vec<u64> = (0..200).map(|i| i * 7 % 128).collect();
+        let buf = pack_fixed(&values, 7);
+        for &(off, len) in &[
+            (0usize, 56usize),
+            (8, 64),
+            (3, 41),
+            (13, 0),
+            (70, 7),
+            (0, 1400),
+        ] {
+            let expected = buf.slice(off, len);
+            let mut dst = vec![0xAAu8; len.div_ceil(8)];
+            buf.copy_bits_to(off, len, &mut dst);
+            assert_eq!(dst, expected.as_bytes(), "off={off} len={len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn copy_bits_to_rejects_overrun() {
+        let mut dst = [0u8; 2];
+        BitBuf::zeroed(10).copy_bits_to(5, 6, &mut dst);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination must be exactly")]
+    fn copy_bits_to_rejects_wrong_dst_size() {
+        let mut dst = [0u8; 3];
+        BitBuf::zeroed(32).copy_bits_to(0, 16, &mut dst);
+    }
+
+    #[test]
+    fn write_bits_from_bytes_matches_write_bits_from() {
+        let values: Vec<u64> = (0..30).map(|i| i * 11 % 64).collect();
+        let src = pack_fixed(&values, 6);
+        for &off in &[0usize, 8, 16, 3, 37] {
+            let mut via_buf = BitBuf::zeroed(400);
+            via_buf.write_bits_from(off, &src);
+            let mut via_bytes = BitBuf::zeroed(400);
+            via_bytes.write_bits_from_bytes(off, src.as_bytes(), src.len());
+            assert_eq!(via_bytes, via_buf, "off={off}");
+        }
+    }
+
+    #[test]
+    fn write_bits_from_bytes_ignores_source_slack_bits() {
+        // A wire section's final byte may have had its slack bits set by a
+        // corrupting fault; only the valid bits must land.
+        let mut dst = BitBuf::zeroed(16);
+        dst.write_bits_from_bytes(8, &[0xFF], 3);
+        assert_eq!(dst.get_bits(8, 3), 0b111);
+        assert_eq!(dst.get_bits(11, 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn write_bits_from_bytes_rejects_short_source() {
+        BitBuf::zeroed(32).write_bits_from_bytes(0, &[0u8; 1], 9);
+    }
+
+    #[test]
     fn bitmask_basics() {
         let mut m = BitMask::absent(10);
         assert_eq!(m.len(), 10);
@@ -579,6 +751,28 @@ mod tests {
             for (i, &b) in bits.iter().take(cut).enumerate() {
                 prop_assert_eq!(p.get_bit(i), b);
             }
+        }
+
+        #[test]
+        fn copy_bits_to_equals_slice_for_random_ranges(
+            bits in proptest::collection::vec(any::<bool>(), 1..400),
+            off_frac in 0.0f64..=1.0,
+            len_frac in 0.0f64..=1.0
+        ) {
+            let mut buf = BitBuf::new();
+            for &b in &bits {
+                buf.push_bit(b);
+            }
+            let off = ((bits.len() as f64) * off_frac) as usize;
+            let len = (((bits.len() - off) as f64) * len_frac) as usize;
+            let mut dst = vec![0x55u8; len.div_ceil(8)];
+            buf.copy_bits_to(off, len, &mut dst);
+            let expected = buf.slice(off, len);
+            prop_assert_eq!(&dst[..], expected.as_bytes());
+            // And writing those bytes back reproduces the original range.
+            let mut back = BitBuf::zeroed(bits.len());
+            back.write_bits_from_bytes(off, &dst, len);
+            prop_assert_eq!(back.slice(off, len), buf.slice(off, len));
         }
 
         #[test]

@@ -143,6 +143,25 @@ pub fn build_frame(dst: MacAddr, src: MacAddr, ethertype: u16, payload: &[u8]) -
     buf
 }
 
+/// Writes the 14-byte header into the front of `buf` — the in-place form of
+/// [`build_frame`] for recycled frame buffers. Every header byte is
+/// overwritten; the payload region is the caller's to fill.
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than [`HEADER_LEN`].
+pub fn write_header(buf: &mut [u8], dst: MacAddr, src: MacAddr, ethertype: u16) {
+    assert!(
+        buf.len() >= HEADER_LEN,
+        "buffer too short for Ethernet header"
+    );
+    // Same-module construction: length checked above, skip the fallible path.
+    let mut frame = EthernetFrame { buffer: buf };
+    frame.set_dst(dst);
+    frame.set_src(src);
+    frame.set_ethertype(ethertype);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

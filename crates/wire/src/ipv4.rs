@@ -253,6 +253,38 @@ pub fn build_packet(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, dscp: u8, payload: 
     buf
 }
 
+/// Writes a complete 20-byte header (version 4, IHL 5, DF, TTL 64,
+/// ECN ECT(0)) with a valid checksum into the front of `buf` — the in-place
+/// form of [`build_packet`] for recycled frame buffers. `total_len` counts
+/// header plus payload; every header byte is overwritten, so recycled
+/// buffers need no zeroing.
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than [`HEADER_LEN`].
+pub fn write_header(
+    buf: &mut [u8],
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    proto: u8,
+    dscp: u8,
+    total_len: u16,
+) {
+    assert!(buf.len() >= HEADER_LEN, "buffer too short for IPv4 header");
+    // Same-module construction: length checked above and `init` writes the
+    // version byte, so the fallible `new_checked` path is not needed.
+    let mut pkt = Ipv4Packet { buffer: buf };
+    pkt.init();
+    pkt.set_total_len(total_len);
+    pkt.set_dscp(dscp);
+    pkt.set_ecn(ECN_ECT0);
+    pkt.set_ttl(64);
+    pkt.set_protocol(proto);
+    pkt.set_src(src);
+    pkt.set_dst(dst);
+    pkt.fill_checksum();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

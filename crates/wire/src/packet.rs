@@ -101,15 +101,70 @@ impl GradPacket {
                 "section {j} length mismatch"
             );
         }
-        let mut app = Vec::with_capacity(trimhdr::HEADER_LEN + layout.total_len());
-        app.extend_from_slice(&fields.to_bytes());
-        for s in sections {
-            app.extend_from_slice(s);
-        }
-        let udp_bytes =
-            udp::build_datagram(net.src_ip, net.dst_ip, net.src_port, net.dst_port, &app);
-        let ip_bytes = ipv4::build_packet(net.src_ip, net.dst_ip, PROTO_UDP, DSCP_BULK, &udp_bytes);
-        let frame = ethernet::build_frame(net.dst_mac, net.src_mac, ETHERTYPE_IPV4, &ip_bytes);
+        Self::build_with(net, fields, Vec::new(), |body| {
+            let mut off = 0;
+            for s in sections {
+                body[off..off + s.len()].copy_from_slice(s);
+                off += s.len();
+            }
+        })
+    }
+
+    /// Builds an untrimmed packet by writing every layer directly into
+    /// `frame` — the single-allocation form of [`build`](Self::build) for
+    /// recycled buffers (see [`FramePool`](crate::pool::FramePool)).
+    ///
+    /// `write_sections` fills the section payload area that follows the
+    /// TrimGrad header; it receives exactly `layout.total_len()` bytes and
+    /// must write all of them (recycled frames are not zeroed). The UDP
+    /// checksum is computed after `write_sections` returns, so the result is
+    /// byte-identical to [`build`](Self::build).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fields` describe a trimmed packet — a programming error in
+    /// the packetizer, not a runtime condition.
+    #[must_use]
+    pub fn build_with(
+        net: &NetAddrs,
+        fields: TrimGradFields,
+        mut frame: Vec<u8>,
+        write_sections: impl FnOnce(&mut [u8]),
+    ) -> Self {
+        assert_eq!(
+            fields.trim_depth, fields.n_parts,
+            "packets are built untrimmed"
+        );
+        let layout = PayloadLayout::new(fields.scheme.part_bits(), fields.coord_count as usize);
+        let app_len = trimhdr::HEADER_LEN + layout.total_len();
+        let udp_len = udp::HEADER_LEN + app_len;
+        let ip_len = ipv4::HEADER_LEN + udp_len;
+        let frame_len = ethernet::HEADER_LEN + ip_len;
+        // Every byte of the frame is overwritten below, so a recycled buffer
+        // needs no zeroing; only newly grown capacity is zero-filled.
+        frame.resize(frame_len, 0);
+        ethernet::write_header(&mut frame, net.dst_mac, net.src_mac, ETHERTYPE_IPV4);
+        let ip_len_field = crate::narrow::to_u16(ip_len, "IPv4 total length");
+        ipv4::write_header(
+            &mut frame[ethernet::HEADER_LEN..],
+            net.src_ip,
+            net.dst_ip,
+            PROTO_UDP,
+            DSCP_BULK,
+            ip_len_field,
+        );
+        let udp_start = ethernet::HEADER_LEN + ipv4::HEADER_LEN;
+        let udp_len_field = crate::narrow::to_u16(udp_len, "UDP length");
+        udp::write_header(
+            &mut frame[udp_start..],
+            net.src_port,
+            net.dst_port,
+            udp_len_field,
+        );
+        let app_start = udp_start + udp::HEADER_LEN;
+        frame[app_start..app_start + trimhdr::HEADER_LEN].copy_from_slice(&fields.to_bytes());
+        write_sections(&mut frame[app_start + trimhdr::HEADER_LEN..frame_len]);
+        udp::fill_checksum_in(&mut frame[udp_start..], net.src_ip, net.dst_ip);
         Self { frame }
     }
 

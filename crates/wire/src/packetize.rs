@@ -8,6 +8,7 @@
 use crate::meta::RowMetaPacket;
 use crate::packet::{GradPacket, NetAddrs};
 use crate::payload::{max_coords_for_budget, PayloadLayout};
+use crate::pool::FramePool;
 use crate::trimhdr::{TrimGradFields, FLAG_LAST_CHUNK};
 use crate::{ethernet, ipv4, narrow, trimhdr, udp};
 use trimgrad_quant::EncodedRow;
@@ -54,6 +55,27 @@ pub struct PacketizedRow {
 /// misconfiguration.
 #[must_use]
 pub fn packetize_row(enc: &EncodedRow, cfg: &PacketizeConfig) -> PacketizedRow {
+    let mut pool = FramePool::new();
+    packetize_row_pooled(enc, cfg, &mut pool)
+}
+
+/// [`packetize_row`] writing into recycled buffers from `pool`.
+///
+/// Section bits are copied straight from the row's bit buffers into the
+/// frame (`BitBuf::copy_bits_to`) — no intermediate per-section or
+/// per-layer allocation — so a warm pool packetizes a steady stream of rows
+/// allocation-free. Output frames are byte-identical to [`packetize_row`]'s.
+///
+/// # Panics
+///
+/// Panics if the MTU is too small to fit even one coordinate — a static
+/// misconfiguration.
+#[must_use]
+pub fn packetize_row_pooled(
+    enc: &EncodedRow,
+    cfg: &PacketizeConfig,
+    pool: &mut FramePool,
+) -> PacketizedRow {
     let meta = RowMetaPacket {
         scheme: enc.scheme,
         msg_id: cfg.msg_id,
@@ -94,18 +116,17 @@ pub fn packetize_row(enc: &EncodedRow, cfg: &PacketizeConfig) -> PacketizedRow {
             },
             epoch: cfg.epoch,
         };
-        let sections: Vec<Vec<u8>> = enc
-            .parts
-            .iter()
-            .zip(part_bits)
-            .map(|(buf, &w)| {
-                buf.slice(start * w as usize, count * w as usize)
-                    .as_bytes()
-                    .to_vec()
-            })
-            .collect();
-        let section_refs: Vec<&[u8]> = sections.iter().map(Vec::as_slice).collect();
-        packets.push(GradPacket::build(&cfg.net, fields, &section_refs));
+        let layout = PayloadLayout::new(part_bits, count);
+        let frame = pool.take();
+        packets.push(GradPacket::build_with(&cfg.net, fields, frame, |body| {
+            for (j, (buf, &w)) in enc.parts.iter().zip(part_bits).enumerate() {
+                buf.copy_bits_to(
+                    start * w as usize,
+                    count * w as usize,
+                    &mut body[layout.section_range(j)],
+                );
+            }
+        }));
     }
     PacketizedRow { packets, meta }
 }
@@ -247,6 +268,60 @@ mod tests {
         assert!((0.90..0.95).contains(&r.compression_ratio));
         // Tiny MTU: nothing fits.
         assert!(layout_report(&[1, 31], 60).is_none());
+    }
+
+    #[test]
+    fn zero_copy_path_is_byte_identical_to_section_slicing() {
+        // Regression for the allocation-lean rewrite: build each packet the
+        // legacy way (slice each section into an owned Vec, hand slices to
+        // GradPacket::build) and require the pooled zero-copy frames to
+        // match byte-for-byte. Odd row length exercises the final short
+        // chunk; SignMagnitude keeps coordinates unpadded so section offsets
+        // land on non-trivial bit boundaries across chunks.
+        let row: Vec<f32> = (0..777).map(|i| ((i * 37) % 101) as f32 - 50.0).collect();
+        let enc = SignMagnitude.encode(&row, 0);
+        let c = cfg();
+        let pr = packetize_row(&enc, &c);
+        let part_bits = enc.scheme.part_bits();
+        for pkt in &pr.packets {
+            let f = pkt.quick_fields().unwrap();
+            let start = f.coord_start as usize;
+            let count = f.coord_count as usize;
+            let sections: Vec<Vec<u8>> = enc
+                .parts
+                .iter()
+                .zip(part_bits)
+                .map(|(buf, &w)| {
+                    buf.slice(start * w as usize, count * w as usize)
+                        .as_bytes()
+                        .to_vec()
+                })
+                .collect();
+            let section_refs: Vec<&[u8]> = sections.iter().map(Vec::as_slice).collect();
+            let legacy = GradPacket::build(&c.net, f, &section_refs);
+            assert_eq!(pkt.as_bytes(), legacy.as_bytes(), "chunk {}", f.chunk_id);
+        }
+    }
+
+    #[test]
+    fn pooled_packetize_reuses_buffers_and_matches() {
+        let row: Vec<f32> = (0..1000).map(|i| (i as f32).cos()).collect();
+        let enc = RhtOneBit.encode(&row, 9);
+        let c = cfg();
+        let fresh = packetize_row(&enc, &c);
+        let mut pool = FramePool::new();
+        // Warm the pool with one row's worth of frames, then repacketize.
+        let warmup = packetize_row_pooled(&enc, &c, &mut pool);
+        pool.recycle_row(warmup);
+        let warm_free = pool.free_buffers();
+        assert_eq!(warm_free, fresh.packets.len());
+        let reused = packetize_row_pooled(&enc, &c, &mut pool);
+        assert!(pool.is_empty(), "warm buffers were taken, not reallocated");
+        assert_eq!(reused.packets.len(), fresh.packets.len());
+        for (a, b) in reused.packets.iter().zip(&fresh.packets) {
+            assert_eq!(a.as_bytes(), b.as_bytes());
+        }
+        assert_eq!(reused.meta, fresh.meta);
     }
 
     #[test]

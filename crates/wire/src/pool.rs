@@ -1,0 +1,113 @@
+//! Reusable frame buffers for the allocation-lean packet path.
+//!
+//! Building a gradient packet with [`GradPacket::build_with`] writes every
+//! layer directly into one buffer. A [`FramePool`] keeps those buffers alive
+//! across packets and rows, so a steady-state sender (or a benchmark's inner
+//! loop) allocates only until its working set is warm and then runs
+//! allocation-free: `take` a [`PacketBuf`], build into it, and `recycle` the
+//! packet once its bytes have been consumed.
+//!
+//! The pool is a plain LIFO freelist with no locking — each worker thread or
+//! sender owns its own pool, which keeps the parallel pipeline free of shared
+//! mutable state (and therefore deterministic).
+
+use crate::packet::GradPacket;
+use crate::packetize::PacketizedRow;
+
+/// A reusable frame buffer. Plain `Vec<u8>`: capacity is the asset being
+/// recycled; length is set by the builder that fills it.
+pub type PacketBuf = Vec<u8>;
+
+/// A LIFO freelist of [`PacketBuf`]s.
+#[derive(Debug, Default)]
+pub struct FramePool {
+    free: Vec<PacketBuf>,
+}
+
+impl FramePool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a pool pre-warmed with `n` buffers of `capacity` bytes each.
+    #[must_use]
+    pub fn warmed(n: usize, capacity: usize) -> Self {
+        Self {
+            free: (0..n).map(|_| Vec::with_capacity(capacity)).collect(),
+        }
+    }
+
+    /// Takes a buffer from the pool, or a fresh empty one if none is free.
+    #[must_use]
+    pub fn take(&mut self) -> PacketBuf {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool for reuse. Contents are cleared; the
+    /// capacity is kept.
+    pub fn put(&mut self, mut buf: PacketBuf) {
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Recycles a consumed packet's frame buffer.
+    pub fn recycle(&mut self, pkt: GradPacket) {
+        self.put(pkt.into_frame());
+    }
+
+    /// Recycles every data packet of a consumed row (the metadata packet
+    /// owns no pooled frame).
+    pub fn recycle_row(&mut self, row: PacketizedRow) {
+        for pkt in row.packets {
+            self.recycle(pkt);
+        }
+    }
+
+    /// Number of free buffers currently held.
+    #[must_use]
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether the pool holds no free buffers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_from_empty_pool_is_fresh() {
+        let mut pool = FramePool::new();
+        assert!(pool.is_empty());
+        let buf = pool.take();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn recycled_capacity_is_reused() {
+        let mut pool = FramePool::new();
+        let mut buf = pool.take();
+        buf.resize(1500, 0xAB);
+        let cap = buf.capacity();
+        pool.put(buf);
+        assert_eq!(pool.free_buffers(), 1);
+        let again = pool.take();
+        assert!(again.is_empty(), "recycled buffers come back cleared");
+        assert_eq!(again.capacity(), cap, "capacity survives the round trip");
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn warmed_pool_has_capacity_ready() {
+        let mut pool = FramePool::warmed(3, 2048);
+        assert_eq!(pool.free_buffers(), 3);
+        assert!(pool.take().capacity() >= 2048);
+    }
+}

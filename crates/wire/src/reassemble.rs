@@ -155,7 +155,7 @@ impl RowAssembler {
         // Defense in depth: every section must hold exactly the bytes its
         // declared coordinate count implies. `parse()` slices sections from
         // the layout's ranges, but nothing upstream is trusted here — a
-        // short section would panic inside `BitBuf::from_bytes`, and a long
+        // short section would panic inside the bit copy below, and a long
         // one would decode garbage into the row.
         for (k, section) in parsed.sections.iter().enumerate() {
             let w = part_bits[k] as usize;
@@ -165,8 +165,9 @@ impl RowAssembler {
         }
         for (k, section) in parsed.sections.iter().enumerate() {
             let w = part_bits[k] as usize;
-            let src = BitBuf::from_bytes(section.to_vec(), count * w);
-            self.parts[k].write_bits_from(start * w, &src);
+            // Zero-copy: section bytes land straight in the row part's
+            // backing store, no intermediate BitBuf per packet.
+            self.parts[k].write_bits_from_bytes(start * w, section, count * w);
             self.masks[k].set_range(start, start + count, true);
         }
         Ok(())

@@ -174,6 +174,40 @@ pub fn build_datagram(
     buf
 }
 
+/// Writes the 8-byte header (ports, length, checksum zeroed) into the front
+/// of `buf` — the in-place form of [`build_datagram`] for recycled frame
+/// buffers. The checksum covers the payload, so call [`fill_checksum_in`]
+/// once the payload bytes are in place.
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than [`HEADER_LEN`].
+pub fn write_header(buf: &mut [u8], src_port: u16, dst_port: u16, len_field: u16) {
+    assert!(buf.len() >= HEADER_LEN, "buffer too short for UDP header");
+    // Same-module construction: length checked above, skip the fallible path.
+    let mut d = UdpDatagram { buffer: &mut *buf };
+    d.set_src_port(src_port);
+    d.set_dst_port(dst_port);
+    d.set_len_field(len_field);
+    buf[6] = 0;
+    buf[7] = 0;
+}
+
+/// Computes and writes the checksum of the datagram at the front of `buf`
+/// (header's length field decides how many bytes are covered).
+///
+/// # Panics
+///
+/// Panics if `buf` cannot hold the datagram its length field claims.
+pub fn fill_checksum_in(buf: &mut [u8], src: Ipv4Addr, dst: Ipv4Addr) {
+    assert!(buf.len() >= HEADER_LEN, "buffer too short for UDP header");
+    let len = u16::from_be_bytes([buf[4], buf[5]]) as usize;
+    assert!(buf.len() >= len, "buffer shorter than UDP length field");
+    // Same-module construction: lengths checked above.
+    let mut d = UdpDatagram { buffer: buf };
+    d.fill_checksum(src, dst);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,5 +27,14 @@ run lowrank_ablation   # §5.2 low-rank prefix-decodable compression (instant)
 run fig3_tta           # Fig 3 TTA curves (~10 min)
 run fig4_ttba          # Fig 4 time-to-baseline-accuracy (~35 min)
 
+# Micro-benchmark reports (best + mean ns/iter, throughput, pool width).
+# TRIMGRAD_THREADS pins the worker pool; the table in EXPERIMENTS.md §
+# "Parallel speedup" is built from these files.
+echo "=== microbenches ==="
+# Absolute paths: cargo runs bench binaries with cwd = crates/bench.
+cargo bench -p trimgrad-bench --bench encode_decode -- --json "$PWD/results/BENCH_encode.json"
+cargo bench -p trimgrad-bench --bench wire          -- --json "$PWD/results/BENCH_wire.json"
+cargo bench -p trimgrad-bench --bench netsim        -- --json "$PWD/results/BENCH_netsim.json"
+
 echo "All experiment outputs saved under results/ (figure binaries also"
 echo "write machine-readable telemetry to results/*.snapshot.json)."

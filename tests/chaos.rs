@@ -412,6 +412,64 @@ fn pipeline_chaos_rejects_mangled_and_foreign_packets() {
     }
 }
 
+/// The faulted ring, run twice with identical seeds, must produce
+/// byte-identical blobs and telemetry — *including* when the process runs
+/// with a multi-threaded worker pool. CI executes this binary under both
+/// `TRIMGRAD_THREADS=1` and `TRIMGRAD_THREADS=4`; the encode/packetize/
+/// decode fan-outs inside the ring workers split work by row index and merge
+/// in row order, so the pool width must never leak into the transcript.
+#[test]
+fn faulted_ring_is_bit_deterministic_across_runs() {
+    let w = 3;
+    let len = 2000;
+    let run = |seed: u64| {
+        let mut t = Topology::new();
+        let s = t.add_switch(QueuePolicy::trim_default());
+        let hosts: Vec<NodeId> = (0..w)
+            .map(|_| {
+                let h = t.add_host();
+                t.link(h, s, gbps(100.0), SimTime::from_micros(1));
+                h
+            })
+            .collect();
+        let cfg = RingNetConfig {
+            scheme: SchemeId::RhtOneBit,
+            row_len: 512,
+            base_seed: 42,
+            epoch: 1,
+            mtu: 1500,
+            hosts,
+            blob_len: len,
+        };
+        let blobs: Vec<Vec<f32>> = {
+            let mut rng = Xoshiro256StarStar::new(seed);
+            (0..w)
+                .map(|_| (0..len).map(|_| rng.next_f32_range(-1.0, 1.0)).collect())
+                .collect()
+        };
+        let plan = FaultPlan::new(seed).with_default(
+            FaultPolicy::none()
+                .with_duplicate(0.2)
+                .with_reorder(0.3, SimTime::from_micros(25))
+                .with_replay(0.1),
+        );
+        let mut sim = Simulator::new(t);
+        let (out, _) =
+            run_ring_allreduce_faulted(&mut sim, &cfg, blobs, SimTime::from_secs(5), plan);
+        let bits: Vec<Vec<u32>> = out
+            .iter()
+            .map(|b| b.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        (bits, sim.telemetry_snapshot().to_json())
+    };
+    for seed in chaos_seeds() {
+        let (bits1, snap1) = run(seed);
+        let (bits2, snap2) = run(seed);
+        assert_eq!(bits1, bits2, "seed {seed:#x}: blob bits diverged");
+        assert_eq!(snap1, snap2, "seed {seed:#x}: telemetry diverged");
+    }
+}
+
 #[test]
 fn chaos_runs_are_deterministic_per_seed() {
     for seed in chaos_seeds() {
