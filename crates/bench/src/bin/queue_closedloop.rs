@@ -136,5 +136,14 @@ fn main() {
     }
     println!("# depth 1 = trim to 1-bit heads (~3% of payload);");
     println!("# depth 2 (rht-ml) = trim to sign+exponent (~28%), the paper's 'trim to 25%'.");
+    // With TRIMGRAD_TRACE set, every sweep cell above recorded into the
+    // process-wide flight recorder; annotate the run with the tail of it.
+    match trimgrad_trace::Tracer::global()
+        .dump(std::path::Path::new("results"), "queue_closedloop_trace")
+    {
+        Ok(Some((bin, _))) => eprintln!("queue_closedloop: trace written to {}", bin.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("queue_closedloop: trace dump failed: {e}"),
+    }
     eprintln!("queue_closedloop: done");
 }

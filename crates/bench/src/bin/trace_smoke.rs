@@ -1,0 +1,116 @@
+//! CI smoke test for the flight recorder: runs a congested seeded ring
+//! all-reduce with tracing force-enabled, dumps the trace to
+//! `results/trace_smoke.{bin,jsonl}`, and prints per-kind event counts.
+//!
+//! The congestion parameters mirror the collective crate's
+//! `congested_ring_trims_but_still_converges_approximately` test, so the
+//! trace is guaranteed to contain `pkt.trimmed` events for the query tool to
+//! chew on (`trimgrad-trace query results/trace_smoke.bin --summary`).
+//!
+//! Run: `cargo run --release -p trimgrad-bench --bin trace_smoke`
+
+use std::collections::BTreeMap;
+use trimgrad::collective::ring_netsim::{run_ring_allreduce, RingNetConfig};
+use trimgrad::hadamard::prng::Xoshiro256StarStar;
+use trimgrad::netsim::crosstraffic::BulkSenderApp;
+use trimgrad::netsim::sim::Simulator;
+use trimgrad::netsim::switch::{FullAction, QueuePolicy};
+use trimgrad::netsim::time::{gbps, SimTime};
+use trimgrad::netsim::topology::Topology;
+use trimgrad::netsim::NodeId;
+use trimgrad::quant::SchemeId;
+use trimgrad_trace::Tracer;
+
+const WORKERS: usize = 4;
+const BLOB_LEN: usize = 20_000;
+
+fn main() {
+    let policy = QueuePolicy {
+        data_capacity: 10_000,
+        prio_capacity: 512_000,
+        ecn_threshold: None,
+        action: FullAction::Trim { grad_depth: 1 },
+    };
+    let mut topo = Topology::new();
+    let switch = topo.add_switch(policy);
+    let hosts: Vec<NodeId> = (0..WORKERS)
+        .map(|_| {
+            let h = topo.add_host();
+            topo.link(h, switch, gbps(10.0), SimTime::from_micros(1));
+            h
+        })
+        .collect();
+    let cross: Vec<NodeId> = (0..2)
+        .map(|_| {
+            let h = topo.add_host();
+            topo.link(h, switch, gbps(10.0), SimTime::from_micros(1));
+            h
+        })
+        .collect();
+    let mut sim = Simulator::new(topo);
+    // Force the recorder on regardless of TRIMGRAD_TRACE — this binary's
+    // whole purpose is to produce a trace for the query tool.
+    sim.set_tracer(Tracer::enabled(1 << 18));
+    for (i, &c) in cross.iter().enumerate() {
+        sim.install_app(
+            c,
+            Box::new(BulkSenderApp::new(
+                hosts[i + 1],
+                4_000_000,
+                1500,
+                0x9000 + i as u64,
+            )),
+        );
+    }
+    let mut rng = Xoshiro256StarStar::new(2);
+    let blobs: Vec<Vec<f32>> = (0..WORKERS)
+        .map(|_| {
+            (0..BLOB_LEN)
+                .map(|_| rng.next_f32_range(-1.0, 1.0))
+                .collect()
+        })
+        .collect();
+    let cfg = RingNetConfig {
+        scheme: SchemeId::RhtOneBit,
+        row_len: 1024,
+        base_seed: 42,
+        epoch: 1,
+        mtu: 1500,
+        hosts,
+        blob_len: BLOB_LEN,
+    };
+    let (_, trim_frac) = run_ring_allreduce(&mut sim, &cfg, blobs, SimTime::from_secs(60));
+    assert!(sim.conservation_holds(), "conservation violated");
+    assert!(trim_frac > 0.0, "smoke run must actually trim packets");
+
+    let trace = sim.tracer().snapshot();
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for r in &trace.records {
+        *by_kind.entry(r.event.kind_name()).or_insert(0) += 1;
+    }
+    println!("# trace_smoke: congested 4-worker ring, trim_frac {trim_frac:.3}");
+    for (kind, n) in &by_kind {
+        println!("{kind:<16} {n}");
+    }
+    assert!(
+        by_kind.get("pkt.trimmed").copied().unwrap_or(0) > 0,
+        "no pkt.trimmed events in a congested run"
+    );
+
+    let dir = std::path::Path::new("results");
+    match sim.tracer().dump(dir, "trace_smoke") {
+        Ok(Some((bin, jsonl))) => {
+            println!("wrote {} and {}", bin.display(), jsonl.display());
+        }
+        Ok(None) => unreachable!("tracer was force-enabled"),
+        Err(e) => {
+            eprintln!("trace_smoke: dump failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "trace_smoke: done ({} events, {} dropped-oldest)",
+        trace.records.len(),
+        trace.dropped_oldest
+    );
+}

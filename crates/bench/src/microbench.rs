@@ -97,12 +97,21 @@ impl BenchOpts {
 }
 
 /// Renders the report as a hand-rolled JSON document (no serde offline).
+/// Besides the records it stamps the pool width and the flight-recorder
+/// state (`trace_enabled`, `trace_events`) so a result file taken with
+/// tracing on is never mistaken for a clean-timing run.
 fn render_json(bench_name: &str, records: &[BenchRecord]) -> String {
     let threads = trimgrad_par::WorkerPool::global().threads();
+    let tracer = trimgrad_trace::Tracer::global();
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"bench\": \"{}\",\n", escape(bench_name)));
     s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!("  \"trace_enabled\": {},\n", tracer.is_enabled()));
+    s.push_str(&format!(
+        "  \"trace_events\": {},\n",
+        tracer.events_emitted()
+    ));
     s.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         s.push_str("    {");
@@ -303,6 +312,8 @@ mod tests {
         assert!(json.starts_with("{\n"));
         assert!(json.contains("\"bench\": \"encode\""));
         assert!(json.contains("\"threads\": "));
+        assert!(json.contains("\"trace_enabled\": "));
+        assert!(json.contains("\"trace_events\": "));
         assert!(json.contains("\"best_ns\": 12.3"));
         assert!(json.contains("\"rate_unit\": \"elem/s\""));
         assert!(json.contains("b\\\"q\\\""), "quotes escaped: {json}");

@@ -24,6 +24,7 @@ use trimgrad_netsim::{FlowId, NodeId};
 use trimgrad_par::WorkerPool;
 use trimgrad_quant::SchemeId;
 use trimgrad_telemetry::{Counter, Registry};
+use trimgrad_trace::{sat32, sat64, TraceEvent};
 use trimgrad_wire::packet::NetAddrs;
 use trimgrad_wire::packetize::{packetize_row, PacketizeConfig};
 use trimgrad_wire::reassemble::RowAssembler;
@@ -226,6 +227,14 @@ impl RingWorkerApp {
 
     /// Encodes and sends the segment for protocol step `t`.
     fn send_step(&mut self, t: usize, api: &mut HostApi) {
+        let at = api.now().as_nanos();
+        let _span = api.tracer().span_at("ring.send_step", at);
+        let rank = self.rank;
+        api.tracer().emit(at, || TraceEvent::StepStarted {
+            rank: sat32(rank),
+            step: sat32(t),
+            reduce: self.cfg.is_reduce_step(t),
+        });
         let m = self.metrics(api);
         let seg = self.cfg.send_segment(self.rank, t);
         let range = segment_range(self.cfg.blob_len, self.cfg.workers(), seg);
@@ -252,7 +261,18 @@ impl RingWorkerApp {
             )
         });
         let mut seq = 0u64;
-        for pr in packetized {
+        for (row_id, pr) in packetized.into_iter().enumerate() {
+            api.tracer().emit(at, || TraceEvent::RowEncoded {
+                msg: msg_id,
+                row: row_id as u32,
+                packets: sat32(pr.packets.len()),
+                bytes: sat64(
+                    pr.packets
+                        .iter()
+                        .map(trimgrad_wire::packet::GradPacket::wire_len)
+                        .sum::<usize>(),
+                ),
+            });
             for frame in pr.packets {
                 let spec = PacketSpec::grad_data(dst, self.flow(), seq, frame);
                 m.packets_sent.inc();
@@ -272,6 +292,8 @@ impl RingWorkerApp {
     /// protocol. The caller ([`drain_ready`](Self::drain_ready)) has already
     /// removed the assembly from the inbox and verified it is complete.
     fn apply_step(&mut self, t: usize, asm: &MsgAssembly, api: &mut HostApi) {
+        let at = api.now().as_nanos();
+        let _span = api.tracer().span_at("ring.apply_step", at);
         let msg_id = t as u32;
         // The inbound segment is the one our *predecessor* sent at step t.
         let sender = (self.rank + self.cfg.workers() - 1) % self.cfg.workers();
@@ -297,7 +319,19 @@ impl RingWorkerApp {
                 .expect("assembled row is structurally valid")
         });
         let mut decoded = Vec::with_capacity(range.len());
-        for dec in rows_dec {
+        // The extend loop is serial, so per-row decode events land in row
+        // order regardless of how the pool scheduled the decodes above.
+        for (row_id, dec) in rows_dec.into_iter().enumerate() {
+            api.tracer().emit(at, || {
+                let row_asm = &asm.rows[row_id];
+                let coords = row_asm.coords_received();
+                TraceEvent::RowDecoded {
+                    msg: msg_id,
+                    row: row_id as u32,
+                    coords: sat32(coords),
+                    lost: sat32(row_asm.n().saturating_sub(coords)),
+                }
+            });
             decoded.extend(dec);
         }
         debug_assert_eq!(decoded.len(), range.len());
@@ -309,6 +343,11 @@ impl RingWorkerApp {
             self.blob[range].copy_from_slice(&decoded);
         }
         self.metrics(api).steps_applied.inc();
+        let rank = self.rank;
+        api.tracer().emit(at, || TraceEvent::StepApplied {
+            rank: sat32(rank),
+            step: sat32(t),
+        });
         self.step = t + 1;
         if self.step < self.cfg.total_steps() {
             self.send_step(self.step, api);
@@ -385,13 +424,15 @@ impl App for RingWorkerApp {
                 }
                 let msg_id = fields.msg_id;
                 let row_id = fields.row_id as usize;
+                let at = api.now().as_nanos();
+                let tracer = api.tracer().clone();
                 let asm = self.ensure_assembly(msg_id);
                 let Some(row) = asm.rows.get_mut(row_id) else {
                     self.rejected_frames += 1;
                     m.rejected_frames.inc();
                     return;
                 };
-                if row.ingest(frame).is_err() {
+                if row.ingest_traced(frame, &tracer, at).is_err() {
                     self.rejected_frames += 1;
                     m.rejected_frames.inc();
                     return;
@@ -760,6 +801,53 @@ mod tests {
                 assert!((a - e).abs() < 1e-4, "{a} vs {e}");
             }
         }
+    }
+
+    #[test]
+    fn ring_steps_and_rows_land_in_the_flight_recorder() {
+        use trimgrad_trace::Tracer;
+        let w = 3;
+        let len = 4000;
+        let run = || {
+            let (topo, hosts) = star_topology(w, QueuePolicy::trim_default(), 100.0);
+            let mut sim = Simulator::new(topo);
+            sim.set_tracer(Tracer::enabled(1 << 16));
+            let b = blobs(w, len, 11);
+            let c = cfg(SchemeId::RhtOneBit, hosts, len);
+            let _ = run_ring_allreduce(&mut sim, &c, b, SimTime::from_secs(5));
+            let trace = sim.tracer().snapshot();
+            let snap = sim.telemetry_snapshot();
+            (trace, snap)
+        };
+        let (trace, snap) = run();
+        let count = |kind: &str| {
+            trace
+                .records
+                .iter()
+                .filter(|r| r.event.kind_name() == kind)
+                .count()
+        };
+        // Every rank runs every protocol step: one started/applied pair each.
+        let steps = w * (2 * (w - 1));
+        assert_eq!(count("step.started"), steps);
+        assert_eq!(count("step.applied"), steps);
+        // Each applied step decoded at least one row, and each decoded row
+        // was first encoded by the sender and fully assembled here.
+        assert!(count("row.encoded") >= steps);
+        assert_eq!(count("row.decoded"), count("row.encoded"));
+        assert_eq!(count("row.assembled"), count("row.decoded"));
+        // Span aggregation is deterministic call counts, not wall time.
+        assert_eq!(
+            snap.counter("trace.span.ring.send_step.calls"),
+            steps as u64
+        );
+        assert_eq!(
+            snap.counter("trace.span.ring.apply_step.calls"),
+            steps as u64
+        );
+        // Same seed, same trace — byte for byte.
+        let (again, _) = run();
+        assert_eq!(trace.to_binary(), again.to_binary());
     }
 
     #[test]

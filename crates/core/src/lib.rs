@@ -82,4 +82,6 @@ pub use trimgrad_hadamard as hadamard;
 pub use trimgrad_mltrain as mltrain;
 pub use trimgrad_netsim as netsim;
 pub use trimgrad_quant as quant;
+pub use trimgrad_telemetry as telemetry;
+pub use trimgrad_trace as trace;
 pub use trimgrad_wire as wire;

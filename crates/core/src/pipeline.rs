@@ -4,6 +4,7 @@ use trimgrad_collective::chunk::MessageCodec;
 use trimgrad_par::WorkerPool;
 use trimgrad_quant::SchemeId;
 use trimgrad_telemetry::Registry;
+use trimgrad_trace::{sat32, TraceEvent, Tracer};
 use trimgrad_wire::meta::RowMetaPacket;
 use trimgrad_wire::packet::{GradPacket, NetAddrs};
 use trimgrad_wire::packetize::{packetize_row, PacketizeConfig};
@@ -132,6 +133,7 @@ impl TxMessage {
 pub struct TrimmablePipeline {
     cfg: PipelineConfig,
     telemetry: Option<Registry>,
+    tracer: Tracer,
 }
 
 impl TrimmablePipeline {
@@ -141,6 +143,7 @@ impl TrimmablePipeline {
         Self {
             cfg,
             telemetry: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -152,6 +155,17 @@ impl TrimmablePipeline {
     #[must_use]
     pub fn with_telemetry(mut self, registry: Registry) -> Self {
         self.telemetry = Some(registry);
+        self
+    }
+
+    /// Attaches a flight recorder: [`encode`](Self::encode) then runs under a
+    /// `core.pipeline.encode` span and emits one `row.encoded` event per row,
+    /// and [`decode`](Self::decode) runs under `core.pipeline.decode` emitting
+    /// `row.decoded` (with recovered/lost coordinate counts). The pipeline has
+    /// no simulated clock, so events are stamped `at = 0`.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -180,6 +194,7 @@ impl TrimmablePipeline {
         src_host: u32,
         dst_host: u32,
     ) -> TxMessage {
+        let _span = self.tracer.span_at("core.pipeline.encode", 0);
         let pool = WorkerPool::global();
         let codec = self.codec();
         let rows = codec.encode_message_pooled(blob, epoch, msg_id, &pool);
@@ -198,7 +213,17 @@ impl TrimmablePipeline {
         });
         let mut packets = Vec::new();
         let mut metas = Vec::with_capacity(rows.len());
-        for pr in packetized {
+        // The merge loop is serial, so per-row events land in row order for
+        // every pool width.
+        for (row_id, pr) in packetized.into_iter().enumerate() {
+            self.tracer.emit(0, || TraceEvent::RowEncoded {
+                msg: msg_id,
+                row: row_id as u32,
+                packets: sat32(pr.packets.len()),
+                bytes: trimgrad_trace::sat64(
+                    pr.packets.iter().map(GradPacket::wire_len).sum::<usize>(),
+                ),
+            });
             packets.extend(pr.packets);
             metas.push(pr.meta);
         }
@@ -236,6 +261,7 @@ impl TrimmablePipeline {
         epoch: u32,
         msg_id: u32,
     ) -> Result<Vec<f32>, WireError> {
+        let _span = self.tracer.span_at("core.pipeline.decode", 0);
         let codec = self.codec();
         // Index assemblers by the row id the metadata declares, so metadata
         // arrival order does not matter.
@@ -280,8 +306,19 @@ impl TrimmablePipeline {
                 .map_err(|_| WireError::BadField("row decode"))
         });
         let mut out = Vec::new();
-        for dec in decoded {
-            out.extend(dec?);
+        for (row_id, dec) in decoded.into_iter().enumerate() {
+            let vals = dec?;
+            self.tracer.emit(0, || {
+                let asm = &assemblers[row_id];
+                let coords = asm.coords_received();
+                TraceEvent::RowDecoded {
+                    msg: msg_id,
+                    row: row_id as u32,
+                    coords: sat32(coords),
+                    lost: sat32(asm.n().saturating_sub(coords)),
+                }
+            });
+            out.extend(vals);
         }
         if let Some(reg) = &self.telemetry {
             reg.counter("core.pipeline.rows_decoded")
@@ -436,6 +473,51 @@ mod tests {
         assert!(snap.counter("core.pipeline.parts_lost") >= expect_trimmed);
         assert_eq!(snap.counter("core.pipeline.coords_out"), dec.len() as u64);
         assert_eq!(snap.counter("core.pipeline.rows_decoded"), 4);
+    }
+
+    #[test]
+    fn tracer_records_rows_and_reports_lost_coords() {
+        let reg = Registry::new();
+        let tracer = Tracer::enabled(1 << 12).with_registry(reg.clone());
+        let p = pipe(SchemeId::SignMagnitude).with_tracer(tracer.clone());
+        let b = blob(2048, 9);
+        let tx = p.encode(&b, 0, 7, 1, 2);
+        // Drop the first data packet entirely: its head coords are lost.
+        let survivors = &tx.packets[1..];
+        let _ = p.decode(survivors, &tx.metas, 0, 7).unwrap();
+        let trace = tracer.snapshot();
+        let encoded: Vec<_> = trace
+            .records
+            .iter()
+            .filter(|r| r.event.kind_name() == "row.encoded")
+            .collect();
+        let decoded: Vec<_> = trace
+            .records
+            .iter()
+            .filter_map(|r| match &r.event {
+                trimgrad_trace::TraceEvent::RowDecoded { msg, row, lost, .. } => {
+                    Some((*msg, *row, *lost))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(encoded.len(), 2); // ⌈2048/1024⌉
+        assert_eq!(decoded.len(), 2);
+        assert!(
+            decoded.iter().map(|(_, _, lost)| lost).sum::<u32>() > 0,
+            "a dropped packet must surface as lost coordinates"
+        );
+        assert!(decoded.iter().all(|&(msg, _, _)| msg == 7));
+        assert_eq!(
+            reg.snapshot()
+                .counter("trace.span.core.pipeline.encode.calls"),
+            1
+        );
+        assert_eq!(
+            reg.snapshot()
+                .counter("trace.span.core.pipeline.decode.calls"),
+            1
+        );
     }
 
     #[test]

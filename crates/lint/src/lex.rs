@@ -26,7 +26,9 @@ pub enum TokKind {
 pub struct Tok {
     /// Kind of token.
     pub kind: TokKind,
-    /// Source text (empty for string literals — contents never matter here).
+    /// Source text. For string literals this is the body between the quotes
+    /// (escapes left as written; empty for char literals, whose contents
+    /// never matter here).
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
@@ -131,10 +133,11 @@ pub fn lex(src: &str) -> LexOut {
 
         // String literal.
         if ch == '"' {
+            let body = i + 1;
             i = skip_string(&c, i + 1, &mut line);
             out.toks.push(Tok {
                 kind: TokKind::Str,
-                text: String::new(),
+                text: c[body..i.saturating_sub(1).max(body)].iter().collect(),
                 line: start_line,
             });
             continue;
@@ -181,6 +184,7 @@ pub fn lex(src: &str) -> LexOut {
             if (text == "r" || text == "b" || text == "br") && i < c.len() {
                 if c[i] == '"' {
                     // `b"..."` escapes like a normal string; `r"..."` is raw.
+                    let body = i + 1;
                     i = if text == "b" {
                         skip_string(&c, i + 1, &mut line)
                     } else {
@@ -188,7 +192,7 @@ pub fn lex(src: &str) -> LexOut {
                     };
                     out.toks.push(Tok {
                         kind: TokKind::Str,
-                        text: String::new(),
+                        text: c[body..i.saturating_sub(1).max(body)].iter().collect(),
                         line: start_line,
                     });
                     continue;
@@ -202,10 +206,12 @@ pub fn lex(src: &str) -> LexOut {
                         j += 1;
                     }
                     if j < c.len() && c[j] == '"' {
+                        let body = j + 1;
                         i = skip_raw_string(&c, j + 1, hashes, &mut line);
+                        let end = i.saturating_sub(1 + hashes).max(body);
                         out.toks.push(Tok {
                             kind: TokKind::Str,
-                            text: String::new(),
+                            text: c[body..end].iter().collect(),
                             line: start_line,
                         });
                         continue;
@@ -472,7 +478,8 @@ pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
 
 /// Index of the token closing the bracket opened at `open` (which must hold
 /// punctuation `open_p`).
-fn matching(toks: &[Tok], open: usize, open_p: &str, close_p: &str) -> Option<usize> {
+#[must_use]
+pub fn matching(toks: &[Tok], open: usize, open_p: &str, close_p: &str) -> Option<usize> {
     let mut depth = 0i64;
     for (k, t) in toks.iter().enumerate().skip(open) {
         if t.is_punct(open_p) {

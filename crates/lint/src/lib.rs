@@ -37,7 +37,7 @@ use rules::Finding;
 const HOT_CRATES: &[&str] = &["netsim", "wire", "collective", "core"];
 
 /// Crates whose iteration order leaks into snapshots, events, or traffic.
-const ORDER_CRATES: &[&str] = &["netsim", "wire", "collective", "core", "telemetry"];
+const ORDER_CRATES: &[&str] = &["netsim", "wire", "collective", "core", "telemetry", "trace"];
 
 /// Crates the linter never walks: `bench` legitimately uses wall clocks and
 /// ad-hoc casts, `proptest` is the offline test-infrastructure shim, and
@@ -81,6 +81,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "wire-consistency",
         "HEADER_LEN constants in crates/wire must match the bytes serializers touch",
+    ),
+    (
+        "trace-event-naming",
+        "flight-recorder span/mark names must be dot-separated lowercase",
     ),
     (
         "bad-suppression",
@@ -153,6 +157,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
         push("no-raw-spawn", rules::no_raw_spawn(&out, &mask));
     }
     push("float-eq", rules::float_eq(&out, &mask));
+    push("trace-event-naming", rules::trace_event_naming(&out, &mask));
     if crate_name == "wire" {
         push("wire-consistency", wirecheck::check(&out, &mask));
     }

@@ -5,7 +5,7 @@
 //! attaches the rule id and file path. See `DESIGN.md` §7 for the rationale
 //! behind each rule; per-crate scoping lives in [`crate::lint_source`].
 
-use crate::lex::{is_float_literal, matching_open, LexOut, Tok, TokKind};
+use crate::lex::{is_float_literal, matching, matching_open, LexOut, Tok, TokKind};
 
 /// A rule's raw findings: source line plus human-readable message.
 pub type Finding = (u32, String);
@@ -291,6 +291,72 @@ pub fn unchecked_len_index(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
         }
     }
     f
+}
+
+/// `trace-event-naming`: span and mark names handed to the flight recorder
+/// must be dot-separated lowercase segments of `[a-z0-9_]` — the convention
+/// every built-in event kind (`pkt.trimmed`, `step.applied`, …) follows, and
+/// what keeps span counters (`trace.span.<name>.calls`) and trace queries
+/// greppable. Matches the `span!` macro plus `.span(…)` / `.span_at(…)` /
+/// `.mark(…)` method calls whose name argument is a string literal; names
+/// built at runtime are out of reach and stay unchecked.
+#[must_use]
+pub fn trace_event_naming(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
+    let toks = &out.toks;
+    let mut f = Vec::new();
+    for i in 0..toks.len() {
+        if mask[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        let open = if name == "span" && i + 1 < toks.len() && toks[i + 1].is_punct("!") {
+            (i + 2 < toks.len() && toks[i + 2].is_punct("(")).then_some(i + 2)
+        } else if matches!(name, "span" | "span_at" | "mark")
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct("(")
+        {
+            Some(i + 1)
+        } else {
+            None
+        };
+        let Some(open) = open else {
+            continue;
+        };
+        let Some(close) = matching(toks, open, "(", ")") else {
+            continue;
+        };
+        let Some(lit) = toks[open + 1..close]
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+        else {
+            continue;
+        };
+        if !valid_trace_name(&lit.text) {
+            f.push((
+                lit.line,
+                format!(
+                    "trace name `{}` must be dot-separated lowercase \
+                     (`[a-z0-9_]` segments, e.g. `ring.send_step`)",
+                    lit.text
+                ),
+            ));
+        }
+    }
+    f
+}
+
+/// The flight recorder's naming convention, duplicated from `trimgrad-trace`
+/// so the linter stays dependency-free.
+fn valid_trace_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
 }
 
 /// Walks left from the `as` at index `i` to find the identifier naming the

@@ -289,6 +289,68 @@ fn f(buf: &[u8], total_len: usize) -> &[u8] {
     assert_eq!(lint_netsim(src), vec![]);
 }
 
+// --------------------------------------------------------- trace-event-naming
+
+#[test]
+fn trace_event_naming_flags_bad_names() {
+    let src = "\
+fn f(tracer: &Tracer, at: u64) {
+    let _a = tracer.span(\"Ring.SendStep\");
+    let _b = tracer.span_at(\"ring send\", at);
+    tracer.mark(at, \"conservation!violation\", 1);
+    let _c = span!(\"core..encode\");
+}
+";
+    assert_eq!(
+        lint_netsim(src),
+        vec![
+            (2, "trace-event-naming"),
+            (3, "trace-event-naming"),
+            (4, "trace-event-naming"),
+            (5, "trace-event-naming"),
+        ]
+    );
+}
+
+#[test]
+fn trace_event_naming_accepts_convention_and_ignores_lookalikes() {
+    let src = "\
+fn f(tracer: &Tracer, at: u64, name: &'static str) {
+    let _a = tracer.span(\"ring.send_step\");
+    let _b = tracer.span_at(\"core.pipeline.encode\", at);
+    tracer.mark(at, \"conservation.violation\", 42);
+    let _c = span!(\"netsim.step_1\");
+    // A runtime-built name is out of the rule's reach.
+    let _d = tracer.span_at(name, at);
+    // A free fn named span (no receiver dot, no bang) is not the recorder.
+    let _e = span(\"Whatever Goes\");
+}
+fn span(_s: &str) {}
+";
+    assert_eq!(lint_netsim(src), vec![]);
+}
+
+#[test]
+fn trace_event_naming_respects_suppression_and_test_mask() {
+    let suppressed = "\
+fn f(tracer: &Tracer) {
+    // trimlint: allow(trace-event-naming) -- legacy name kept for golden traces
+    let _g = tracer.span(\"Legacy.Name\");
+}
+";
+    assert_eq!(lint_netsim(suppressed), vec![]);
+    let test_code = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let _g = Tracer::disabled().span(\"AnyThing\");
+    }
+}
+";
+    assert_eq!(lint_netsim(test_code), vec![]);
+}
+
 // ---------------------------------------------------------------- suppression
 
 #[test]

@@ -14,6 +14,7 @@ use crate::optim::{SgdMomentum, StepLr};
 use trimgrad_collective::hooks::AggregateHook;
 use trimgrad_hadamard::prng::Xoshiro256StarStar;
 use trimgrad_telemetry::Registry;
+use trimgrad_trace::{TraceEvent, Tracer};
 
 /// Trainer configuration.
 #[derive(Debug, Clone)]
@@ -83,6 +84,7 @@ pub struct DataParallelTrainer {
     round: u32,
     epoch: u32,
     telemetry: Option<Registry>,
+    tracer: Tracer,
 }
 
 impl DataParallelTrainer {
@@ -116,6 +118,7 @@ impl DataParallelTrainer {
             round: 0,
             epoch: 0,
             telemetry: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -125,6 +128,14 @@ impl DataParallelTrainer {
     /// `mltrain.bytes_sent`.
     pub fn attach_telemetry(&mut self, registry: Registry) {
         self.telemetry = Some(registry);
+    }
+
+    /// Attaches a flight recorder. Each [`run_epoch`](Self::run_epoch) then
+    /// emits one `epoch.tick` event carrying the mean training loss and
+    /// worker 0's test top-1 accuracy, stamped `at = epoch index` (the trainer
+    /// has no simulated clock).
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The hook's display name.
@@ -203,6 +214,12 @@ impl DataParallelTrainer {
             reg.gauge("mltrain.bytes_sent")
                 .set_max(self.hook.bytes_sent());
         }
+        self.tracer
+            .emit(u64::from(stats.epoch), || TraceEvent::EpochTick {
+                epoch: stats.epoch,
+                loss: f64::from(stats.train_loss),
+                top1: stats.top1,
+            });
         self.epoch += 1;
         stats
     }
@@ -355,6 +372,40 @@ mod tests {
         assert!(
             (snap.float("mltrain.epoch.1.train_loss") - f64::from(e1.train_loss)).abs() < 1e-12
         );
+    }
+
+    #[test]
+    fn tracer_sees_one_epoch_tick_per_epoch() {
+        let (train, test) = task(6);
+        let mut t = DataParallelTrainer::new(
+            &[16, 24, 5],
+            train,
+            test,
+            Box::new(BaselineHook::new(2)),
+            ParallelConfig {
+                workers: 2,
+                ..cfg()
+            },
+        );
+        let tracer = Tracer::enabled(1 << 10);
+        t.attach_tracer(tracer.clone());
+        let e0 = t.run_epoch();
+        let e1 = t.run_epoch();
+        let trace = tracer.snapshot();
+        let ticks: Vec<_> = trace
+            .records
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::EpochTick { epoch, loss, top1 } => Some((r.at, epoch, loss, top1)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ticks.len(), 2);
+        assert_eq!(ticks[0].1, 0);
+        assert_eq!(ticks[1].1, 1);
+        assert_eq!(ticks[1].0, 1, "epoch index doubles as the timestamp");
+        assert!((ticks[0].2 - f64::from(e0.train_loss)).abs() < 1e-12);
+        assert!((ticks[1].3 - e1.top1).abs() < 1e-12);
     }
 
     #[test]

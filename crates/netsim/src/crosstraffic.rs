@@ -208,6 +208,7 @@ mod tests {
             SimTime::ZERO,
             NodeId(0),
             trimgrad_telemetry::Registry::new(),
+            trimgrad_trace::Tracer::disabled(),
         );
         let mut app = app;
         app.on_start(&mut api);

@@ -11,6 +11,7 @@ use crate::packet::{Packet, PacketSpec};
 use crate::time::SimTime;
 use crate::NodeId;
 use trimgrad_telemetry::Registry;
+use trimgrad_trace::Tracer;
 
 /// The per-callback interface an app uses to act on the network.
 #[derive(Debug)]
@@ -18,17 +19,19 @@ pub struct HostApi {
     now: SimTime,
     node: NodeId,
     registry: Registry,
+    tracer: Tracer,
     pub(crate) outbox: Vec<PacketSpec>,
     pub(crate) timers: Vec<(SimTime, u64)>,
     pub(crate) completed_flows: Vec<crate::FlowId>,
 }
 
 impl HostApi {
-    pub(crate) fn new(now: SimTime, node: NodeId, registry: Registry) -> Self {
+    pub(crate) fn new(now: SimTime, node: NodeId, registry: Registry, tracer: Tracer) -> Self {
         Self {
             now,
             node,
             registry,
+            tracer,
             outbox: Vec::new(),
             timers: Vec::new(),
             completed_flows: Vec::new(),
@@ -53,6 +56,14 @@ impl HostApi {
     #[must_use]
     pub fn telemetry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The simulation's flight recorder (disabled unless `TRIMGRAD_TRACE` is
+    /// set or the simulator was given a tracer). App callbacks run serially
+    /// inside the event loop, so emitting here keeps traces deterministic.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Hands a packet to the NIC (enqueued on the egress port when the
@@ -147,7 +158,12 @@ mod tests {
 
     #[test]
     fn api_buffers_actions() {
-        let mut api = HostApi::new(SimTime::from_micros(5), NodeId(3), Registry::new());
+        let mut api = HostApi::new(
+            SimTime::from_micros(5),
+            NodeId(3),
+            Registry::new(),
+            Tracer::disabled(),
+        );
         assert_eq!(api.now(), SimTime::from_micros(5));
         assert_eq!(api.node(), NodeId(3));
         api.send(PacketSpec::synthetic(NodeId(1), FlowId(2), 100, 0));
@@ -161,7 +177,12 @@ mod tests {
     #[test]
     fn sink_counts() {
         let mut sink = SinkApp::default();
-        let mut api = HostApi::new(SimTime::ZERO, NodeId(0), Registry::new());
+        let mut api = HostApi::new(
+            SimTime::ZERO,
+            NodeId(0),
+            Registry::new(),
+            Tracer::disabled(),
+        );
         let mut pkt = crate::packet::Packet {
             id: 1,
             flow: FlowId(1),

@@ -9,7 +9,7 @@ use crate::event::{EventKind, EventQueue};
 use crate::fault::{FaultPlan, FaultStats};
 use crate::host::{App, HostApi, SinkApp};
 use crate::packet::{Packet, PacketSpec};
-use crate::stats::Stats;
+use crate::stats::{ConservationViolation, Stats};
 use crate::switch::{EnqueueOutcome, PortState, QueuePolicy};
 use crate::time::SimTime;
 use crate::topology::{NodeKind, Routes, Topology};
@@ -17,6 +17,7 @@ use crate::NodeId;
 use std::collections::BTreeMap;
 use trimgrad_hadamard::prng::Xoshiro256StarStar;
 use trimgrad_telemetry::{Registry, Snapshot};
+use trimgrad_trace::{sat32, DropReason, TraceEvent, Tracer};
 
 /// The host NIC queue policy: deep FIFO, no trimming (the sending host can
 /// hold its own backlog; congestion logic lives in the fabric's switches).
@@ -45,6 +46,7 @@ pub struct Simulator {
     queue_sample_interval: Option<SimTime>,
     registry: Registry,
     fault_plan: Option<FaultPlan>,
+    tracer: Tracer,
 }
 
 impl Simulator {
@@ -68,6 +70,10 @@ impl Simulator {
             });
         }
         let registry = Registry::new();
+        // The process-global tracer (gated by TRIMGRAD_TRACE) shares one
+        // event ring across simulations, but each simulator's handle
+        // aggregates span counters into its own registry.
+        let tracer = Tracer::global().clone().with_registry(registry.clone());
         Self {
             topo,
             routes,
@@ -83,7 +89,22 @@ impl Simulator {
             queue_sample_interval: None,
             registry,
             fault_plan: None,
+            tracer,
         }
+    }
+
+    /// Replaces the flight recorder (by default the process-global,
+    /// `TRIMGRAD_TRACE`-gated one). Tests hand each simulation its own
+    /// enabled [`Tracer`] so rings never interleave across concurrent tests.
+    /// The handle is re-bound to this simulation's registry.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer.with_registry(self.registry.clone());
+    }
+
+    /// The flight recorder this simulation emits into.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Installs a deterministic fault-injection plan (see [`crate::fault`]).
@@ -245,10 +266,67 @@ impl Simulator {
         self.now
     }
 
-    /// Verifies packet conservation (see [`Stats::conservation_holds`]).
+    /// Verifies packet conservation (see [`Stats::conservation_holds`]):
+    /// every per-port identity plus the global one.
     #[must_use]
     pub fn conservation_holds(&self) -> bool {
-        self.stats.conservation_holds(self.in_flight)
+        self.conservation_report().is_ok()
+    }
+
+    /// Like [`Simulator::conservation_holds`], but a failure names the first
+    /// offending port/counter pair (ports checked in deterministic
+    /// `(from, to)` order, then the global identity).
+    ///
+    /// # Errors
+    ///
+    /// The first violated identity.
+    pub fn conservation_report(&self) -> Result<(), ConservationViolation> {
+        for (&(from, to), port) in &self.ports {
+            let c = &port.counters;
+            if !c.conserved() {
+                return Err(ConservationViolation {
+                    scope: format!("port {from}->{to}"),
+                    lhs: ("arrived".to_string(), c.arrived),
+                    rhs: (
+                        "queued_data + queued_prio + trimmed + dropped_data_full \
+                         + dropped_prio_full"
+                            .to_string(),
+                        c.queued_total() + c.dropped_total(),
+                    ),
+                    detail: format!(
+                        "queued_data={} queued_prio={} trimmed={} dropped_data_full={} \
+                         dropped_prio_full={} dequeued={}",
+                        c.queued_data,
+                        c.queued_prio,
+                        c.trimmed,
+                        c.dropped_data_full,
+                        c.dropped_prio_full,
+                        c.dequeued,
+                    ),
+                });
+            }
+        }
+        self.stats.conservation_report(self.in_flight)
+    }
+
+    /// Panics on a conservation violation, with the first offending
+    /// port/counter pair in the message. The violation is recorded in the
+    /// trace first, so when the global tracer is enabled the panic hook dumps
+    /// a flight record that ends with the `conservation.violation` mark.
+    ///
+    /// # Panics
+    ///
+    /// When any conservation identity is violated.
+    pub fn assert_conservation(&self) {
+        if let Err(v) = self.conservation_report() {
+            self.tracer.mark(
+                self.now.as_nanos(),
+                "conservation.violation",
+                v.lhs.1.abs_diff(v.rhs.1),
+            );
+            // trimlint: allow(no-panic) -- deliberate invariant check; the message carries the per-port diagnosis
+            panic!("{v}");
+        }
     }
 
     // ------------------------------------------------------------------
@@ -289,6 +367,15 @@ impl Simulator {
                 self.in_flight -= 1;
                 self.stats
                     .on_delivered(packet.flow, packet.size, packet.trimmed);
+                self.tracer
+                    .emit(self.now.as_nanos(), || TraceEvent::PktDelivered {
+                        node: sat32(node.0),
+                        flow: packet.flow.0,
+                        pseq: packet.seq,
+                        pkt: packet.id,
+                        size: packet.size,
+                        trimmed: packet.trimmed,
+                    });
                 self.with_app(node, |app, api| app.on_packet(packet, api));
             }
             NodeKind::Switch(policy) => {
@@ -297,6 +384,15 @@ impl Simulator {
                     // Unreachable destination: count as a drop.
                     self.in_flight -= 1;
                     self.stats.on_dropped_data_full();
+                    self.tracer
+                        .emit(self.now.as_nanos(), || TraceEvent::PktDropped {
+                            node: sat32(node.0),
+                            to: sat32(node.0),
+                            flow: packet.flow.0,
+                            pseq: packet.seq,
+                            pkt: packet.id,
+                            reason: DropReason::NoRoute,
+                        });
                     return;
                 };
                 self.enqueue_on_port(node, next, packet, &policy);
@@ -306,21 +402,63 @@ impl Simulator {
 
     fn enqueue_on_port(&mut self, node: NodeId, to: NodeId, packet: Packet, policy: &QueuePolicy) {
         let was_ecn = packet.ecn;
+        let (flow, pseq, pkt, size) = (packet.flow.0, packet.seq, packet.id, packet.size);
         let port = self.ports.entry((node.0, to.0)).or_default();
         let outcome = port.enqueue(packet, policy);
+        // After a trim, the surviving remnant sits at the back of the
+        // priority queue; read its size before the port borrow ends.
+        let trimmed_size = port.high_back_size();
         let low = port.low_bytes();
         self.stats.observe_queue(low);
+        let at = self.now.as_nanos();
         match outcome {
-            EnqueueOutcome::Data | EnqueueOutcome::Priority => {}
-            EnqueueOutcome::Trimmed => self.stats.on_trimmed(),
+            EnqueueOutcome::Data | EnqueueOutcome::Priority => {
+                self.tracer.emit(at, || TraceEvent::PktEnqueued {
+                    node: sat32(node.0),
+                    to: sat32(to.0),
+                    flow,
+                    pseq,
+                    pkt,
+                    size,
+                    prio: outcome == EnqueueOutcome::Priority,
+                });
+            }
+            EnqueueOutcome::Trimmed => {
+                self.stats.on_trimmed();
+                self.tracer.emit(at, || TraceEvent::PktTrimmed {
+                    node: sat32(node.0),
+                    to: sat32(to.0),
+                    flow,
+                    pseq,
+                    pkt,
+                    old_size: size,
+                    new_size: trimmed_size.unwrap_or(0),
+                });
+            }
             EnqueueOutcome::DroppedDataFull => {
                 self.in_flight -= 1;
                 self.stats.on_dropped_data_full();
+                self.tracer.emit(at, || TraceEvent::PktDropped {
+                    node: sat32(node.0),
+                    to: sat32(to.0),
+                    flow,
+                    pseq,
+                    pkt,
+                    reason: DropReason::DataFull,
+                });
                 return;
             }
             EnqueueOutcome::DroppedPrioFull => {
                 self.in_flight -= 1;
                 self.stats.on_dropped_prio_full();
+                self.tracer.emit(at, || TraceEvent::PktDropped {
+                    node: sat32(node.0),
+                    to: sat32(to.0),
+                    flow,
+                    pseq,
+                    pkt,
+                    reason: DropReason::PrioFull,
+                });
                 return;
             }
         }
@@ -354,6 +492,15 @@ impl Simulator {
         if params.drop_prob > 0.0 && f64::from(self.rng.next_f32()) < params.drop_prob {
             self.in_flight -= 1;
             self.stats.on_dropped_random();
+            self.tracer
+                .emit(self.now.as_nanos(), || TraceEvent::PktDropped {
+                    node: sat32(node.0),
+                    to: sat32(to.0),
+                    flow: packet.flow.0,
+                    pseq: packet.seq,
+                    pkt: packet.id,
+                    reason: DropReason::Random,
+                });
             return;
         }
         // Fault injection: the installed plan draws this packet's fate on
@@ -365,12 +512,29 @@ impl Simulator {
             if outcome.drop {
                 self.in_flight -= 1;
                 self.stats.on_dropped_fault();
+                self.tracer
+                    .emit(self.now.as_nanos(), || TraceEvent::PktDropped {
+                        node: sat32(node.0),
+                        to: sat32(to.0),
+                        flow: packet.flow.0,
+                        pseq: packet.seq,
+                        pkt: packet.id,
+                        reason: DropReason::Fault,
+                    });
                 return;
             }
             extra_delay = outcome.extra_delay;
             for (clone, jitter) in outcome.injected {
                 self.in_flight += 1;
                 self.stats.on_injected();
+                self.tracer
+                    .emit(self.now.as_nanos(), || TraceEvent::FaultInjected {
+                        node: sat32(node.0),
+                        to: sat32(to.0),
+                        flow: clone.flow.0,
+                        pseq: clone.seq,
+                        pkt: clone.id,
+                    });
                 self.queue.schedule(
                     self.now + ser + params.delay + jitter,
                     EventKind::Arrive {
@@ -397,7 +561,7 @@ impl Simulator {
         let Some(mut app) = self.apps[node.0].take() else {
             return;
         };
-        let mut api = HostApi::new(self.now, node, self.registry.clone());
+        let mut api = HostApi::new(self.now, node, self.registry.clone(), self.tracer.clone());
         f(app.as_mut(), &mut api);
         self.apps[node.0] = Some(app);
         let HostApi {
@@ -420,9 +584,19 @@ impl Simulator {
     fn send_from_host(&mut self, node: NodeId, spec: PacketSpec) {
         let Some(next) = self.routes.next_hop(node, spec.dst, spec.flow) else {
             // No route: the send is silently dropped before entering the
-            // network (counted so conservation still holds).
+            // network (counted so conservation still holds). No packet id
+            // was ever assigned, hence the u64::MAX sentinel.
             self.stats.on_sent(spec.flow, self.now);
             self.stats.on_dropped_data_full();
+            self.tracer
+                .emit(self.now.as_nanos(), || TraceEvent::PktDropped {
+                    node: sat32(node.0),
+                    to: sat32(node.0),
+                    flow: spec.flow.0,
+                    pseq: spec.seq,
+                    pkt: u64::MAX,
+                    reason: DropReason::NoRoute,
+                });
             return;
         };
         let packet = Packet {
@@ -443,6 +617,14 @@ impl Simulator {
         self.next_pkt_id += 1;
         self.stats.on_sent(packet.flow, self.now);
         self.in_flight += 1;
+        self.tracer
+            .emit(self.now.as_nanos(), || TraceEvent::PktSent {
+                node: sat32(node.0),
+                flow: packet.flow.0,
+                pseq: packet.seq,
+                pkt: packet.id,
+                size: packet.size,
+            });
         let policy = host_nic_policy();
         self.enqueue_on_port(node, next, packet, &policy);
     }
@@ -774,6 +956,65 @@ mod tests {
             sim.telemetry_snapshot().to_json()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tracer_records_packet_lifecycle_and_follow_reconstructs_a_trim() {
+        // Fast ingress, slow egress: the switch must trim.
+        let run = || {
+            let mut t = Topology::new();
+            let a = t.add_host();
+            let b = t.add_host();
+            let s = t.add_switch(QueuePolicy {
+                data_capacity: 4500,
+                prio_capacity: 64_000,
+                ecn_threshold: None,
+                action: FullAction::Trim { grad_depth: 1 },
+            });
+            t.link(a, s, gbps(10.0), SimTime::from_micros(1));
+            t.link(s, b, gbps(1.0), SimTime::from_micros(1));
+            let mut sim = Simulator::with_seed(t, 7);
+            sim.set_tracer(trimgrad_trace::Tracer::enabled(1 << 16));
+            sim.install_app(a, Box::new(BulkSenderApp::new(b, 45_000, 1500, 0x77)));
+            sim.run_until(SimTime::from_millis(50));
+            sim.assert_conservation();
+            sim.tracer().snapshot()
+        };
+        let trace = run();
+        let count = |kind: &str| {
+            trace
+                .records
+                .iter()
+                .filter(|r| r.event.kind_name() == kind)
+                .count() as u64
+        };
+        assert_eq!(count("pkt.sent"), 30);
+        assert!(count("pkt.enqueued") > 0);
+        assert!(count("pkt.trimmed") > 0, "scenario must trim");
+        assert_eq!(count("pkt.delivered"), 30);
+        // Sim-time stamps are monotone (the ring preserves emission order).
+        assert!(trace.records.windows(2).all(|w| w[0].at <= w[1].at));
+
+        // Follow the first trimmed packet end to end: its life must read
+        // sent → … → trimmed → … → delivered-with-trimmed-flag.
+        let pseq = trace
+            .records
+            .iter()
+            .find_map(|r| match r.event {
+                trimgrad_trace::TraceEvent::PktTrimmed { pseq, .. } => Some(pseq),
+                _ => None,
+            })
+            .expect("a trim event exists");
+        let path = trimgrad_trace::query::follow_records(&trace, 0x77, pseq);
+        let kinds: Vec<&str> = path.iter().map(|r| r.event.kind_name()).collect();
+        assert_eq!(kinds.first(), Some(&"pkt.sent"), "{kinds:?}");
+        assert!(kinds.contains(&"pkt.trimmed"), "{kinds:?}");
+        assert_eq!(kinds.last(), Some(&"pkt.delivered"), "{kinds:?}");
+        let rendered = trimgrad_trace::query::follow(&trace, 0x77, pseq);
+        assert!(rendered.contains("trimmed"), "{rendered}");
+
+        // Same seed ⇒ byte-identical trace.
+        assert_eq!(trace.to_binary(), run().to_binary());
     }
 
     #[test]

@@ -310,8 +310,42 @@ impl Stats {
     /// drop classes.
     #[must_use]
     pub fn conservation_holds(&self, in_flight: u64) -> bool {
-        self.sent.get() + self.injected.get()
-            == self.delivered.get() + self.dropped_total() + in_flight
+        self.conservation_report(in_flight).is_ok()
+    }
+
+    /// Like [`Stats::conservation_holds`], but a failure names the offending
+    /// counters: the supply and accounted sides of the global identity with
+    /// every term spelled out, so a violated run can be diagnosed from the
+    /// panic message (and from the dumped trace) instead of a bare `false`.
+    ///
+    /// # Errors
+    ///
+    /// The violation, when the identity does not hold.
+    pub fn conservation_report(&self, in_flight: u64) -> Result<(), ConservationViolation> {
+        let supply = self.sent.get() + self.injected.get();
+        let accounted = self.delivered.get() + self.dropped_total() + in_flight;
+        if supply == accounted {
+            return Ok(());
+        }
+        Err(ConservationViolation {
+            scope: "global".to_string(),
+            lhs: ("sent + injected".to_string(), supply),
+            rhs: (
+                "delivered + dropped_total + in_flight".to_string(),
+                accounted,
+            ),
+            detail: format!(
+                "sent={} injected={} delivered={} dropped_data_full={} dropped_prio_full={} \
+                 dropped_random={} dropped_fault={} in_flight={in_flight}",
+                self.sent.get(),
+                self.injected.get(),
+                self.delivered.get(),
+                self.dropped_data_full(),
+                self.dropped_prio_full(),
+                self.dropped_random(),
+                self.dropped_fault(),
+            ),
+        })
     }
 
     /// Flow-completion-time summary over all completed flows — the paper's
@@ -339,6 +373,34 @@ impl Stats {
             p99: pick(0.99),
             max,
         })
+    }
+}
+
+/// A failed packet-conservation check, naming the first identity that broke.
+///
+/// `scope` is `"global"` for the fabric-wide identity or
+/// `"port <from>-><to>"` for a per-port one; `lhs`/`rhs` are the two sides of
+/// the identity as (expression, value); `detail` spells out every individual
+/// counter feeding the sums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConservationViolation {
+    /// Where the identity broke.
+    pub scope: String,
+    /// Left side of the identity: expression and value.
+    pub lhs: (String, u64),
+    /// Right side of the identity: expression and value.
+    pub rhs: (String, u64),
+    /// Every counter feeding the two sums, rendered `name=value`.
+    pub detail: String,
+}
+
+impl core::fmt::Display for ConservationViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "conservation violated at {}: {} = {} but {} = {} ({})",
+            self.scope, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1, self.detail
+        )
     }
 }
 
@@ -441,6 +503,23 @@ mod tests {
         assert_eq!(snap.counter("netsim.dropped.fault"), 4);
         assert_eq!(snap.counter("netsim.injected"), 3);
         assert_eq!(snap.counter_sum("netsim.dropped."), 4);
+    }
+
+    #[test]
+    fn conservation_report_names_the_offending_counters() {
+        let mut s = Stats::new();
+        s.on_sent(FlowId(1), SimTime::ZERO);
+        s.on_sent(FlowId(1), SimTime::ZERO);
+        s.on_delivered(FlowId(1), 100, false);
+        assert!(s.conservation_report(1).is_ok());
+        let v = s.conservation_report(0).unwrap_err();
+        assert_eq!(v.scope, "global");
+        assert_eq!(v.lhs, ("sent + injected".to_string(), 2));
+        assert_eq!(v.rhs.1, 1);
+        let msg = v.to_string();
+        assert!(msg.contains("conservation violated at global"), "{msg}");
+        assert!(msg.contains("sent=2"), "{msg}");
+        assert!(msg.contains("in_flight=0"), "{msg}");
     }
 
     #[test]

@@ -270,6 +270,15 @@ impl PortState {
         }
     }
 
+    /// Size of the most recently enqueued priority packet, if any — after an
+    /// [`EnqueueOutcome::Trimmed`], this is the surviving remnant's size (the
+    /// remnant lands at the back of the high queue). Used by the flight
+    /// recorder to report post-trim sizes.
+    #[must_use]
+    pub(crate) fn high_back_size(&self) -> Option<u32> {
+        self.high.back().map(|p| p.size)
+    }
+
     /// Dequeues the next packet to serialize: strict priority, FIFO within
     /// each class.
     pub fn dequeue(&mut self) -> Option<Packet> {

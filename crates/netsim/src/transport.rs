@@ -840,7 +840,12 @@ mod tests {
         };
         let mut rx = TrimmingReceiverApp::new(1, TransportConfig::default());
         let reg = Registry::new();
-        let mut api = HostApi::new(SimTime::ZERO, NodeId(1), reg.clone());
+        let mut api = HostApi::new(
+            SimTime::ZERO,
+            NodeId(1),
+            reg.clone(),
+            trimgrad_trace::Tracer::disabled(),
+        );
         rx.on_packet(mk(0, true), &mut api);
         assert_eq!(rx.trimmed_arrivals, 1);
         assert_eq!(rx.residual_trimmed(), 1);
@@ -905,7 +910,12 @@ mod tests {
         let reg = Registry::new();
         let mut delays = Vec::new();
         for _ in 0..cfg.max_fin_probes {
-            let mut api = HostApi::new(SimTime::ZERO, NodeId(0), reg.clone());
+            let mut api = HostApi::new(
+                SimTime::ZERO,
+                NodeId(0),
+                reg.clone(),
+                trimgrad_trace::Tracer::disabled(),
+            );
             tx.on_timer(0, &mut api);
             let (at, _) = api.timers[0];
             delays.push(at);
@@ -916,14 +926,24 @@ mod tests {
         assert_eq!(delays[2], cfg.rto * 4);
         assert_eq!(*delays.last().unwrap(), cfg.rto * 64);
         // The budget is spent: the next firing is terminal and arms nothing.
-        let mut api = HostApi::new(SimTime::ZERO, NodeId(0), reg.clone());
+        let mut api = HostApi::new(
+            SimTime::ZERO,
+            NodeId(0),
+            reg.clone(),
+            trimgrad_trace::Tracer::disabled(),
+        );
         tx.on_timer(0, &mut api);
         assert!(tx.is_failed());
         assert!(api.timers.is_empty() && api.outbox.is_empty());
         // Signs of life reset the budget and the backoff.
         tx.failed = false;
         tx.note_receiver_alive();
-        let mut api = HostApi::new(SimTime::ZERO, NodeId(0), reg.clone());
+        let mut api = HostApi::new(
+            SimTime::ZERO,
+            NodeId(0),
+            reg.clone(),
+            trimgrad_trace::Tracer::disabled(),
+        );
         tx.on_timer(0, &mut api);
         assert_eq!(api.timers[0].0, cfg.rto);
     }

@@ -1,0 +1,145 @@
+//! `trimgrad-trace` — query CLI over binary flight-recorder traces.
+//!
+//! ```text
+//! trimgrad-trace query TRACE.bin [--summary] [--follow FLOW:SEQ]
+//!                                [--diff OTHER.bin] [--top-trimmed N]
+//!                                [--jsonl OUT.jsonl]
+//! ```
+//!
+//! With no action flag, prints the summary. All output is deterministic for
+//! a given trace file, so it can be captured in CI logs and diffed.
+
+use std::process::ExitCode;
+use trimgrad_trace::{query, Trace};
+
+const USAGE: &str = "usage: trimgrad-trace query TRACE.bin \
+[--summary] [--follow FLOW:SEQ] [--diff OTHER.bin] [--top-trimmed N] [--jsonl OUT.jsonl]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trimgrad-trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("query") => {}
+        Some("--help" | "-h") | None => return Err(USAGE.to_string()),
+        Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+
+    let mut trace_path: Option<&str> = None;
+    let mut actions: Vec<Action> = Vec::new();
+    let mut it = it.peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--summary" => actions.push(Action::Summary),
+            "--follow" => {
+                let spec = it.next().ok_or("--follow needs FLOW:SEQ")?;
+                let (flow, pseq) = parse_follow(spec)?;
+                actions.push(Action::Follow { flow, pseq });
+            }
+            "--diff" => {
+                let other = it.next().ok_or("--diff needs a second trace file")?;
+                actions.push(Action::Diff {
+                    other: other.clone(),
+                });
+            }
+            "--top-trimmed" => {
+                let n = it.next().ok_or("--top-trimmed needs a count")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--top-trimmed: bad count {n:?}"))?;
+                actions.push(Action::TopTrimmed { n });
+            }
+            "--jsonl" => {
+                let out = it.next().ok_or("--jsonl needs an output path")?;
+                actions.push(Action::Jsonl { out: out.clone() });
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other:?}\n{USAGE}"));
+            }
+            other => {
+                if trace_path.replace(other).is_some() {
+                    return Err(format!("unexpected extra argument {other:?}\n{USAGE}"));
+                }
+            }
+        }
+    }
+    let trace_path = trace_path.ok_or(USAGE)?;
+    let trace = Trace::load(std::path::Path::new(trace_path))?;
+    if actions.is_empty() {
+        actions.push(Action::Summary);
+    }
+    for action in actions {
+        match action {
+            Action::Summary => print!("{}", query::summary(&trace)),
+            Action::Follow { flow, pseq } => print!("{}", query::follow(&trace, flow, pseq)),
+            Action::Diff { other } => {
+                let b = Trace::load(std::path::Path::new(&other))?;
+                print!("{}", query::diff(&trace, &b));
+            }
+            Action::TopTrimmed { n } => print!("{}", query::top_trimmed(&trace, n)),
+            Action::Jsonl { out } => {
+                std::fs::write(&out, trace.to_jsonl()).map_err(|e| format!("write {out}: {e}"))?;
+                println!("wrote {} lines to {out}", trace.records.len());
+            }
+        }
+    }
+    Ok(())
+}
+
+enum Action {
+    Summary,
+    Follow { flow: u64, pseq: u64 },
+    Diff { other: String },
+    TopTrimmed { n: usize },
+    Jsonl { out: String },
+}
+
+/// Parses `FLOW:SEQ`; FLOW accepts decimal or `0x` hex (flows print as hex).
+fn parse_follow(spec: &str) -> Result<(u64, u64), String> {
+    let (flow, pseq) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("--follow: expected FLOW:SEQ, got {spec:?}"))?;
+    let flow = parse_u64(flow).map_err(|e| format!("--follow flow: {e}"))?;
+    let pseq = parse_u64(pseq).map_err(|e| format!("--follow seq: {e}"))?;
+    Ok((flow, pseq))
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let r = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| format!("bad number {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn follow_spec_parses_hex_and_decimal() {
+        assert_eq!(parse_follow("0x5249:12").unwrap(), (0x5249, 12));
+        assert_eq!(parse_follow("16:0x10").unwrap(), (16, 16));
+        assert!(parse_follow("nope").is_err());
+        assert!(parse_follow("1:x").is_err());
+    }
+
+    #[test]
+    fn bad_invocations_error_with_usage() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate".into()]).is_err());
+        assert!(run(&["query".into()]).is_err());
+        assert!(run(&["query".into(), "--follow".into()]).is_err());
+        assert!(run(&["query".into(), "/no/such/trace.bin".into()]).is_err());
+    }
+}

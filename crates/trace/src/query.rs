@@ -1,0 +1,390 @@
+//! Trace queries: the logic behind `trimgrad-trace query`.
+//!
+//! Each query takes a loaded [`Trace`] and renders a deterministic plain-text
+//! report (stable ordering, no wall-clock anything), so query output can be
+//! asserted in tests and diffed across CI runs.
+
+use crate::event::TraceEvent;
+use crate::sink::{Record, Trace};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-kind event counts plus flow/row aggregates.
+#[must_use]
+pub fn summary(trace: &Trace) -> String {
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut flows: BTreeMap<u64, FlowAgg> = BTreeMap::new();
+    let mut rows_lost: u64 = 0;
+    let mut rows_decoded: u64 = 0;
+    for rec in &trace.records {
+        *by_kind.entry(rec.event.kind_name()).or_insert(0) += 1;
+        if let Some(flow) = rec.event.flow() {
+            let agg = flows.entry(flow).or_default();
+            match &rec.event {
+                TraceEvent::PktSent { .. } => agg.sent += 1,
+                TraceEvent::PktTrimmed { .. } => agg.trimmed += 1,
+                TraceEvent::PktDropped { .. } => agg.dropped += 1,
+                TraceEvent::PktDelivered { .. } => agg.delivered += 1,
+                _ => {}
+            }
+        }
+        if let TraceEvent::RowDecoded { lost, .. } = rec.event {
+            rows_decoded += 1;
+            rows_lost += u64::from(lost);
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} events ({} evicted by ring)",
+        trace.records.len(),
+        trace.dropped_oldest
+    );
+    if let (Some(first), Some(last)) = (trace.records.first(), trace.records.last()) {
+        let _ = writeln!(out, "time: {}ns .. {}ns", first.at, last.at);
+    }
+    let _ = writeln!(out, "events by kind:");
+    for (kind, n) in &by_kind {
+        let _ = writeln!(out, "  {kind:<14} {n}");
+    }
+    if !flows.is_empty() {
+        let _ = writeln!(out, "flows:");
+        for (flow, agg) in &flows {
+            let _ = writeln!(
+                out,
+                "  flow {flow:#x}: sent {} trimmed {} dropped {} delivered {}",
+                agg.sent, agg.trimmed, agg.dropped, agg.delivered
+            );
+        }
+    }
+    if rows_decoded > 0 {
+        let _ = writeln!(
+            out,
+            "rows decoded: {rows_decoded} (coords lost to trimming: {rows_lost})"
+        );
+    }
+    out
+}
+
+#[derive(Default)]
+struct FlowAgg {
+    sent: u64,
+    trimmed: u64,
+    dropped: u64,
+    delivered: u64,
+}
+
+/// The records describing one packet's life: every packet-lifecycle event
+/// matching `flow` and `pseq`, in emission order.
+#[must_use]
+pub fn follow_records(trace: &Trace, flow: u64, pseq: u64) -> Vec<&Record> {
+    trace
+        .records
+        .iter()
+        .filter(|r| r.event.flow() == Some(flow) && r.event.pkt_seq() == Some(pseq))
+        .collect()
+}
+
+/// Renders one packet's end-to-end path as a timeline.
+#[must_use]
+pub fn follow(trace: &Trace, flow: u64, pseq: u64) -> String {
+    let recs = follow_records(trace, flow, pseq);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "packet flow={flow:#x} seq={pseq}: {} events",
+        recs.len()
+    );
+    for rec in recs {
+        let _ = write!(out, "  [{:>12}ns] ", rec.at);
+        match &rec.event {
+            TraceEvent::PktSent {
+                node, pkt, size, ..
+            } => {
+                let _ = writeln!(out, "sent       host {node} (pkt {pkt}, {size}B)");
+            }
+            TraceEvent::PktEnqueued {
+                node,
+                to,
+                size,
+                prio,
+                ..
+            } => {
+                let q = if *prio { "prio" } else { "data" };
+                let _ = writeln!(out, "enqueued   {node}->{to} {q} queue ({size}B)");
+            }
+            TraceEvent::PktTrimmed {
+                node,
+                to,
+                old_size,
+                new_size,
+                ..
+            } => {
+                let _ = writeln!(out, "trimmed    {node}->{to} {old_size}B -> {new_size}B");
+            }
+            TraceEvent::PktDropped {
+                node, to, reason, ..
+            } => {
+                let _ = writeln!(out, "dropped    {node}->{to} ({})", reason.name());
+            }
+            TraceEvent::PktDelivered {
+                node,
+                size,
+                trimmed,
+                ..
+            } => {
+                let t = if *trimmed { " [trimmed]" } else { "" };
+                let _ = writeln!(out, "delivered  host {node} ({size}B){t}");
+            }
+            TraceEvent::FaultInjected { node, to, pkt, .. } => {
+                let _ = writeln!(out, "fault-dup  {node}->{to} (clone of pkt {pkt})");
+            }
+            other => {
+                let _ = writeln!(out, "{}", other.kind_name());
+            }
+        }
+    }
+    out
+}
+
+/// Compares two traces: per-kind count deltas, then the first record where
+/// the sequences diverge.
+#[must_use]
+pub fn diff(a: &Trace, b: &Trace) -> String {
+    let mut out = String::new();
+    if a == b {
+        let _ = writeln!(out, "traces identical ({} events)", a.records.len());
+        return out;
+    }
+    let count = |t: &Trace| {
+        let mut m: BTreeMap<&'static str, i64> = BTreeMap::new();
+        for rec in &t.records {
+            *m.entry(rec.event.kind_name()).or_insert(0) += 1;
+        }
+        m
+    };
+    let ca = count(a);
+    let cb = count(b);
+    let mut kinds: Vec<&&str> = ca.keys().chain(cb.keys()).collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    let _ = writeln!(
+        out,
+        "traces differ: {} vs {} events",
+        a.records.len(),
+        b.records.len()
+    );
+    for kind in kinds {
+        let na = ca.get(*kind).copied().unwrap_or(0);
+        let nb = cb.get(*kind).copied().unwrap_or(0);
+        if na != nb {
+            let _ = writeln!(out, "  {kind:<14} {na} vs {nb} ({:+})", nb - na);
+        }
+    }
+    let first_div = a
+        .records
+        .iter()
+        .zip(&b.records)
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.records.len().min(b.records.len()));
+    let _ = writeln!(out, "first divergence at record {first_div}:");
+    for (label, t) in [("A", a), ("B", b)] {
+        match t.records.get(first_div) {
+            Some(rec) => {
+                let _ = writeln!(
+                    out,
+                    "  {label}: seq {} at {}ns {:?}",
+                    rec.seq, rec.at, rec.event
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  {label}: <end of trace>");
+            }
+        }
+    }
+    out
+}
+
+/// The `n` decoded rows that lost the most coordinates to trimming
+/// (ties broken by ascending `(msg, row)` for determinism).
+#[must_use]
+pub fn top_trimmed(trace: &Trace, n: usize) -> String {
+    let mut rows: Vec<(u32, u32, u32, u32)> = trace
+        .records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::RowDecoded {
+                msg,
+                row,
+                coords,
+                lost,
+            } => Some((lost, msg, row, coords)),
+            _ => None,
+        })
+        .collect();
+    rows.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut out = String::new();
+    let _ = writeln!(out, "top {} trimmed rows (of {} decoded):", n, rows.len());
+    for (lost, msg, row, coords) in rows.iter().take(n) {
+        let _ = writeln!(
+            out,
+            "  msg {msg} row {row}: lost {lost} coords (recovered {coords})"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DropReason;
+
+    fn rec(seq: u64, at: u64, event: TraceEvent) -> Record {
+        Record { seq, at, event }
+    }
+
+    fn packet_story() -> Trace {
+        Trace {
+            records: vec![
+                rec(
+                    0,
+                    100,
+                    TraceEvent::PktSent {
+                        node: 0,
+                        flow: 0x10,
+                        pseq: 7,
+                        pkt: 42,
+                        size: 1500,
+                    },
+                ),
+                rec(
+                    1,
+                    150,
+                    TraceEvent::PktTrimmed {
+                        node: 4,
+                        to: 1,
+                        flow: 0x10,
+                        pseq: 7,
+                        pkt: 42,
+                        old_size: 1500,
+                        new_size: 78,
+                    },
+                ),
+                rec(
+                    2,
+                    160,
+                    TraceEvent::PktSent {
+                        node: 0,
+                        flow: 0x10,
+                        pseq: 8,
+                        pkt: 43,
+                        size: 1500,
+                    },
+                ),
+                rec(
+                    3,
+                    180,
+                    TraceEvent::PktDropped {
+                        node: 4,
+                        to: 1,
+                        flow: 0x10,
+                        pseq: 8,
+                        pkt: 43,
+                        reason: DropReason::Random,
+                    },
+                ),
+                rec(
+                    4,
+                    200,
+                    TraceEvent::PktDelivered {
+                        node: 1,
+                        flow: 0x10,
+                        pseq: 7,
+                        pkt: 42,
+                        size: 78,
+                        trimmed: true,
+                    },
+                ),
+                rec(
+                    5,
+                    210,
+                    TraceEvent::RowDecoded {
+                        msg: 1,
+                        row: 3,
+                        coords: 100,
+                        lost: 924,
+                    },
+                ),
+                rec(
+                    6,
+                    211,
+                    TraceEvent::RowDecoded {
+                        msg: 1,
+                        row: 5,
+                        coords: 1000,
+                        lost: 24,
+                    },
+                ),
+            ],
+            dropped_oldest: 0,
+        }
+    }
+
+    #[test]
+    fn follow_reconstructs_one_packets_path() {
+        let t = packet_story();
+        let recs = follow_records(&t, 0x10, 7);
+        assert_eq!(recs.len(), 3);
+        let text = follow(&t, 0x10, 7);
+        assert!(text.contains("sent"), "{text}");
+        assert!(text.contains("1500B -> 78B"), "{text}");
+        assert!(text.contains("[trimmed]"), "{text}");
+        assert!(!text.contains("dropped"), "other packet excluded: {text}");
+    }
+
+    #[test]
+    fn summary_counts_kinds_and_flows() {
+        let text = summary(&packet_story());
+        assert!(text.contains("7 events"), "{text}");
+        assert!(text.contains("pkt.sent       2"), "{text}");
+        assert!(
+            text.contains("flow 0x10: sent 2 trimmed 1 dropped 1 delivered 1"),
+            "{text}"
+        );
+        assert!(text.contains("coords lost to trimming: 948"), "{text}");
+    }
+
+    #[test]
+    fn diff_reports_identical_and_divergent() {
+        let a = packet_story();
+        assert!(diff(&a, &a).contains("identical"));
+        let mut b = packet_story();
+        b.records.remove(3);
+        for (i, r) in b.records.iter_mut().enumerate() {
+            r.seq = i as u64;
+        }
+        let text = diff(&a, &b);
+        assert!(text.contains("7 vs 6 events"), "{text}");
+        assert!(text.contains("pkt.dropped    1 vs 0 (-1)"), "{text}");
+        assert!(text.contains("first divergence at record 3"), "{text}");
+    }
+
+    #[test]
+    fn top_trimmed_orders_by_loss() {
+        let text = top_trimmed(&packet_story(), 1);
+        assert!(
+            text.contains("top 1 trimmed rows (of 2 decoded):"),
+            "{text}"
+        );
+        assert!(text.contains("msg 1 row 3: lost 924"), "{text}");
+        assert!(!text.contains("row 5"), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_queries_do_not_panic() {
+        let t = Trace::default();
+        assert!(summary(&t).contains("0 events"));
+        assert!(follow(&t, 1, 1).contains("0 events"));
+        assert!(top_trimmed(&t, 5).contains("of 0 decoded"));
+    }
+}

@@ -1,0 +1,621 @@
+//! Trace serialization: the `TGTRACE1` binary format and a JSONL mirror.
+//!
+//! The binary format is the canonical artifact (what determinism tests hash
+//! and what the query CLI loads); the JSONL mirror exists so a trace can be
+//! grepped or fed to ad-hoc tooling without this crate. Both serializers are
+//! byte-deterministic: records are written in ring-buffer order with
+//! little-endian fixed-width fields and length-prefixed names, and floats are
+//! stored as their IEEE-754 bit patterns.
+
+use crate::event::{DropReason, TraceEvent};
+use std::borrow::Cow;
+
+/// File magic of the binary format (8 bytes, version baked in).
+pub const MAGIC: &[u8; 8] = b"TGTRACE1";
+
+/// One recorded event: monotone per-tracer sequence, sim-time stamp
+/// (nanoseconds; 0 for events raised outside a simulation), and the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Emission order within the tracer (monotone, gap-free before the ring
+    /// buffer wraps).
+    pub seq: u64,
+    /// Simulated time in nanoseconds.
+    pub at: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// An owned trace: what a [`crate::Tracer`] snapshot produces and what the
+/// query CLI loads back from disk.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Records in emission order.
+    pub records: Vec<Record>,
+    /// Events overwritten by the bounded ring buffer before this snapshot.
+    pub dropped_oldest: u64,
+}
+
+impl Trace {
+    /// Serializes to the binary format.
+    #[must_use]
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.records.len() * 48);
+        out.extend_from_slice(MAGIC);
+        put_u64(&mut out, self.dropped_oldest);
+        put_u64(&mut out, self.records.len() as u64);
+        for rec in &self.records {
+            put_u64(&mut out, rec.seq);
+            put_u64(&mut out, rec.at);
+            write_event(&mut out, &rec.event);
+        }
+        out
+    }
+
+    /// Parses the binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem (bad magic,
+    /// truncation, unknown tag).
+    pub fn from_binary(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(8)?;
+        if magic != MAGIC {
+            return Err(format!("bad magic {magic:?}; not a TGTRACE1 file"));
+        }
+        let dropped_oldest = r.u64()?;
+        let count = r.u64()?;
+        let mut records = Vec::new();
+        for _ in 0..count {
+            let seq = r.u64()?;
+            let at = r.u64()?;
+            let event = read_event(&mut r)?;
+            records.push(Record { seq, at, event });
+        }
+        if r.pos != bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after last record",
+                bytes.len() - r.pos
+            ));
+        }
+        Ok(Self {
+            records,
+            dropped_oldest,
+        })
+    }
+
+    /// Reads and parses a binary trace file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and the parse errors of [`Trace::from_binary`].
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::from_binary(&bytes)
+    }
+
+    /// Renders the JSONL mirror: one object per line, `kind` holding the
+    /// dot-separated event name.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for rec in &self.records {
+            jsonl_line(&mut s, rec);
+            s.push('\n');
+        }
+        s
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_name(out: &mut Vec<u8>, name: &str) {
+    let len = u16::try_from(name.len()).unwrap_or(u16::MAX);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&name.as_bytes()[..usize::from(len)]);
+}
+
+#[allow(clippy::too_many_lines)]
+fn write_event(out: &mut Vec<u8>, ev: &TraceEvent) {
+    match ev {
+        TraceEvent::PktSent {
+            node,
+            flow,
+            pseq,
+            pkt,
+            size,
+        } => {
+            out.push(1);
+            put_u32(out, *node);
+            put_u64(out, *flow);
+            put_u64(out, *pseq);
+            put_u64(out, *pkt);
+            put_u32(out, *size);
+        }
+        TraceEvent::PktEnqueued {
+            node,
+            to,
+            flow,
+            pseq,
+            pkt,
+            size,
+            prio,
+        } => {
+            out.push(2);
+            put_u32(out, *node);
+            put_u32(out, *to);
+            put_u64(out, *flow);
+            put_u64(out, *pseq);
+            put_u64(out, *pkt);
+            put_u32(out, *size);
+            out.push(u8::from(*prio));
+        }
+        TraceEvent::PktTrimmed {
+            node,
+            to,
+            flow,
+            pseq,
+            pkt,
+            old_size,
+            new_size,
+        } => {
+            out.push(3);
+            put_u32(out, *node);
+            put_u32(out, *to);
+            put_u64(out, *flow);
+            put_u64(out, *pseq);
+            put_u64(out, *pkt);
+            put_u32(out, *old_size);
+            put_u32(out, *new_size);
+        }
+        TraceEvent::PktDropped {
+            node,
+            to,
+            flow,
+            pseq,
+            pkt,
+            reason,
+        } => {
+            out.push(4);
+            put_u32(out, *node);
+            put_u32(out, *to);
+            put_u64(out, *flow);
+            put_u64(out, *pseq);
+            put_u64(out, *pkt);
+            out.push(reason.to_tag());
+        }
+        TraceEvent::PktDelivered {
+            node,
+            flow,
+            pseq,
+            pkt,
+            size,
+            trimmed,
+        } => {
+            out.push(5);
+            put_u32(out, *node);
+            put_u64(out, *flow);
+            put_u64(out, *pseq);
+            put_u64(out, *pkt);
+            put_u32(out, *size);
+            out.push(u8::from(*trimmed));
+        }
+        TraceEvent::FaultInjected {
+            node,
+            to,
+            flow,
+            pseq,
+            pkt,
+        } => {
+            out.push(6);
+            put_u32(out, *node);
+            put_u32(out, *to);
+            put_u64(out, *flow);
+            put_u64(out, *pseq);
+            put_u64(out, *pkt);
+        }
+        TraceEvent::RowEncoded {
+            msg,
+            row,
+            packets,
+            bytes,
+        } => {
+            out.push(7);
+            put_u32(out, *msg);
+            put_u32(out, *row);
+            put_u32(out, *packets);
+            put_u64(out, *bytes);
+        }
+        TraceEvent::RowAssembled { msg, row, coords } => {
+            out.push(8);
+            put_u32(out, *msg);
+            put_u32(out, *row);
+            put_u32(out, *coords);
+        }
+        TraceEvent::RowDecoded {
+            msg,
+            row,
+            coords,
+            lost,
+        } => {
+            out.push(9);
+            put_u32(out, *msg);
+            put_u32(out, *row);
+            put_u32(out, *coords);
+            put_u32(out, *lost);
+        }
+        TraceEvent::StepStarted { rank, step, reduce } => {
+            out.push(10);
+            put_u32(out, *rank);
+            put_u32(out, *step);
+            out.push(u8::from(*reduce));
+        }
+        TraceEvent::StepApplied { rank, step } => {
+            out.push(11);
+            put_u32(out, *rank);
+            put_u32(out, *step);
+        }
+        TraceEvent::EpochTick { epoch, loss, top1 } => {
+            out.push(12);
+            put_u32(out, *epoch);
+            put_u64(out, loss.to_bits());
+            put_u64(out, top1.to_bits());
+        }
+        TraceEvent::SpanEnter { name } => {
+            out.push(13);
+            put_name(out, name);
+        }
+        TraceEvent::SpanExit { name, events } => {
+            out.push(14);
+            put_name(out, name);
+            put_u64(out, *events);
+        }
+        TraceEvent::Mark { name, value } => {
+            out.push(15);
+            put_name(out, name);
+            put_u64(out, *value);
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("truncated trace at byte {}", self.pos))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn name(&mut self) -> Result<Cow<'static, str>, String> {
+        let b = self.take(2)?;
+        let len = usize::from(u16::from_le_bytes([b[0], b[1]]));
+        let raw = self.take(len)?;
+        let s = std::str::from_utf8(raw).map_err(|e| format!("non-UTF-8 name: {e}"))?;
+        Ok(Cow::Owned(s.to_string()))
+    }
+}
+
+fn read_event(r: &mut Reader<'_>) -> Result<TraceEvent, String> {
+    Ok(match r.u8()? {
+        1 => TraceEvent::PktSent {
+            node: r.u32()?,
+            flow: r.u64()?,
+            pseq: r.u64()?,
+            pkt: r.u64()?,
+            size: r.u32()?,
+        },
+        2 => TraceEvent::PktEnqueued {
+            node: r.u32()?,
+            to: r.u32()?,
+            flow: r.u64()?,
+            pseq: r.u64()?,
+            pkt: r.u64()?,
+            size: r.u32()?,
+            prio: r.u8()? != 0,
+        },
+        3 => TraceEvent::PktTrimmed {
+            node: r.u32()?,
+            to: r.u32()?,
+            flow: r.u64()?,
+            pseq: r.u64()?,
+            pkt: r.u64()?,
+            old_size: r.u32()?,
+            new_size: r.u32()?,
+        },
+        4 => TraceEvent::PktDropped {
+            node: r.u32()?,
+            to: r.u32()?,
+            flow: r.u64()?,
+            pseq: r.u64()?,
+            pkt: r.u64()?,
+            reason: DropReason::from_tag(r.u8()?)?,
+        },
+        5 => TraceEvent::PktDelivered {
+            node: r.u32()?,
+            flow: r.u64()?,
+            pseq: r.u64()?,
+            pkt: r.u64()?,
+            size: r.u32()?,
+            trimmed: r.u8()? != 0,
+        },
+        6 => TraceEvent::FaultInjected {
+            node: r.u32()?,
+            to: r.u32()?,
+            flow: r.u64()?,
+            pseq: r.u64()?,
+            pkt: r.u64()?,
+        },
+        7 => TraceEvent::RowEncoded {
+            msg: r.u32()?,
+            row: r.u32()?,
+            packets: r.u32()?,
+            bytes: r.u64()?,
+        },
+        8 => TraceEvent::RowAssembled {
+            msg: r.u32()?,
+            row: r.u32()?,
+            coords: r.u32()?,
+        },
+        9 => TraceEvent::RowDecoded {
+            msg: r.u32()?,
+            row: r.u32()?,
+            coords: r.u32()?,
+            lost: r.u32()?,
+        },
+        10 => TraceEvent::StepStarted {
+            rank: r.u32()?,
+            step: r.u32()?,
+            reduce: r.u8()? != 0,
+        },
+        11 => TraceEvent::StepApplied {
+            rank: r.u32()?,
+            step: r.u32()?,
+        },
+        12 => TraceEvent::EpochTick {
+            epoch: r.u32()?,
+            loss: f64::from_bits(r.u64()?),
+            top1: f64::from_bits(r.u64()?),
+        },
+        13 => TraceEvent::SpanEnter { name: r.name()? },
+        14 => TraceEvent::SpanExit {
+            name: r.name()?,
+            events: r.u64()?,
+        },
+        15 => TraceEvent::Mark {
+            name: r.name()?,
+            value: r.u64()?,
+        },
+        other => return Err(format!("unknown event tag {other}")),
+    })
+}
+
+/// Escapes a string for a JSON literal (names are `[a-z0-9_.]`, so only
+/// quotes and backslashes need care; keep it total anyway).
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[allow(clippy::too_many_lines)]
+fn jsonl_line(s: &mut String, rec: &Record) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        s,
+        "{{\"seq\":{},\"at\":{},\"kind\":\"{}\"",
+        rec.seq,
+        rec.at,
+        rec.event.kind_name()
+    );
+    let _ = match &rec.event {
+        TraceEvent::PktSent {
+            node,
+            flow,
+            pseq,
+            pkt,
+            size,
+        } => write!(
+            s,
+            ",\"node\":{node},\"flow\":{flow},\"pseq\":{pseq},\"pkt\":{pkt},\"size\":{size}"
+        ),
+        TraceEvent::PktEnqueued {
+            node,
+            to,
+            flow,
+            pseq,
+            pkt,
+            size,
+            prio,
+        } => write!(
+            s,
+            ",\"node\":{node},\"to\":{to},\"flow\":{flow},\"pseq\":{pseq},\"pkt\":{pkt},\
+             \"size\":{size},\"prio\":{prio}"
+        ),
+        TraceEvent::PktTrimmed {
+            node,
+            to,
+            flow,
+            pseq,
+            pkt,
+            old_size,
+            new_size,
+        } => write!(
+            s,
+            ",\"node\":{node},\"to\":{to},\"flow\":{flow},\"pseq\":{pseq},\"pkt\":{pkt},\
+             \"old_size\":{old_size},\"new_size\":{new_size}"
+        ),
+        TraceEvent::PktDropped {
+            node,
+            to,
+            flow,
+            pseq,
+            pkt,
+            reason,
+        } => write!(
+            s,
+            ",\"node\":{node},\"to\":{to},\"flow\":{flow},\"pseq\":{pseq},\"pkt\":{pkt},\
+             \"reason\":\"{}\"",
+            reason.name()
+        ),
+        TraceEvent::PktDelivered {
+            node,
+            flow,
+            pseq,
+            pkt,
+            size,
+            trimmed,
+        } => write!(
+            s,
+            ",\"node\":{node},\"flow\":{flow},\"pseq\":{pseq},\"pkt\":{pkt},\"size\":{size},\
+             \"trimmed\":{trimmed}"
+        ),
+        TraceEvent::FaultInjected {
+            node,
+            to,
+            flow,
+            pseq,
+            pkt,
+        } => write!(
+            s,
+            ",\"node\":{node},\"to\":{to},\"flow\":{flow},\"pseq\":{pseq},\"pkt\":{pkt}"
+        ),
+        TraceEvent::RowEncoded {
+            msg,
+            row,
+            packets,
+            bytes,
+        } => write!(
+            s,
+            ",\"msg\":{msg},\"row\":{row},\"packets\":{packets},\"bytes\":{bytes}"
+        ),
+        TraceEvent::RowAssembled { msg, row, coords } => {
+            write!(s, ",\"msg\":{msg},\"row\":{row},\"coords\":{coords}")
+        }
+        TraceEvent::RowDecoded {
+            msg,
+            row,
+            coords,
+            lost,
+        } => write!(
+            s,
+            ",\"msg\":{msg},\"row\":{row},\"coords\":{coords},\"lost\":{lost}"
+        ),
+        TraceEvent::StepStarted { rank, step, reduce } => {
+            write!(s, ",\"rank\":{rank},\"step\":{step},\"reduce\":{reduce}")
+        }
+        TraceEvent::StepApplied { rank, step } => write!(s, ",\"rank\":{rank},\"step\":{step}"),
+        TraceEvent::EpochTick { epoch, loss, top1 } => {
+            write!(s, ",\"epoch\":{epoch},\"loss\":{loss},\"top1\":{top1}")
+        }
+        TraceEvent::SpanEnter { name } => write!(s, ",\"name\":\"{}\"", esc(name)),
+        TraceEvent::SpanExit { name, events } => {
+            write!(s, ",\"name\":\"{}\",\"events\":{events}", esc(name))
+        }
+        TraceEvent::Mark { name, value } => {
+            write!(s, ",\"name\":\"{}\",\"value\":{value}", esc(name))
+        }
+    };
+    s.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::samples;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            records: samples()
+                .into_iter()
+                .enumerate()
+                .map(|(i, event)| Record {
+                    seq: i as u64,
+                    at: i as u64 * 100,
+                    event,
+                })
+                .collect(),
+            dropped_oldest: 3,
+        }
+    }
+
+    #[test]
+    fn binary_roundtrips_every_variant() {
+        let t = sample_trace();
+        let bytes = t.to_binary();
+        assert_eq!(&bytes[..8], MAGIC);
+        let back = Trace::from_binary(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn binary_serialization_is_deterministic() {
+        let t = sample_trace();
+        assert_eq!(t.to_binary(), t.to_binary());
+        assert_eq!(t.to_jsonl(), t.to_jsonl());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Trace::from_binary(b"not a trace").is_err());
+        let mut bytes = sample_trace().to_binary();
+        bytes.truncate(bytes.len() - 1);
+        assert!(Trace::from_binary(&bytes).is_err(), "truncation detected");
+        let mut extra = sample_trace().to_binary();
+        extra.push(0);
+        assert!(
+            Trace::from_binary(&extra).is_err(),
+            "trailing bytes detected"
+        );
+    }
+
+    #[test]
+    fn jsonl_lines_are_balanced_objects() {
+        let jsonl = sample_trace().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), samples().len());
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+            assert!(line.contains("\"kind\":\""), "{line}");
+            // Keys are quoted and values never contain raw control chars.
+            assert!(!line.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::default();
+        assert_eq!(Trace::from_binary(&t.to_binary()).unwrap(), t);
+        assert_eq!(t.to_jsonl(), "");
+    }
+}

@@ -138,6 +138,33 @@ pub fn wire_bytes(row: &PacketizedRow, net: &NetAddrs) -> usize {
     row.packets.iter().map(GradPacket::wire_len).sum::<usize>() + row.meta.build_frame(net).len()
 }
 
+/// [`packetize_row_pooled`] that also records a
+/// [`trimgrad_trace::TraceEvent::RowEncoded`] for the flight recorder.
+/// Output frames are byte-identical to the untraced variants; with a
+/// disabled tracer the extra cost is one branch.
+///
+/// # Panics
+///
+/// Panics if the MTU is too small to fit even one coordinate — a static
+/// misconfiguration.
+#[must_use]
+pub fn packetize_row_traced(
+    enc: &EncodedRow,
+    cfg: &PacketizeConfig,
+    pool: &mut FramePool,
+    tracer: &trimgrad_trace::Tracer,
+    at: u64,
+) -> PacketizedRow {
+    let row = packetize_row_pooled(enc, cfg, pool);
+    tracer.emit(at, || trimgrad_trace::TraceEvent::RowEncoded {
+        msg: cfg.msg_id,
+        row: cfg.row_id,
+        packets: trimgrad_trace::sat32(row.packets.len()),
+        bytes: trimgrad_trace::sat64(row.packets.iter().map(GradPacket::wire_len).sum::<usize>()),
+    });
+    row
+}
+
 /// Protocol efficiency report for §2's in-text numbers: how an MTU-sized
 /// packet divides into headers, trimmed payload, and trimmable payload.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -203,6 +230,40 @@ mod tests {
         assert_ne!(p.fields.flags & FLAG_LAST_CHUNK, 0);
         assert_eq!(pr.meta.original_len, 100);
         assert_eq!(pr.meta.scheme, enc.scheme);
+    }
+
+    #[test]
+    fn traced_packetize_is_byte_identical_and_emits_row_encoded() {
+        let row: Vec<f32> = (0..1000).map(|i| (i as f32).sin()).collect();
+        let enc = SignMagnitude.encode(&row, 0);
+        let plain = packetize_row(&enc, &cfg());
+        let tracer = trimgrad_trace::Tracer::enabled(64);
+        let mut pool = FramePool::new();
+        let traced = packetize_row_traced(&enc, &cfg(), &mut pool, &tracer, 42);
+        assert_eq!(traced.packets, plain.packets);
+        assert_eq!(traced.meta, plain.meta);
+        let trace = tracer.snapshot();
+        assert_eq!(trace.records.len(), 1);
+        assert_eq!(trace.records[0].at, 42);
+        match trace.records[0].event {
+            trimgrad_trace::TraceEvent::RowEncoded {
+                msg,
+                row,
+                packets,
+                bytes,
+            } => {
+                assert_eq!((msg, row), (5, 2));
+                assert_eq!(packets as usize, plain.packets.len());
+                let wire: usize = plain.packets.iter().map(GradPacket::wire_len).sum();
+                assert_eq!(bytes as usize, wire);
+            }
+            ref other => panic!("unexpected event {other:?}"),
+        }
+        // Disabled tracer: same output, nothing recorded.
+        let off = trimgrad_trace::Tracer::disabled();
+        let silent = packetize_row_traced(&enc, &cfg(), &mut pool, &off, 0);
+        assert_eq!(silent.packets, plain.packets);
+        assert_eq!(off.events_emitted(), 0);
     }
 
     #[test]

@@ -173,6 +173,35 @@ impl RowAssembler {
         Ok(())
     }
 
+    /// [`RowAssembler::ingest`] that also records a
+    /// [`trimgrad_trace::TraceEvent::RowAssembled`] on the ingest that
+    /// completes the row's head sections (the decodable-prefix milestone).
+    /// With a disabled tracer this is exactly `ingest` plus one branch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RowAssembler::ingest`].
+    pub fn ingest_traced(
+        &mut self,
+        pkt: &GradPacket,
+        tracer: &trimgrad_trace::Tracer,
+        at: u64,
+    ) -> Result<()> {
+        if !tracer.is_enabled() {
+            return self.ingest(pkt);
+        }
+        let had_heads = self.heads_complete();
+        self.ingest(pkt)?;
+        if !had_heads && self.heads_complete() {
+            tracer.emit(at, || trimgrad_trace::TraceEvent::RowAssembled {
+                msg: self.msg_id,
+                row: self.row_id,
+                coords: trimgrad_trace::sat32(self.coords_received()),
+            });
+        }
+        Ok(())
+    }
+
     /// Number of coordinates whose head (part 0) has arrived.
     #[must_use]
     pub fn coords_received(&self) -> usize {
@@ -249,6 +278,40 @@ mod tests {
         assert_eq!(encoded_n(SchemeId::RhtOneBit, 100), 128);
         assert_eq!(encoded_n(SchemeId::MultiLevelRht, 128), 128);
         assert_eq!(encoded_n(SchemeId::RhtOneBit, 0), 0);
+    }
+
+    #[test]
+    fn traced_ingest_marks_head_completion_exactly_once() {
+        let row: Vec<f32> = (0..1000).map(|i| (i as f32).cos()).collect();
+        let enc = SignMagnitude.encode(&row, 0);
+        let c = cfg();
+        let pr = packetize_row(&enc, &c);
+        assert!(pr.packets.len() > 1, "need a multi-packet row");
+        let tracer = trimgrad_trace::Tracer::enabled(64);
+        let mut asm = assembler_for(&enc, &c);
+        for (i, pkt) in pr.packets.iter().enumerate() {
+            asm.ingest_traced(pkt, &tracer, i as u64).unwrap();
+        }
+        // Duplicates after completion add nothing.
+        asm.ingest_traced(&pr.packets[0], &tracer, 99).unwrap();
+        let trace = tracer.snapshot();
+        assert_eq!(trace.records.len(), 1, "one completion event");
+        assert_eq!(trace.records[0].at, pr.packets.len() as u64 - 1);
+        match trace.records[0].event {
+            trimgrad_trace::TraceEvent::RowAssembled { msg, row, coords } => {
+                assert_eq!((msg, row), (9, 4));
+                assert_eq!(coords as usize, asm.coords_received());
+            }
+            ref other => panic!("unexpected event {other:?}"),
+        }
+        // Disabled tracer: behaves exactly like plain ingest.
+        let mut silent = assembler_for(&enc, &c);
+        let off = trimgrad_trace::Tracer::disabled();
+        for pkt in &pr.packets {
+            silent.ingest_traced(pkt, &off, 0).unwrap();
+        }
+        assert!(silent.heads_complete());
+        assert_eq!(off.events_emitted(), 0);
     }
 
     #[test]

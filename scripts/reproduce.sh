@@ -19,6 +19,7 @@ run() {
 }
 
 run layout_table       # §2 in-text packet-layout numbers (instant)
+run trace_smoke        # flight-recorder end-to-end (writes results/trace_smoke.{bin,jsonl})
 run baseline_drops     # §4.4 baseline drop tolerance, measured (seconds)
 run queue_closedloop   # §5.1 closed-loop queueing study (seconds)
 run fig5_breakdown     # Fig 5 breakdown, encode measured (~1 min)
@@ -35,6 +36,12 @@ echo "=== microbenches ==="
 cargo bench -p trimgrad-bench --bench encode_decode -- --json "$PWD/results/BENCH_encode.json"
 cargo bench -p trimgrad-bench --bench wire          -- --json "$PWD/results/BENCH_wire.json"
 cargo bench -p trimgrad-bench --bench netsim        -- --json "$PWD/results/BENCH_netsim.json"
+
+# Human-readable digest of the flight-recorder run above; `trimgrad-trace
+# query results/trace_smoke.bin --follow FLOW:SEQ` replays any packet in it.
+echo "=== trace query ==="
+cargo run --release -p trimgrad-trace -- query results/trace_smoke.bin --summary \
+    | tee results/trace_smoke.summary.txt
 
 echo "All experiment outputs saved under results/ (figure binaries also"
 echo "write machine-readable telemetry to results/*.snapshot.json)."

@@ -11,4 +11,5 @@ pub use trimgrad_hadamard as hadamard;
 pub use trimgrad_mltrain as mltrain;
 pub use trimgrad_netsim as netsim;
 pub use trimgrad_quant as quant;
+pub use trimgrad_trace as trace;
 pub use trimgrad_wire as wire;

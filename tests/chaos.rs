@@ -470,6 +470,107 @@ fn faulted_ring_is_bit_deterministic_across_runs() {
     }
 }
 
+/// Debugging story for a chaos seed: run a congested faulted ring with the
+/// flight recorder on, pick a packet the switch actually trimmed, and
+/// reconstruct its full lifecycle with the trace query layer — the exact
+/// workflow EXPERIMENTS.md documents for `trimgrad-trace query --follow`.
+#[test]
+fn trace_follow_reconstructs_a_trimmed_packets_path() {
+    use trimgrad_trace::{query, TraceEvent, Tracer};
+    let w = 4;
+    let len = 8_000;
+    let policy = QueuePolicy {
+        data_capacity: 10_000,
+        prio_capacity: 512_000,
+        ecn_threshold: None,
+        action: trimgrad::netsim::switch::FullAction::Trim { grad_depth: 1 },
+    };
+    let mut topo = Topology::new();
+    let switch = topo.add_switch(policy);
+    let hosts: Vec<NodeId> = (0..w)
+        .map(|_| {
+            let h = topo.add_host();
+            topo.link(h, switch, gbps(10.0), SimTime::from_micros(1));
+            h
+        })
+        .collect();
+    let cross: Vec<NodeId> = (0..2)
+        .map(|_| {
+            let h = topo.add_host();
+            topo.link(h, switch, gbps(10.0), SimTime::from_micros(1));
+            h
+        })
+        .collect();
+    let mut sim = Simulator::new(topo);
+    sim.set_tracer(Tracer::enabled(1 << 18));
+    for (i, &c) in cross.iter().enumerate() {
+        sim.install_app(
+            c,
+            Box::new(trimgrad::netsim::crosstraffic::BulkSenderApp::new(
+                hosts[i + 1],
+                1_500_000,
+                1500,
+                0x9000 + i as u64,
+            )),
+        );
+    }
+    // Non-lossy faults on top of congestion: duplicates and reordering make
+    // the lifecycle richer without dropping anything.
+    sim.install_fault_plan(
+        FaultPlan::new(0x00C0_FFEE).with_default(
+            FaultPolicy::none()
+                .with_duplicate(0.05)
+                .with_reorder(0.1, SimTime::from_micros(25)),
+        ),
+    );
+    let blobs: Vec<Vec<f32>> = {
+        let mut rng = Xoshiro256StarStar::new(2);
+        (0..w)
+            .map(|_| (0..len).map(|_| rng.next_f32_range(-1.0, 1.0)).collect())
+            .collect()
+    };
+    let cfg = RingNetConfig {
+        scheme: SchemeId::RhtOneBit,
+        row_len: 1024,
+        base_seed: 42,
+        epoch: 1,
+        mtu: 1500,
+        hosts,
+        blob_len: len,
+    };
+    let (_, trim_frac) = run_ring_allreduce(&mut sim, &cfg, blobs, SimTime::from_secs(60));
+    assert!(trim_frac > 0.0, "congestion must trim something");
+    let trace = sim.tracer().snapshot();
+
+    // Pick the first packet the fabric trimmed and follow it.
+    let (flow, pseq) = trace
+        .records
+        .iter()
+        .find_map(|r| match r.event {
+            TraceEvent::PktTrimmed { flow, pseq, .. } => Some((flow, pseq)),
+            _ => None,
+        })
+        .expect("a congested run records pkt.trimmed events");
+    let path = query::follow_records(&trace, flow, pseq);
+    assert!(path.len() >= 3, "lifecycle has sent/trimmed/delivered");
+    assert_eq!(path[0].event.kind_name(), "pkt.sent");
+    assert!(
+        path.iter().any(|r| r.event.kind_name() == "pkt.trimmed"),
+        "the followed packet must show its trim"
+    );
+    assert_eq!(
+        path.last().expect("nonempty").event.kind_name(),
+        "pkt.delivered",
+        "trimmed packets still deliver (that is the whole point of trimming)"
+    );
+    // Timestamps along the path never go backwards.
+    assert!(path.windows(2).all(|p| p[0].at <= p[1].at));
+    // The human rendering says so too.
+    let rendered = query::follow(&trace, flow, pseq);
+    assert!(rendered.contains("trimmed"), "{rendered}");
+    assert!(rendered.contains("delivered"), "{rendered}");
+}
+
 #[test]
 fn chaos_runs_are_deterministic_per_seed() {
     for seed in chaos_seeds() {
