@@ -1,21 +1,26 @@
 //! Macro-benchmark: event throughput of the discrete-event simulator under
-//! an 8-to-1 incast at a trimming switch, plus a micro-benchmark of the
-//! [`EventQueue`] itself under a chaotic push/pop mix.
+//! an 8-to-1 incast at a trimming switch, a datacenter-scale fat-tree sweep
+//! (64 → 4096 incast hosts), plus a micro-benchmark of the [`EventQueue`]
+//! itself under a chaotic push/pop mix.
 //!
-//! The `event_queue` group is the baseline for any future calendar-queue
-//! swap: `crates/netsim/tests/event_queue_oracle.rs` pins the ordering
-//! semantics, and this bench (recorded to `BENCH_netsim.json` by CI's bench
-//! smoke job) pins the cost.
+//! The `event_queue` group times the calendar queue against the retained
+//! [`HeapEventQueue`] on the identical op sequence:
+//! `crates/netsim/tests/event_queue_oracle.rs` pins the ordering semantics,
+//! this bench (recorded to `BENCH_netsim.json` by CI's bench smoke job) pins
+//! the cost, and `--assert-calendar-not-slower <pct>` turns the comparison
+//! into a CI gate.
 //!
 //! [`EventQueue`]: trimgrad::netsim::event::EventQueue
+//! [`HeapEventQueue`]: trimgrad::netsim::event::HeapEventQueue
 
 use trimgrad::hadamard::prng::Xoshiro256StarStar;
 use trimgrad::netsim::crosstraffic::install_incast;
-use trimgrad::netsim::event::{EventKind, EventQueue};
+use trimgrad::netsim::event::{EventKind, EventQueue, HeapEventQueue};
 use trimgrad::netsim::sim::Simulator;
 use trimgrad::netsim::switch::QueuePolicy;
 use trimgrad::netsim::time::{gbps, SimTime};
-use trimgrad::netsim::topology::Topology;
+use trimgrad::netsim::topology::{Routes, Topology};
+use trimgrad::netsim::workload::FlowSchedule;
 use trimgrad::netsim::NodeId;
 use trimgrad_bench::microbench::{BenchOpts, BenchRecord, Group, Throughput};
 
@@ -37,40 +42,54 @@ fn run_incast(policy: QueuePolicy) -> u64 {
     sim.stats().delivered_packets() + sim.stats().dropped_total()
 }
 
-/// A seeded chaos mix over the event calendar: bursts of schedules at random
+/// A seeded chaos mix over an event queue: bursts of schedules at random
 /// times interleaved with pops, ending with a full drain. This is the access
 /// pattern the simulator's hot loop produces (queue depth oscillates instead
 /// of growing monotonically), so it is the number a replacement priority
-/// queue must beat.
-fn event_queue_chaos(ops: usize, seed: u64) -> u64 {
-    let mut rng = Xoshiro256StarStar::new(seed);
-    let mut q = EventQueue::new();
-    for i in 0..ops {
-        // ~60% schedule, ~40% pop: the queue stays non-trivially full.
-        if rng.next_u64() % 5 < 3 {
-            let at = SimTime(rng.next_u64() % 1_000_000);
-            q.schedule(
-                at,
-                EventKind::AppTimer {
-                    node: NodeId(i % 64),
-                    token: i as u64,
-                },
-            );
-        } else {
-            let _ = q.pop();
+/// queue must beat. Generic over the queue so the calendar queue and the
+/// retained heap reference run the identical op sequence.
+macro_rules! event_queue_chaos {
+    ($queue:expr, $ops:expr, $seed:expr) => {{
+        let mut rng = Xoshiro256StarStar::new($seed);
+        let mut q = $queue;
+        for i in 0..$ops {
+            // ~60% schedule, ~40% pop: the queue stays non-trivially full.
+            if rng.next_u64() % 5 < 3 {
+                let at = SimTime(rng.next_u64() % 1_000_000);
+                q.schedule(
+                    at,
+                    EventKind::AppTimer {
+                        node: NodeId(i % 64),
+                        token: i as u64,
+                    },
+                );
+            } else {
+                let _ = q.pop();
+            }
         }
-    }
-    while q.pop().is_some() {}
-    q.total_fired()
+        while q.pop().is_some() {}
+        q.total_fired()
+    }};
 }
 
-fn bench_event_queue(opts: &BenchOpts, records: &mut Vec<BenchRecord>) {
+/// Times calendar vs heap on the chaos mix, appending both records. Returns
+/// how much slower the calendar queue was than the heap, in percent
+/// (negative = calendar faster).
+fn bench_event_queue(opts: &BenchOpts, records: &mut Vec<BenchRecord>) -> f64 {
     let ops = 10_000;
     let mut g = Group::new("event_queue");
     opts.configure(&mut g);
     g.throughput(Throughput::Elements(ops as u64));
-    g.bench("chaos_push_pop_10k", || event_queue_chaos(ops, 0xE7E7));
-    records.extend(g.finish());
+    g.bench("chaos_push_pop_10k", || {
+        event_queue_chaos!(EventQueue::new(), ops, 0xE7E7)
+    });
+    g.bench("chaos_push_pop_10k_heap", || {
+        event_queue_chaos!(HeapEventQueue::new(), ops, 0xE7E7)
+    });
+    let rec = g.finish();
+    let pct = (rec[0].best_ns - rec[1].best_ns) / rec[1].best_ns * 100.0;
+    records.extend(rec);
+    pct
 }
 
 fn bench_incast(opts: &BenchOpts, records: &mut Vec<BenchRecord>) {
@@ -86,10 +105,81 @@ fn bench_incast(opts: &BenchOpts, records: &mut Vec<BenchRecord>) {
     records.extend(g.finish());
 }
 
+/// One seeded incast storm on a prebuilt fat-tree: `fan_in` senders, two
+/// MTU-sized packets each, all released at t = 0. Returns events dispatched
+/// (deterministic for a given topology/schedule/seed).
+fn run_fat_tree_incast(topo: &Topology, routes: &Routes, sched: &FlowSchedule, seed: u64) -> u64 {
+    let mut sim = Simulator::with_routes(topo.clone(), routes.clone(), seed);
+    sched.install(&mut sim);
+    sim.run_until(SimTime::from_secs(1));
+    sim.events_fired()
+}
+
+/// Events/s at datacenter scale: k-ary fat-trees sized so 64, 512, and 4096
+/// hosts storm one receiver. Topology and routes (built only toward the
+/// workload's destinations — the full table is quadratic in fabric size) are
+/// constructed once outside the timed loop; each iteration clones them,
+/// replays the schedule, and counts dispatched events.
+fn bench_scale(opts: &BenchOpts, records: &mut Vec<BenchRecord>) {
+    let mut g = Group::new("scale");
+    opts.configure(&mut g);
+    g.quick();
+    for (k, fan_in) in [(8usize, 64usize), (16, 512), (26, 4096)] {
+        let (topo, hosts) = Topology::fat_tree(
+            k,
+            gbps(100.0),
+            gbps(100.0),
+            SimTime::from_micros(1),
+            QueuePolicy::trim_default(),
+        );
+        let sched = FlowSchedule::incast(&hosts, fan_in, 3_000, 1_500, 0xA5);
+        let routes = topo.build_routes_towards(&sched.destinations());
+        // A pilot run pins the deterministic event count for the rate.
+        let events = run_fat_tree_incast(&topo, &routes, &sched, 0xA5);
+        g.throughput(Throughput::Elements(events));
+        g.bench(&format!("events_per_s_{fan_in}_hosts"), || {
+            run_fat_tree_incast(&topo, &routes, &sched, 0xA5)
+        });
+    }
+    records.extend(g.finish());
+}
+
+/// Parses `--assert-calendar-not-slower <pct>` (ignored by [`BenchOpts`]).
+fn calendar_not_slower_limit() -> Option<f64> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--assert-calendar-not-slower" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
 fn main() {
     let opts = BenchOpts::from_args();
     let mut records = Vec::new();
-    bench_event_queue(&opts, &mut records);
+    let mut calendar_over_heap_pct = bench_event_queue(&opts, &mut records);
     bench_incast(&opts, &mut records);
+    bench_scale(&opts, &mut records);
     opts.write("netsim", &records);
+    if let Some(limit) = calendar_not_slower_limit() {
+        // Best-of-batch timing still jitters on loaded CI machines; give the
+        // check a few independent attempts before declaring a regression.
+        let mut scratch = Vec::new();
+        let mut worst = f64::NEG_INFINITY;
+        for attempt in 1..=3 {
+            println!(
+                "calendar vs heap, attempt {attempt}: {calendar_over_heap_pct:+.2}% (limit +{limit}%)"
+            );
+            if calendar_over_heap_pct <= limit {
+                return;
+            }
+            worst = worst.max(calendar_over_heap_pct);
+            if attempt < 3 {
+                calendar_over_heap_pct = bench_event_queue(&opts, &mut scratch);
+            }
+        }
+        // trimlint: allow(no-panic) -- the whole point of the flag is to fail CI
+        panic!("calendar queue is {worst:.2}% slower than the heap (limit +{limit}%)");
+    }
 }

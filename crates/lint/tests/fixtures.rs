@@ -514,6 +514,62 @@ fn wire_consistency_only_applies_to_wire_crate() {
     assert_eq!(diags, vec![]);
 }
 
+// ------------------------------------------------- workload generator scoping
+
+/// The workload generator lives at `crates/netsim/src/workload.rs`, inside
+/// the hot + ordering-sensitive scope; these fixtures pin that the two
+/// determinism rules its docs promise (single seeded stream, no hash-order
+/// dependence) actually fire on that exact path.
+#[test]
+fn workload_module_bans_unseeded_rng() {
+    let src = "\
+pub fn storm(hosts: &[NodeId], n_flows: usize) -> FlowSchedule {
+    let mut rng = rand::thread_rng();
+    let seeded = Xoshiro256StarStar::new(0xD15C);
+    let _ = (rng, seeded, hosts, n_flows);
+    FlowSchedule { flows: Vec::new() }
+}
+";
+    let diags: Vec<_> = lint_source("crates/netsim/src/workload.rs", src)
+        .into_iter()
+        .map(|d| (d.line, d.rule))
+        .collect();
+    assert_eq!(diags, vec![(2, "unseeded-rng")]);
+}
+
+#[test]
+fn workload_module_bans_hash_collections() {
+    let src = "\
+use std::collections::HashMap;
+pub fn group_by_src(flows: &[FlowSpec]) -> HashMap<NodeId, Vec<FlowSpec>> {
+    unimplemented!()
+}
+";
+    let diags: Vec<_> = lint_source("crates/netsim/src/workload.rs", src)
+        .into_iter()
+        .map(|d| (d.line, d.rule))
+        .collect();
+    // Both use-site and signature mentions are flagged, plus the panicking
+    // placeholder (workload.rs is in a hot crate too).
+    assert_eq!(
+        diags,
+        vec![(1, "ordered-map"), (2, "ordered-map"), (3, "no-panic"),]
+    );
+}
+
+#[test]
+fn workload_idiom_is_clean() {
+    // The sanctioned shape: one explicitly seeded stream, BTreeMap grouping.
+    let src = "\
+pub fn install(flows: &[FlowSpec], seed: u64) {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut by_src: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    by_src.insert(rng.next_u64(), 0);
+}
+";
+    assert_eq!(lint_source("crates/netsim/src/workload.rs", src), vec![]);
+}
+
 // ------------------------------------------------------------------- scoping
 
 #[test]

@@ -25,6 +25,8 @@
 //!   retransmitting transport (the "NCCL baseline") and the trimming
 //!   transport (no payload retransmission; trimmed heads are final).
 //! * [`crosstraffic`] — on/off bursts and incast generators.
+//! * [`workload`] — seeded datacenter workload schedules (incast, outcast,
+//!   permutation, cross-traffic storm) materialized from a single seed.
 //! * [`stats`] — flow completion times, queue depths, trim/drop/retransmit
 //!   counters, conservation checks.
 //!
@@ -64,6 +66,7 @@ pub mod switch;
 pub mod time;
 pub mod topology;
 pub mod transport;
+pub mod workload;
 
 /// Identifies a node (host or switch) in the topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

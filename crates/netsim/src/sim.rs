@@ -61,6 +61,15 @@ impl Simulator {
     #[must_use]
     pub fn with_seed(topo: Topology, seed: u64) -> Self {
         let routes = topo.build_routes();
+        Self::with_routes(topo, routes, seed)
+    }
+
+    /// Builds with a caller-supplied routing table. Datacenter-scale runs
+    /// pair this with [`Topology::build_routes_towards`] so the table stays
+    /// linear in the destinations actually addressed instead of quadratic in
+    /// fabric size.
+    #[must_use]
+    pub fn with_routes(topo: Topology, routes: Routes, seed: u64) -> Self {
         let n = topo.len();
         let mut apps: Vec<Option<Box<dyn App>>> = Vec::with_capacity(n);
         for i in 0..n {
@@ -170,6 +179,13 @@ impl Simulator {
     #[must_use]
     pub fn in_flight(&self) -> u64 {
         self.in_flight
+    }
+
+    /// Total events dispatched so far — the numerator of an events/s
+    /// simulation-throughput measurement.
+    #[must_use]
+    pub fn events_fired(&self) -> u64 {
+        self.queue.total_fired()
     }
 
     /// The simulation-wide telemetry registry. The fabric's `netsim.*`
@@ -360,7 +376,7 @@ impl Simulator {
         }
     }
 
-    fn handle_arrive(&mut self, node: NodeId, _from: NodeId, packet: Packet) {
+    fn handle_arrive(&mut self, node: NodeId, _from: NodeId, packet: Box<Packet>) {
         match self.topo.kind(node) {
             NodeKind::Host => {
                 assert_eq!(packet.dst, node, "misrouted packet reached a host");
@@ -376,7 +392,9 @@ impl Simulator {
                         size: packet.size,
                         trimmed: packet.trimmed,
                     });
-                self.with_app(node, |app, api| app.on_packet(packet, api));
+                // Deref-move unboxes at the delivery boundary so the `App`
+                // trait keeps taking packets by value.
+                self.with_app(node, |app, api| app.on_packet(*packet, api));
             }
             NodeKind::Switch(policy) => {
                 self.stats.on_forwarded();
@@ -400,7 +418,13 @@ impl Simulator {
         }
     }
 
-    fn enqueue_on_port(&mut self, node: NodeId, to: NodeId, packet: Packet, policy: &QueuePolicy) {
+    fn enqueue_on_port(
+        &mut self,
+        node: NodeId,
+        to: NodeId,
+        packet: Box<Packet>,
+        policy: &QueuePolicy,
+    ) {
         let was_ecn = packet.ecn;
         let (flow, pseq, pkt, size) = (packet.flow.0, packet.seq, packet.id, packet.size);
         let port = self.ports.entry((node.0, to.0)).or_default();
@@ -540,7 +564,7 @@ impl Simulator {
                     EventKind::Arrive {
                         node: to,
                         from: node,
-                        packet: clone,
+                        packet: Box::new(clone),
                     },
                 );
             }
@@ -599,7 +623,7 @@ impl Simulator {
                 });
             return;
         };
-        let packet = Packet {
+        let packet = Box::new(Packet {
             id: self.next_pkt_id,
             flow: spec.flow,
             src: node,
@@ -613,7 +637,7 @@ impl Simulator {
             fin: spec.fin,
             sent_at: self.now,
             body: spec.body,
-        };
+        });
         self.next_pkt_id += 1;
         self.stats.on_sent(packet.flow, self.now);
         self.in_flight += 1;

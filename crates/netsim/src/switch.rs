@@ -172,8 +172,8 @@ impl PortCounters {
 /// The queues and serializer state of one egress port.
 #[derive(Debug, Default)]
 pub struct PortState {
-    high: VecDeque<Packet>,
-    low: VecDeque<Packet>,
+    high: VecDeque<Box<Packet>>,
+    low: VecDeque<Box<Packet>>,
     high_bytes: u32,
     low_bytes: u32,
     /// Whether the serializer is transmitting.
@@ -215,8 +215,10 @@ impl PortState {
         self.high.is_empty() && self.low.is_empty()
     }
 
-    /// Enqueues under `policy`, possibly trimming or dropping.
-    pub fn enqueue(&mut self, pkt: Packet, policy: &QueuePolicy) -> EnqueueOutcome {
+    /// Enqueues under `policy`, possibly trimming or dropping. The packet
+    /// arrives boxed — the same allocation that rode the arrival event — and
+    /// parks in the queue without a copy.
+    pub fn enqueue(&mut self, pkt: Box<Packet>, policy: &QueuePolicy) -> EnqueueOutcome {
         let outcome = self.enqueue_inner(pkt, policy);
         self.counters.arrived += 1;
         match outcome {
@@ -229,7 +231,7 @@ impl PortState {
         outcome
     }
 
-    fn enqueue_inner(&mut self, mut pkt: Packet, policy: &QueuePolicy) -> EnqueueOutcome {
+    fn enqueue_inner(&mut self, mut pkt: Box<Packet>, policy: &QueuePolicy) -> EnqueueOutcome {
         if pkt.priority {
             return self.enqueue_high(pkt, policy);
         }
@@ -260,7 +262,7 @@ impl PortState {
         }
     }
 
-    fn enqueue_high(&mut self, pkt: Packet, policy: &QueuePolicy) -> EnqueueOutcome {
+    fn enqueue_high(&mut self, pkt: Box<Packet>, policy: &QueuePolicy) -> EnqueueOutcome {
         if self.high_bytes + pkt.size <= policy.prio_capacity {
             self.high_bytes += pkt.size;
             self.high.push_back(pkt);
@@ -281,7 +283,7 @@ impl PortState {
 
     /// Dequeues the next packet to serialize: strict priority, FIFO within
     /// each class.
-    pub fn dequeue(&mut self) -> Option<Packet> {
+    pub fn dequeue(&mut self) -> Option<Box<Packet>> {
         if let Some(p) = self.high.pop_front() {
             self.high_bytes -= p.size;
             self.counters.dequeued += 1;
@@ -303,8 +305,8 @@ mod tests {
     use crate::time::SimTime;
     use crate::{FlowId, NodeId};
 
-    fn data_pkt(id: u64, size: u32) -> Packet {
-        Packet {
+    fn data_pkt(id: u64, size: u32) -> Box<Packet> {
+        Box::new(Packet {
             id,
             flow: FlowId(1),
             src: NodeId(0),
@@ -318,15 +320,14 @@ mod tests {
             fin: false,
             sent_at: SimTime::ZERO,
             body: PacketBody::Synthetic,
-        }
+        })
     }
 
-    fn prio_pkt(id: u64, size: u32) -> Packet {
-        Packet {
-            priority: true,
-            reliable: true,
-            ..data_pkt(id, size)
-        }
+    fn prio_pkt(id: u64, size: u32) -> Box<Packet> {
+        let mut pkt = data_pkt(id, size);
+        pkt.priority = true;
+        pkt.reliable = true;
+        pkt
     }
 
     fn tiny_policy(action: FullAction) -> QueuePolicy {

@@ -100,6 +100,21 @@ impl Topology {
             .collect()
     }
 
+    /// All switches, in id order.
+    #[must_use]
+    pub fn switches(&self) -> Vec<NodeId> {
+        (0..self.len())
+            .filter(|&i| matches!(self.kinds[i], NodeKind::Switch(_)))
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Number of (bidirectional) links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
     /// Neighbors of `n` with their link params.
     #[must_use]
     pub fn neighbors(&self, n: NodeId) -> &[(NodeId, LinkParams)] {
@@ -121,20 +136,48 @@ impl Topology {
             .unwrap_or_else(|| panic!("no link {from} → {to}"))
     }
 
-    /// Precomputes the routing table: `routes[node][dst]` = the ECMP set of
-    /// next hops on shortest paths. Unreachable pairs get an empty set.
+    /// Precomputes the full routing table: the ECMP set of shortest-path
+    /// next hops for every `(node, dst)` pair. Unreachable pairs get an
+    /// empty set.
+    ///
+    /// The table is quadratic in topology size; datacenter-scale runs that
+    /// only ever send toward a few destinations should use
+    /// [`Topology::build_routes_towards`] instead.
     #[must_use]
     pub fn build_routes(&self) -> Routes {
+        let all: Vec<NodeId> = (0..self.len()).map(NodeId).collect();
+        self.build_routes_towards(&all)
+    }
+
+    /// Precomputes routes toward the given destinations only — one BFS per
+    /// destination, `O(dsts × (nodes + links))` time and memory. Packets to
+    /// any other destination are treated as unroutable (dropped at the first
+    /// switch), so `dsts` must cover every node the installed workload
+    /// addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dsts` contains a duplicate.
+    #[must_use]
+    pub fn build_routes_towards(&self, dsts: &[NodeId]) -> Routes {
         let n = self.len();
-        let mut table = vec![vec![Vec::new(); n]; n];
-        for dst in 0..n {
+        let mut dst_slot = vec![usize::MAX; n];
+        let mut offsets = Vec::with_capacity(dsts.len() * n + 1);
+        offsets.push(0u32);
+        let mut hops = Vec::new();
+        let mut dist = vec![u32::MAX; n];
+        let mut frontier = std::collections::VecDeque::new();
+        let mut set = Vec::new();
+        for (slot, &dst) in dsts.iter().enumerate() {
+            assert!(dst_slot[dst.0] == usize::MAX, "duplicate destination {dst}");
+            dst_slot[dst.0] = slot;
             // BFS from the destination over the undirected graph.
-            let mut dist = vec![usize::MAX; n];
-            dist[dst] = 0;
-            let mut frontier = std::collections::VecDeque::from([dst]);
+            dist.fill(u32::MAX);
+            dist[dst.0] = 0;
+            frontier.push_back(dst.0);
             while let Some(u) = frontier.pop_front() {
                 for &(v, _) in &self.adj[u] {
-                    if dist[v.0] == usize::MAX {
+                    if dist[v.0] == u32::MAX {
                         dist[v.0] = dist[u] + 1;
                         frontier.push_back(v.0);
                     }
@@ -142,19 +185,26 @@ impl Topology {
             }
             // Next hops: neighbors strictly closer to dst.
             for node in 0..n {
-                if node == dst || dist[node] == usize::MAX {
-                    continue;
+                if node != dst.0 && dist[node] != u32::MAX {
+                    set.extend(
+                        self.adj[node]
+                            .iter()
+                            .filter(|(v, _)| dist[v.0] + 1 == dist[node])
+                            .map(|(v, _)| *v),
+                    );
+                    // Deterministic ECMP order.
+                    set.sort_unstable();
+                    hops.append(&mut set);
                 }
-                for &(v, _) in &self.adj[node] {
-                    if dist[v.0] + 1 == dist[node] {
-                        table[node][dst].push(v);
-                    }
-                }
-                // Deterministic ECMP order.
-                table[node][dst].sort_unstable();
+                offsets.push(u32::try_from(hops.len()).unwrap_or(u32::MAX));
             }
         }
-        Routes { table }
+        Routes {
+            n,
+            dst_slot,
+            offsets,
+            hops,
+        }
     }
 
     /// A dumbbell: `n_left` hosts — switch — switch — `n_right` hosts, with
@@ -213,20 +263,96 @@ impl Topology {
         }
         (t, hosts)
     }
+
+    /// A three-tier k-ary fat-tree (Al-Fares et al.): `k` pods of `k/2` edge
+    /// and `k/2` aggregation switches, `(k/2)²` core switches, and `k³/4`
+    /// hosts on `3k³/4` links — full bisection bandwidth when `fabric_rate ==
+    /// host_rate`. Aggregation switch `j` of every pod connects to core group
+    /// `j`, so any inter-pod host pair has `(k/2)²` equal-length paths and
+    /// ECMP fans flows across all of them.
+    ///
+    /// Returns the topology and its hosts in pod order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k` is even and ≥ 2.
+    #[must_use]
+    pub fn fat_tree(
+        k: usize,
+        host_rate: Rate,
+        fabric_rate: Rate,
+        delay: SimTime,
+        policy: QueuePolicy,
+    ) -> (Topology, Vec<NodeId>) {
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
+        let half = k / 2;
+        let mut t = Topology::new();
+        // Core group j serves aggregation switch j of every pod.
+        let core: Vec<Vec<NodeId>> = (0..half)
+            .map(|_| (0..half).map(|_| t.add_switch(policy)).collect())
+            .collect();
+        let mut hosts = Vec::with_capacity(k * half * half);
+        for _pod in 0..k {
+            let edges: Vec<NodeId> = (0..half).map(|_| t.add_switch(policy)).collect();
+            let aggs: Vec<NodeId> = (0..half).map(|_| t.add_switch(policy)).collect();
+            for &e in &edges {
+                for &a in &aggs {
+                    t.link(e, a, fabric_rate, delay);
+                }
+                for _ in 0..half {
+                    let h = t.add_host();
+                    t.link(h, e, host_rate, delay);
+                    hosts.push(h);
+                }
+            }
+            for (j, &a) in aggs.iter().enumerate() {
+                for &c in &core[j] {
+                    t.link(a, c, fabric_rate, delay);
+                }
+            }
+        }
+        (t, hosts)
+    }
 }
 
 /// Precomputed shortest-path routing with deterministic ECMP.
+///
+/// Stored in compressed-sparse-row form: all next-hop sets live in one flat
+/// `hops` arena, bracketed by `offsets[slot * n + node]` where `slot` is the
+/// destination's dense column index. A table built by
+/// [`Topology::build_routes_towards`] only has columns for the requested
+/// destinations, which is what makes thousand-host fabrics affordable.
 #[derive(Debug, Clone)]
 pub struct Routes {
-    table: Vec<Vec<Vec<NodeId>>>,
+    /// Node count of the topology the table was built over.
+    n: usize,
+    /// `dst_slot[dst]` = dense column index, `usize::MAX` if no column.
+    dst_slot: Vec<usize>,
+    /// CSR row offsets into `hops`, length `columns * n + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated ECMP sets, each sorted by node id.
+    hops: Vec<NodeId>,
 }
 
 impl Routes {
+    /// The ECMP set at `node` toward `dst` (empty when unreachable or when
+    /// the table was not built toward `dst`).
+    #[must_use]
+    pub fn ecmp_set(&self, node: NodeId, dst: NodeId) -> &[NodeId] {
+        let slot = self.dst_slot[dst.0];
+        if slot == usize::MAX {
+            return &[];
+        }
+        let row = slot * self.n + node.0;
+        let (lo, hi) = (self.offsets[row] as usize, self.offsets[row + 1] as usize);
+        &self.hops[lo..hi]
+    }
+
     /// The next hop for a packet of `flow` at `node` heading to `dst`, or
     /// `None` if unreachable.
     #[must_use]
     pub fn next_hop(&self, node: NodeId, dst: NodeId, flow: FlowId) -> Option<NodeId> {
-        let set = &self.table[node.0][dst.0];
+        let set = self.ecmp_set(node, dst);
         if set.is_empty() {
             return None;
         }
@@ -236,12 +362,6 @@ impl Routes {
         h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         h ^= h >> 31;
         Some(set[(h % set.len() as u64) as usize])
-    }
-
-    /// The full ECMP set at `node` toward `dst`.
-    #[must_use]
-    pub fn ecmp_set(&self, node: NodeId, dst: NodeId) -> &[NodeId] {
-        &self.table[node.0][dst.0]
     }
 }
 

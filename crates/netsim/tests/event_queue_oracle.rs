@@ -1,20 +1,69 @@
-//! Ordering oracle for the event calendar.
+//! Differential ordering harness for the event schedulers.
 //!
-//! The simulator's bit-determinism rests on [`EventQueue`] firing events in
+//! The simulator's bit-determinism rests on its event queue firing events in
 //! exact `(time, insertion-sequence)` order under *any* interleaving of
-//! schedules and pops. This test pins that contract against a naive
-//! sorted-`Vec` oracle over seeded chaotic op sequences, so a future
-//! calendar-queue (or other priority-queue) replacement — motivated by the
-//! `event_queue` group of `benches/netsim.rs` — must reproduce the semantics
-//! exactly before it can land.
+//! schedules and pops. This harness pins that contract for **every**
+//! implementation — the calendar [`EventQueue`] at its default and at
+//! deliberately tiny wheel geometries, and the retained [`HeapEventQueue`]
+//! reference — by replaying identical seeded op scripts against a naive
+//! sorted-`Vec` oracle and asserting every pop, peek, and length agrees.
+//!
+//! The script families are chosen adversarially for a calendar queue:
+//! equal-timestamp bursts (tie-break stress), far-future outliers beyond any
+//! wheel horizon (overflow heap), interleaved schedule-during-pop (refill
+//! churn), and rewinds that schedule behind the active window (backward
+//! re-anchor). DESIGN.md §11 sketches why the calendar reproduces the heap's
+//! total order; this harness is the executable version of that argument.
 //!
 //! [`EventQueue`]: trimgrad_netsim::event::EventQueue
+//! [`HeapEventQueue`]: trimgrad_netsim::event::HeapEventQueue
 
 use proptest::prelude::*;
 use trimgrad_hadamard::prng::Xoshiro256StarStar;
-use trimgrad_netsim::event::{EventKind, EventQueue};
+use trimgrad_netsim::event::{Event, EventKind, EventQueue, HeapEventQueue};
 use trimgrad_netsim::time::SimTime;
 use trimgrad_netsim::NodeId;
+
+/// The common scheduler surface the simulator relies on. Both production
+/// implementations satisfy it with identical semantics; the harness is
+/// generic over it so each script runs byte-for-byte the same against every
+/// implementation.
+trait Scheduler {
+    fn schedule(&mut self, at: SimTime, kind: EventKind);
+    fn pop(&mut self) -> Option<Event>;
+    fn peek_time(&self) -> Option<SimTime>;
+    fn len(&self) -> usize;
+    fn total_scheduled(&self) -> u64;
+    fn total_fired(&self) -> u64;
+}
+
+macro_rules! impl_scheduler {
+    ($ty:ty) => {
+        impl Scheduler for $ty {
+            fn schedule(&mut self, at: SimTime, kind: EventKind) {
+                <$ty>::schedule(self, at, kind);
+            }
+            fn pop(&mut self) -> Option<Event> {
+                <$ty>::pop(self)
+            }
+            fn peek_time(&self) -> Option<SimTime> {
+                <$ty>::peek_time(self)
+            }
+            fn len(&self) -> usize {
+                <$ty>::len(self)
+            }
+            fn total_scheduled(&self) -> u64 {
+                <$ty>::total_scheduled(self)
+            }
+            fn total_fired(&self) -> u64 {
+                <$ty>::total_fired(self)
+            }
+        }
+    };
+}
+
+impl_scheduler!(EventQueue);
+impl_scheduler!(HeapEventQueue);
 
 /// The naive oracle: every scheduled event as `(time, seq, token)`, popped
 /// by scanning for the minimum `(time, seq)` — O(n) per pop, obviously
@@ -43,65 +92,186 @@ impl OracleQueue {
     }
 }
 
+/// One step of a pre-generated script, so every implementation replays the
+/// exact same operation sequence.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Schedule(SimTime),
+    Pop,
+}
+
 fn token_of(kind: &EventKind) -> u64 {
     match kind {
         EventKind::AppTimer { token, .. } => *token,
-        _ => unreachable!("test schedules only AppTimer events"),
+        _ => unreachable!("harness schedules only AppTimer events"),
     }
 }
 
-/// Runs `ops` chaos operations with the given seed on both queues, checking
-/// every pop against the oracle, then drains both.
-fn chaos_matches_oracle(ops: usize, seed: u64, max_time: u64) {
-    let mut rng = Xoshiro256StarStar::new(seed);
-    let mut q = EventQueue::new();
+/// Replays `script` on `q`, checking every pop, peek, and length against the
+/// oracle, then drains both and checks the lifetime counters.
+fn assert_matches_oracle<Q: Scheduler>(mut q: Q, script: &[Op], label: &str) {
     let mut oracle = OracleQueue::default();
     let mut token = 0u64;
-    for _ in 0..ops {
-        if rng.next_u64() % 5 < 3 {
-            // Times collide often (small range) so tie-breaking is exercised.
-            let at = SimTime(rng.next_u64() % max_time);
-            q.schedule(
-                at,
-                EventKind::AppTimer {
-                    node: NodeId(0),
-                    token,
-                },
-            );
-            oracle.schedule(at, token);
-            token += 1;
-        } else {
-            let got = q.pop().map(|e| (e.at, token_of(&e.kind)));
-            assert_eq!(got, oracle.pop(), "mid-stream pop diverged (seed {seed})");
+    for op in script {
+        match *op {
+            Op::Schedule(at) => {
+                q.schedule(
+                    at,
+                    EventKind::AppTimer {
+                        node: NodeId(0),
+                        token,
+                    },
+                );
+                oracle.schedule(at, token);
+                token += 1;
+            }
+            Op::Pop => {
+                let got = q.pop().map(|e| (e.at, token_of(&e.kind)));
+                assert_eq!(got, oracle.pop(), "mid-stream pop diverged ({label})");
+            }
         }
-        assert_eq!(q.len(), oracle.pending.len());
+        assert_eq!(q.len(), oracle.pending.len(), "len diverged ({label})");
         assert_eq!(
             q.peek_time(),
-            oracle.pending.iter().map(|&(at, ..)| at).min()
+            oracle.pending.iter().map(|&(at, ..)| at).min(),
+            "peek_time diverged ({label})"
         );
     }
     loop {
         let got = q.pop().map(|e| (e.at, token_of(&e.kind)));
         let want = oracle.pop();
-        assert_eq!(got, want, "drain diverged (seed {seed})");
+        assert_eq!(got, want, "drain diverged ({label})");
         if got.is_none() {
             break;
         }
     }
-    assert_eq!(q.total_fired(), q.total_scheduled());
+    assert_eq!(q.total_fired(), q.total_scheduled(), "counters ({label})");
+}
+
+/// Runs one script against every implementation: the calendar at its default
+/// geometry, two tiny wheels whose horizons the script crosses constantly
+/// (4 × 16 ns and 8 × 4 ns), and the heap reference.
+fn assert_all_impls_match_oracle(script: &[Op], label: &str) {
+    assert_matches_oracle(EventQueue::new(), script, &format!("{label}/default"));
+    assert_matches_oracle(
+        EventQueue::with_geometry(4, 4),
+        script,
+        &format!("{label}/tiny_4x16ns"),
+    );
+    assert_matches_oracle(
+        EventQueue::with_geometry(2, 8),
+        script,
+        &format!("{label}/tiny_8x4ns"),
+    );
+    assert_matches_oracle(HeapEventQueue::new(), script, &format!("{label}/heap"));
+}
+
+/// The baseline chaos mix: ~60% schedules at uniform times in
+/// `[0, max_time)`, ~40% pops — the access pattern the simulator's hot loop
+/// produces. Pops advance the calendar's window, so later small-time
+/// schedules also exercise the backward re-anchor.
+fn chaos_script(ops: usize, seed: u64, max_time: u64) -> Vec<Op> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    (0..ops)
+        .map(|_| {
+            if rng.next_u64() % 5 < 3 {
+                Op::Schedule(SimTime(rng.next_u64() % max_time))
+            } else {
+                Op::Pop
+            }
+        })
+        .collect()
+}
+
+/// Equal-timestamp bursts: each schedule step emits 4–16 events at one
+/// instant drawn from a tiny range, so nearly every comparison is a tie and
+/// only the insertion sequence orders the pops.
+fn burst_script(steps: usize, seed: u64) -> Vec<Op> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut script = Vec::new();
+    for _ in 0..steps {
+        if rng.next_u64() % 3 < 2 {
+            let at = SimTime(rng.next_u64() % 8);
+            let burst = 4 + rng.next_u64() % 13;
+            script.extend(std::iter::repeat_n(Op::Schedule(at), burst as usize));
+        } else {
+            script.push(Op::Pop);
+        }
+    }
+    script
+}
+
+/// Far-future outliers: mostly near-term times, but one schedule in four
+/// lands up to 2^45 ns out — beyond the default wheel's ~2 ms horizon, let
+/// alone the tiny test wheels — forcing constant overflow-heap traffic and
+/// (on pops past the near-term events) horizon-crossing refills.
+fn outlier_script(ops: usize, seed: u64) -> Vec<Op> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    (0..ops)
+        .map(|_| match rng.next_u64() % 8 {
+            0..=3 => Op::Schedule(SimTime(rng.next_u64() % 2_000)),
+            4 | 5 => Op::Pop,
+            _ => Op::Schedule(SimTime(rng.next_u64() % (1 << 45))),
+        })
+        .collect()
+}
+
+/// Rewind stress: long monotone ascending runs (the wheel anchor chases
+/// them forward through pops) punctured by schedules at near-zero times,
+/// each of which forces a backward re-anchor with a populated wheel and
+/// overflow heap.
+fn rewind_script(ops: usize, seed: u64) -> Vec<Op> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut now = 0u64;
+    (0..ops)
+        .map(|_| match rng.next_u64() % 8 {
+            0..=3 => {
+                now += rng.next_u64() % 5_000;
+                Op::Schedule(SimTime(now))
+            }
+            4 | 5 => Op::Pop,
+            _ => Op::Schedule(SimTime(rng.next_u64() % 16)),
+        })
+        .collect()
 }
 
 #[test]
 fn chaos_mix_matches_sorted_vec_oracle() {
-    for seed in 0..8 {
-        chaos_matches_oracle(2_000, 0x0E7E_0000 + seed, 500);
+    for seed in 0..8u64 {
+        let script = chaos_script(2_000, 0x0E7E_0000 + seed, 500);
+        assert_all_impls_match_oracle(&script, &format!("chaos seed {seed}"));
     }
 }
 
 #[test]
 fn all_ties_fire_in_insertion_order() {
     // Degenerate case: every event at the same instant.
-    chaos_matches_oracle(1_000, 7, 1);
+    let script = chaos_script(1_000, 7, 1);
+    assert_all_impls_match_oracle(&script, "all-ties");
+}
+
+#[test]
+fn equal_timestamp_bursts_match_oracle() {
+    for seed in 0..4u64 {
+        let script = burst_script(400, 0xB0B0 + seed);
+        assert_all_impls_match_oracle(&script, &format!("burst seed {seed}"));
+    }
+}
+
+#[test]
+fn far_future_outliers_match_oracle() {
+    for seed in 0..4u64 {
+        let script = outlier_script(1_500, 0xFAFA + seed);
+        assert_all_impls_match_oracle(&script, &format!("outlier seed {seed}"));
+    }
+}
+
+#[test]
+fn backward_re_anchor_matches_oracle() {
+    for seed in 0..4u64 {
+        let script = rewind_script(1_500, 0x0EEE + seed);
+        assert_all_impls_match_oracle(&script, &format!("rewind seed {seed}"));
+    }
 }
 
 proptest! {
@@ -111,6 +281,16 @@ proptest! {
         seed in any::<u64>(),
         max_time in 1u64..10_000
     ) {
-        chaos_matches_oracle(ops, seed, max_time);
+        let script = chaos_script(ops, seed, max_time);
+        assert_all_impls_match_oracle(&script, "proptest chaos");
+    }
+
+    #[test]
+    fn random_outlier_shapes_match_oracle(
+        ops in 1usize..400,
+        seed in any::<u64>(),
+    ) {
+        let script = outlier_script(ops, seed);
+        assert_all_impls_match_oracle(&script, "proptest outlier");
     }
 }

@@ -10,8 +10,8 @@ use trimgrad_netsim::time::SimTime;
 use trimgrad_netsim::{FlowId, NodeId};
 use trimgrad_telemetry::Registry;
 
-fn pkt(id: u64, size: u32, priority: bool) -> Packet {
-    Packet {
+fn pkt(id: u64, size: u32, priority: bool) -> Box<Packet> {
+    Box::new(Packet {
         id,
         flow: FlowId(1),
         src: NodeId(0),
@@ -25,7 +25,7 @@ fn pkt(id: u64, size: u32, priority: bool) -> Packet {
         fin: false,
         sent_at: SimTime::ZERO,
         body: PacketBody::Synthetic,
-    }
+    })
 }
 
 proptest! {

@@ -1,0 +1,82 @@
+//! Cross-width determinism of the workload generator.
+//!
+//! A [`FlowSchedule`] must be a pure function of its shape parameters and
+//! seed: no ambient randomness, no hash-order dependence, no dependence on
+//! the worker-pool width. CI runs this suite under `TRIMGRAD_THREADS` ∈
+//! {1, 4}; the digests below are *golden constants*, so a schedule that came
+//! out different at any width — or on any platform, or after any refactor
+//! that perturbs generation order — fails against the same pinned value
+//! rather than merely against a sibling run.
+//!
+//! [`FlowSchedule`]: trimgrad_netsim::workload::FlowSchedule
+
+use trimgrad_netsim::time::SimTime;
+use trimgrad_netsim::workload::FlowSchedule;
+use trimgrad_netsim::NodeId;
+
+fn hosts(n: usize) -> Vec<NodeId> {
+    (0..n).map(NodeId).collect()
+}
+
+/// One schedule per shape, all on 64 hosts from seed `0xD15C`.
+fn canonical_schedules() -> Vec<(&'static str, FlowSchedule)> {
+    let hs = hosts(64);
+    vec![
+        (
+            "incast_32",
+            FlowSchedule::incast(&hs, 32, 150_000, 1500, 0xD15C),
+        ),
+        (
+            "outcast_16",
+            FlowSchedule::outcast(&hs, 16, 30_000, 1500, 0xD15C),
+        ),
+        (
+            "permutation",
+            FlowSchedule::permutation(&hs, 100_000, 1500, 0xD15C),
+        ),
+        (
+            "storm_256",
+            FlowSchedule::storm(&hs, 256, 1_000_000, 1500, SimTime::from_millis(10), 0xD15C),
+        ),
+    ]
+}
+
+/// Golden FNV-1a digests of the canonical schedules. If generation changes
+/// deliberately, re-pin these from the failure output; if they change on one
+/// thread width but not another, the generator has a nondeterminism bug.
+const GOLDEN: [(&str, u64); 4] = [
+    ("incast_32", 11_583_871_148_367_808_747),
+    ("outcast_16", 13_398_707_906_699_279_262),
+    ("permutation", 13_047_064_957_408_006_693),
+    ("storm_256", 17_923_765_988_167_083_518),
+];
+
+#[test]
+fn digests_match_golden_constants_at_every_pool_width() {
+    let got: Vec<(&str, u64)> = canonical_schedules()
+        .iter()
+        .map(|(name, s)| (*name, s.digest()))
+        .collect();
+    assert_eq!(got, GOLDEN, "workload digests diverged from golden values");
+}
+
+#[test]
+fn regeneration_is_byte_identical_in_process() {
+    for ((name, a), (_, b)) in canonical_schedules().iter().zip(canonical_schedules()) {
+        assert_eq!(a.encode(), b.encode(), "{name} not reproducible");
+        assert_eq!(a.encode().len(), a.flows.len() * 44, "{name} encoding size");
+    }
+}
+
+#[test]
+fn different_seeds_give_different_schedules() {
+    let hs = hosts(64);
+    let mut digests: Vec<u64> = (0..16u64)
+        .map(|seed| {
+            FlowSchedule::storm(&hs, 64, 50_000, 1500, SimTime::from_millis(1), seed).digest()
+        })
+        .collect();
+    digests.sort_unstable();
+    digests.dedup();
+    assert_eq!(digests.len(), 16, "seed collision in storm digests");
+}

@@ -571,6 +571,97 @@ fn trace_follow_reconstructs_a_trimmed_packets_path() {
     assert!(rendered.contains("delivered"), "{rendered}");
 }
 
+/// A synchronized incast plus a cross-traffic storm on a k=4 fat-tree,
+/// pushed through the full fault matrix with the flight recorder armed. The
+/// two generated schedules are merged into one [`FlowSchedule`] (storm flow
+/// ids offset past the incast's), so the seeded workload layer, ECMP
+/// fabric routing, fault injection, and tracing are all load-bearing at
+/// once. Per seed: packet conservation must hold, faults must actually
+/// fire, and the run must be bit-deterministic — two runs produce the same
+/// FNV fingerprint of the trace's canonical binary form and the same
+/// telemetry snapshot.
+///
+/// [`FlowSchedule`]: trimgrad::netsim::workload::FlowSchedule
+#[test]
+fn fat_tree_incast_storm_survives_fault_matrix_deterministically() {
+    use trimgrad::netsim::workload::FlowSchedule;
+    use trimgrad_trace::Tracer;
+
+    fn fnv(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    let run = |seed: u64| {
+        let (topo, hosts) = Topology::fat_tree(
+            4,
+            gbps(10.0),
+            gbps(10.0),
+            SimTime::from_micros(1),
+            QueuePolicy::trim_default(),
+        );
+        let mut sched = FlowSchedule::incast(&hosts, 12, 30_000, 1500, seed);
+        let storm = FlowSchedule::storm(
+            &hosts,
+            24,
+            20_000,
+            1500,
+            SimTime::from_micros(200),
+            seed ^ 0x5707_0000,
+        );
+        let base = sched.flows.len() as u64;
+        sched.flows.extend(storm.flows.into_iter().map(|mut f| {
+            f.flow = FlowId(f.flow.0 + base);
+            f
+        }));
+        let expected = sched.total_packets();
+        let mut sim = Simulator::with_seed(topo, seed);
+        sim.set_tracer(Tracer::enabled(1 << 18));
+        sim.install_fault_plan(FaultPlan::new(seed).with_default(full_matrix_policy()));
+        sched.install(&mut sim);
+        sim.run_until(SimTime::from_millis(100));
+        assert!(
+            sim.conservation_holds(),
+            "seed {seed:#x}: packet conservation violated"
+        );
+        assert!(
+            sim.fault_stats().total() > 0,
+            "seed {seed:#x}: fault matrix never fired"
+        );
+        // Every emitted packet is accounted for: lost to faults, dropped or
+        // trimmed at a congested port, or delivered.
+        assert!(
+            sim.stats().delivered_packets() + sim.stats().dropped_total() >= expected,
+            "seed {seed:#x}: packets unaccounted for"
+        );
+        (
+            fnv(&sim.tracer().snapshot().to_binary()),
+            sim.telemetry_snapshot().to_json(),
+        )
+    };
+
+    let mut hashes = Vec::new();
+    for seed in chaos_seeds() {
+        let (trace1, snap1) = run(seed);
+        let (trace2, snap2) = run(seed);
+        assert_eq!(trace1, trace2, "seed {seed:#x}: trace hash diverged");
+        assert_eq!(snap1, snap2, "seed {seed:#x}: telemetry diverged");
+        hashes.push(trace1);
+    }
+    let seeds = hashes.len();
+    hashes.sort_unstable();
+    hashes.dedup();
+    assert_eq!(
+        hashes.len(),
+        seeds,
+        "distinct seeds produced identical traces"
+    );
+}
+
 #[test]
 fn chaos_runs_are_deterministic_per_seed() {
     for seed in chaos_seeds() {
