@@ -89,6 +89,7 @@ fn prev_pow2(x: usize) -> usize {
 /// # Errors
 ///
 /// Same conditions as [`fwht_inplace`].
+// trimlint: hot-path -- per-row transform on the encode path
 pub fn fwht_inplace_pooled(data: &mut [f32], pool: &WorkerPool) -> Result<()> {
     check_pow2(data)?;
     let n = data.len();

@@ -69,6 +69,28 @@ pub struct LexOut {
     pub suppressions: Vec<Suppression>,
     /// Lines holding a `trimlint:` comment that failed to parse.
     pub malformed: Vec<u32>,
+    /// Lines of `// trimlint: hot-path` annotations; each marks the next
+    /// function item as a panic-reachability root (see `crate::callgraph`).
+    pub hot_paths: Vec<u32>,
+}
+
+impl LexOut {
+    /// The line a suppression or annotation on `line` actually covers: the
+    /// line itself when code shares it, otherwise the next line that carries
+    /// any token — standalone directives may be followed by further comment
+    /// or blank lines before the code they annotate.
+    #[must_use]
+    pub fn covered_line(&self, line: u32, standalone: bool) -> u32 {
+        if !standalone {
+            return line;
+        }
+        self.toks
+            .iter()
+            .map(|t| t.line)
+            .filter(|&l| l > line)
+            .min()
+            .unwrap_or(line)
+    }
 }
 
 /// Multi-character operators, longest first so maximal munch works.
@@ -390,6 +412,17 @@ fn parse_directive(comment: &str, line: u32, standalone: bool, out: &mut LexOut)
         return;
     };
     let rest = comment[pos + "trimlint:".len()..].trim_start();
+    // `hot-path` annotation: marks the next function as a reachability root.
+    // An optional `-- reason` tail is allowed, anything else is malformed.
+    if let Some(tail) = rest.strip_prefix("hot-path") {
+        let tail = tail.trim_start();
+        if tail.is_empty() || tail.starts_with("--") {
+            out.hot_paths.push(line);
+        } else {
+            out.malformed.push(line);
+        }
+        return;
+    }
     let parsed = (|| {
         let rest = rest.strip_prefix("allow")?.trim_start();
         let rest = rest.strip_prefix('(')?;

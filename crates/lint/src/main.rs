@@ -1,51 +1,156 @@
 //! CLI for the repo-native linter.
 //!
 //! ```text
-//! cargo run -p trimgrad-lint -- check .       # lint the workspace
-//! cargo run -p trimgrad-lint -- rules         # list rule ids
+//! cargo run -p trimgrad-lint -- check .                     # lint the workspace
+//! cargo run -p trimgrad-lint -- check . --json report.json  # machine-readable report
+//! cargo run -p trimgrad-lint -- check . --require-hot-paths # fail if no hot-path roots
+//! cargo run -p trimgrad-lint -- rules                       # list rule ids
 //! ```
 //!
-//! Exit status: `0` clean, `1` diagnostics found, `2` usage or I/O error.
+//! Exit status: `0` clean, `1` findings, `2` usage or I/O error, `3` parse
+//! errors (the item parser lost part of a file, so "clean" would overclaim).
 
 use std::path::Path;
 use std::process::ExitCode;
+
+use trimgrad_lint::{Diagnostic, Report};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => {
-            let root = args.get(1).map_or(".", String::as_str);
-            check(Path::new(root))
+            let mut root = ".".to_string();
+            let mut json: Option<String> = None;
+            let mut require_hot = false;
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--json" => match it.next() {
+                        Some(p) => json = Some(p.clone()),
+                        None => return usage(),
+                    },
+                    "--require-hot-paths" => require_hot = true,
+                    p if !p.starts_with("--") => root = p.to_string(),
+                    _ => return usage(),
+                }
+            }
+            check(Path::new(&root), json.as_deref(), require_hot)
         }
         Some("rules") => {
             for (id, summary) in trimgrad_lint::RULES {
-                println!("{id:<18} {summary}");
+                println!("{id:<20} {summary}");
             }
             ExitCode::SUCCESS
         }
-        _ => {
-            eprintln!("usage: trimgrad-lint check [PATH] | trimgrad-lint rules");
-            ExitCode::from(2)
-        }
+        _ => usage(),
     }
 }
 
-fn check(root: &Path) -> ExitCode {
-    match trimgrad_lint::check_path(root) {
-        Ok(diags) if diags.is_empty() => {
-            println!("trimgrad-lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
-            }
-            println!("trimgrad-lint: {} diagnostic(s)", diags.len());
-            ExitCode::FAILURE
-        }
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: trimgrad-lint check [PATH] [--json PATH] [--require-hot-paths] \
+         | trimgrad-lint rules"
+    );
+    ExitCode::from(2)
+}
+
+fn check(root: &Path, json: Option<&str>, require_hot: bool) -> ExitCode {
+    let report = match trimgrad_lint::analyze_path(root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("trimgrad-lint: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(path, render_json(&report)) {
+            eprintln!("trimgrad-lint: writing {path}: {e}");
+            return ExitCode::from(2);
         }
     }
+    for d in &report.diags {
+        println!("{d}");
+    }
+    if report.parse_error_count > 0 {
+        println!(
+            "trimgrad-lint: {} diagnostic(s), {} parse error(s)",
+            report.diags.len(),
+            report.parse_error_count
+        );
+        return ExitCode::from(3);
+    }
+    if require_hot && report.hot_path_count == 0 {
+        println!(
+            "trimgrad-lint: no `trimlint: hot-path` annotations found — \
+             the reachability analysis proved nothing"
+        );
+        return ExitCode::FAILURE;
+    }
+    if report.diags.is_empty() {
+        println!(
+            "trimgrad-lint: clean ({} hot-path root(s))",
+            report.hot_path_count
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("trimgrad-lint: {} diagnostic(s)", report.diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Renders the report as JSON by hand — the linter stays dependency-free.
+fn render_json(report: &Report) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"hot_path_count\": {},\n  \"parse_error_count\": {},\n  \"findings\": [",
+        report.hot_path_count, report.parse_error_count
+    ));
+    for (i, d) in report.diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    ");
+        s.push_str(&render_diag(d));
+    }
+    if !report.diags.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+fn render_diag(d: &Diagnostic) -> String {
+    let chain = d
+        .chain
+        .iter()
+        .map(|c| json_str(c))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"msg\": {}, \"chain\": [{}]}}",
+        json_str(d.rule),
+        json_str(&d.file),
+        d.line,
+        json_str(&d.msg),
+        chain
+    )
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

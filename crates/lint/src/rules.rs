@@ -10,9 +10,10 @@ use crate::lex::{is_float_literal, matching, matching_open, LexOut, Tok, TokKind
 /// A rule's raw findings: source line plus human-readable message.
 pub type Finding = (u32, String);
 
-/// Panicking constructs banned from non-test code of the hot crates.
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
-const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+/// Panicking constructs banned from non-test code of the hot crates (shared
+/// with the interprocedural reachability pass in `crate::callgraph`).
+pub(crate) const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+pub(crate) const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
 
 /// `no-panic`: no `unwrap()`/`expect()`/`panic!`-family in non-test code.
 #[must_use]
@@ -234,7 +235,7 @@ pub fn lossy_cast(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
 /// Header fields whose values arrive from the wire and size packet regions.
 /// An expression indexing a buffer with one of these reads at an
 /// attacker-chosen offset unless the range was validated first.
-const PACKET_LEN_IDENTS: &[&str] = &[
+pub(crate) const PACKET_LEN_IDENTS: &[&str] = &[
     "total_len",
     "udp_len",
     "coord_count",

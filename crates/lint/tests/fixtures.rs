@@ -364,7 +364,7 @@ fn f(v: Option<u32>) -> u32 {
 }
 
 #[test]
-fn standalone_suppression_covers_next_line_only() {
+fn standalone_suppression_covers_next_code_line_only() {
     let quiet = "\
 fn f(v: Option<u32>) -> u32 {
     // trimlint: allow(no-panic) -- fixture invariant
@@ -372,7 +372,18 @@ fn f(v: Option<u32>) -> u32 {
 }
 ";
     assert_eq!(lint_netsim(quiet), vec![]);
-    // Two lines below the comment is out of its reach.
+    // Further comment lines may sit between a standalone directive and the
+    // code it covers.
+    let commented = "\
+fn f(v: Option<u32>) -> u32 {
+    // trimlint: allow(no-panic) -- fixture invariant
+    // (the unwrap below is the fixture's point)
+    v.unwrap()
+}
+";
+    assert_eq!(lint_netsim(commented), vec![]);
+    // But the first *code* line ends its reach: a violation past it is
+    // reported, and the suppression — now covering nothing — is stale.
     let loud = "\
 fn f(v: Option<u32>) -> u32 {
     // trimlint: allow(no-panic) -- fixture invariant
@@ -380,7 +391,10 @@ fn f(v: Option<u32>) -> u32 {
     w.unwrap()
 }
 ";
-    assert_eq!(lint_netsim(loud), vec![(4, "no-panic")]);
+    assert_eq!(
+        lint_netsim(loud),
+        vec![(2, "stale-suppression"), (4, "no-panic")]
+    );
 }
 
 #[test]
@@ -391,7 +405,12 @@ fn f(v: Option<u32>) -> u32 {
     v.unwrap()
 }
 ";
-    assert_eq!(lint_netsim(src), vec![(3, "no-panic")]);
+    // The wrong-rule allow leaves the finding alive and is itself reported
+    // stale by the suppression audit.
+    assert_eq!(
+        lint_netsim(src),
+        vec![(2, "stale-suppression"), (3, "no-panic")]
+    );
 }
 
 #[test]

@@ -1,0 +1,182 @@
+//! Lexer edge cases: raw strings, nested block comments, char literals vs
+//! lifetimes, byte literals, and multi-line suppression/annotation coverage.
+//! The analyses sit on top of this token stream — a mis-lexed literal shows
+//! up as a phantom finding or a silently swallowed directive, so these pin
+//! the tricky corners directly.
+
+use trimgrad_lint::lex::{lex, TokKind};
+
+fn kinds(src: &str) -> Vec<(TokKind, String)> {
+    lex(src)
+        .toks
+        .iter()
+        .map(|t| (t.kind, t.text.clone()))
+        .collect()
+}
+
+#[test]
+fn raw_strings_swallow_quotes_and_slashes() {
+    // `panic!` inside a raw string must not become an identifier token.
+    let out = lex(r####"let s = r#"panic!("no") // trimlint: allow(no-panic)"#;"####);
+    assert!(
+        !out.toks.iter().any(|t| t.is_ident("panic")),
+        "toks: {:?}",
+        out.toks
+    );
+    // Nor may the directive inside the literal register as a suppression.
+    assert!(out.suppressions.is_empty());
+    assert_eq!(
+        out.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+        1
+    );
+}
+
+#[test]
+fn raw_strings_with_more_hashes() {
+    let src = "let s = r##\"quote \"# inside\"##; let t = 1;";
+    let out = lex(src);
+    assert!(
+        out.toks.iter().any(|t| t.is_ident("t")),
+        "toks: {:?}",
+        out.toks
+    );
+    assert_eq!(
+        out.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+        1
+    );
+}
+
+#[test]
+fn nested_block_comments_are_fully_swallowed() {
+    let src = "/* outer /* inner */ still comment */ let x = 1;";
+    assert_eq!(
+        kinds(src)
+            .iter()
+            .map(|(_, t)| t.as_str())
+            .collect::<Vec<_>>(),
+        vec!["let", "x", "=", "1", ";"]
+    );
+}
+
+#[test]
+fn directives_inside_block_comments_are_ignored() {
+    // Only `//` line comments carry directives; a block comment mentioning
+    // trimlint is documentation, not configuration.
+    let out = lex("/* trimlint: allow(no-panic) */\n/* trimlint: hot-path */\nfn f() {}\n");
+    assert!(out.suppressions.is_empty());
+    assert!(out.hot_paths.is_empty());
+    assert!(out.malformed.is_empty());
+}
+
+#[test]
+fn char_literal_vs_lifetime() {
+    // `'a'` is a char literal; `&'a str` holds a lifetime. Lifetimes are
+    // swallowed entirely — they must produce neither a Char token (which
+    // would desync literal tracking) nor a stray `a` identifier.
+    let out = lex("fn f<'a>(s: &'a str) -> char { 'a' }");
+    let chars: Vec<_> = out
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .collect();
+    assert_eq!(chars.len(), 1, "toks: {:?}", out.toks);
+    assert_eq!(out.toks.iter().filter(|t| t.is_ident("a")).count(), 0);
+}
+
+#[test]
+fn escaped_quote_char_literal() {
+    let out = lex(r"let q = '\''; let b = '\\'; let x = 1;");
+    assert_eq!(
+        out.toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+        2
+    );
+    assert!(out.toks.iter().any(|t| t.is_ident("x")));
+}
+
+#[test]
+fn byte_literals_and_byte_strings() {
+    let out = lex(r#"let a = b'x'; let s = b"bytes // trimlint: allow(no-panic)";"#);
+    assert_eq!(
+        out.toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+        1
+    );
+    assert_eq!(
+        out.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+        1
+    );
+    assert!(out.suppressions.is_empty());
+}
+
+#[test]
+fn standalone_directive_covers_next_code_line_across_comments() {
+    // Coverage skips comment-only and blank lines: the directive on line 1
+    // covers the code on line 4.
+    let out = lex("// trimlint: allow(no-panic) -- reasoned\n\
+         // an explanatory comment\n\
+         \n\
+         let x = v.unwrap();\n");
+    assert_eq!(out.suppressions.len(), 1);
+    let s = &out.suppressions[0];
+    assert!(s.standalone);
+    assert_eq!(out.covered_line(s.line, s.standalone), 4);
+}
+
+#[test]
+fn trailing_directive_covers_its_own_line() {
+    let out = lex("let x = v.unwrap(); // trimlint: allow(no-panic) -- reasoned\n");
+    assert_eq!(out.suppressions.len(), 1);
+    let s = &out.suppressions[0];
+    assert!(!s.standalone);
+    assert_eq!(out.covered_line(s.line, s.standalone), 1);
+}
+
+#[test]
+fn hot_path_directive_with_and_without_reason() {
+    let out = lex("// trimlint: hot-path\n\
+         fn a() {}\n\
+         // trimlint: hot-path -- per-packet forward\n\
+         fn b() {}\n");
+    assert_eq!(out.hot_paths, vec![1, 3]);
+    assert!(out.malformed.is_empty());
+}
+
+#[test]
+fn malformed_hot_path_tail_is_flagged() {
+    // Anything after `hot-path` other than a `-- reason` tail is malformed,
+    // not silently accepted.
+    let out = lex("// trimlint: hot-path(yes)\nfn a() {}\n");
+    assert!(out.hot_paths.is_empty());
+    assert_eq!(out.malformed, vec![1]);
+}
+
+#[test]
+fn multiline_suppression_list_parses_each_rule() {
+    let out = lex(
+        "// trimlint: allow(no-panic, lossy-cast) -- both in one comment\n\
+         let x = (v.unwrap() as u8);\n",
+    );
+    assert_eq!(out.suppressions.len(), 1);
+    let mut rules = out.suppressions[0].rules.clone();
+    rules.sort();
+    assert_eq!(
+        rules,
+        vec!["lossy-cast".to_string(), "no-panic".to_string()]
+    );
+}
+
+#[test]
+fn float_exponent_not_split_into_idents() {
+    let out = lex("let x = 1.5e-3 + 0x1f + 2_000;");
+    assert_eq!(
+        out.toks.iter().filter(|t| t.kind == TokKind::Num).count(),
+        3,
+        "toks: {:?}",
+        out.toks
+    );
+}
+
+#[test]
+fn shebang_like_first_line_does_not_derail() {
+    let out = lex("#![warn(missing_docs)]\nfn f() {}\n");
+    assert!(out.toks.iter().any(|t| t.is_ident("f")));
+}

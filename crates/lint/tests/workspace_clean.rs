@@ -6,17 +6,30 @@ use std::path::Path;
 #[test]
 fn workspace_is_lint_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let diags = trimgrad_lint::check_path(&root).expect("workspace walk");
+    let report = trimgrad_lint::analyze_path(&root).expect("workspace walk");
     assert!(
-        diags.is_empty(),
+        report.diags.is_empty(),
         "trimgrad-lint found {} violation(s):\n{}\n\
          fix the code or add a reasoned `// trimlint: allow(rule) -- why` \
          (see DESIGN.md)",
-        diags.len(),
-        diags
+        report.diags.len(),
+        report
+            .diags
             .iter()
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
+    );
+    assert_eq!(
+        report.parse_error_count, 0,
+        "workspace sources must parse under the lint item parser"
+    );
+    // The interprocedural analyses are only meaningful with roots to walk
+    // from; the seeded annotation set (fwht, packetize, reassemble, calendar
+    // queue, switch ports) must not silently disappear.
+    assert!(
+        report.hot_path_count >= 5,
+        "expected at least 5 hot-path roots, found {}",
+        report.hot_path_count
     );
 }

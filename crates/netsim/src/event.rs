@@ -205,6 +205,7 @@ impl EventQueue {
     }
 
     /// Schedules `kind` to fire at `at`.
+    // trimlint: hot-path -- every simulated packet passes through here
     pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -342,6 +343,7 @@ impl EventQueue {
     }
 
     /// Removes and returns the earliest event.
+    // trimlint: hot-path -- the simulator's main-loop drain
     pub fn pop(&mut self) -> Option<Event> {
         // The refill invariant keeps the wheel's minimum visible through
         // `active`, so the global minimum is in `active` or `overflow`.

@@ -218,6 +218,7 @@ impl PortState {
     /// Enqueues under `policy`, possibly trimming or dropping. The packet
     /// arrives boxed — the same allocation that rode the arrival event — and
     /// parks in the queue without a copy.
+    // trimlint: hot-path -- switch forward path (trim/drop decision)
     pub fn enqueue(&mut self, pkt: Box<Packet>, policy: &QueuePolicy) -> EnqueueOutcome {
         let outcome = self.enqueue_inner(pkt, policy);
         self.counters.arrived += 1;
@@ -283,6 +284,7 @@ impl PortState {
 
     /// Dequeues the next packet to serialize: strict priority, FIFO within
     /// each class.
+    // trimlint: hot-path -- switch forward path (egress serialize)
     pub fn dequeue(&mut self) -> Option<Box<Packet>> {
         if let Some(p) = self.high.pop_front() {
             self.high_bytes -= p.size;

@@ -178,6 +178,7 @@ impl WorkerPool {
             return;
         }
         let workers = self.threads.min(n_chunks);
+        // trimlint: allow(hot-path-alloc) -- bounded by thread count and amortized over the whole slice, not per packet
         let mut stripes: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(workers);
         stripes.resize_with(workers, Vec::new);
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {

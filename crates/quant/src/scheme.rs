@@ -247,6 +247,7 @@ impl PartView<'_> {
                 assert!(present.get(i), "coordinate {i} absent in masked part");
                 buf.get_bits(i * width as usize, width)
             }
+            // trimlint: allow(hot-path-panic) -- diagnosed misuse guard per the # Panics contract; callers check has() first
             PartView::Absent => panic!("coordinate {i} read from absent part"),
         }
     }

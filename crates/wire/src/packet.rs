@@ -14,7 +14,7 @@
 
 use crate::ethernet::{self, EthernetFrame, MacAddr, ETHERTYPE_IPV4};
 use crate::ipv4::{self, Ipv4Addr, Ipv4Packet, DSCP_BULK, DSCP_TRIMMED, PROTO_UDP};
-use crate::payload::PayloadLayout;
+use crate::payload::{PayloadLayout, MAX_PARTS};
 use crate::trimhdr::{self, TrimGradFields, TrimGradHeader};
 use crate::udp::{self, UdpDatagram, PORT_GRADIENT};
 use crate::{Result, WireError};
@@ -70,7 +70,25 @@ pub struct ParsedGrad<'a> {
     /// TrimGrad header fields.
     pub fields: TrimGradFields,
     /// Borrowed payload sections, `fields.trim_depth` of them.
-    pub sections: Vec<&'a [u8]>,
+    pub sections: Sections<'a>,
+}
+
+/// Up to [`MAX_PARTS`] borrowed payload sections, stored inline so parsing a
+/// packet allocates nothing — the switch trim path parses every forwarded
+/// packet. Derefs to `[&[u8]]`, so indexing, `len()`, and iteration read
+/// like the `Vec` it replaced.
+#[derive(Debug, Clone, Copy)]
+pub struct Sections<'a> {
+    refs: [&'a [u8]; MAX_PARTS],
+    n: usize,
+}
+
+impl<'a> std::ops::Deref for Sections<'a> {
+    type Target = [&'a [u8]];
+
+    fn deref(&self) -> &Self::Target {
+        &self.refs[..self.n]
+    }
 }
 
 impl GradPacket {
@@ -239,7 +257,14 @@ impl GradPacket {
         if body.len() < layout.trim_point(depth) {
             return Err(WireError::Truncated);
         }
-        let sections = (0..depth).map(|j| &body[layout.section_range(j)]).collect();
+        debug_assert!(depth <= MAX_PARTS, "new_checked bounds trim_depth");
+        let mut sections = Sections {
+            refs: [&[]; MAX_PARTS],
+            n: depth,
+        };
+        for (j, slot) in sections.refs.iter_mut().enumerate().take(depth) {
+            *slot = &body[layout.section_range(j)];
+        }
         Ok(ParsedGrad {
             net,
             fields,

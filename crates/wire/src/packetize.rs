@@ -70,6 +70,7 @@ pub fn packetize_row(enc: &EncodedRow, cfg: &PacketizeConfig) -> PacketizedRow {
 ///
 /// Panics if the MTU is too small to fit even one coordinate — a static
 /// misconfiguration.
+// trimlint: hot-path -- per-row frame build on the send path
 #[must_use]
 pub fn packetize_row_pooled(
     enc: &EncodedRow,
@@ -96,6 +97,7 @@ pub fn packetize_row_pooled(
         .unwrap_or_else(|| panic!("MTU {} cannot fit one coordinate", cfg.mtu));
     let n_parts = narrow::to_u8(part_bits.len(), "part count");
     let n_chunks = enc.n.div_ceil(per_packet);
+    // trimlint: allow(hot-path-alloc) -- one row-level Vec of packet handles per call; the frames themselves come from the pool
     let mut packets = Vec::with_capacity(n_chunks);
     for chunk_id in 0..n_chunks {
         let start = chunk_id * per_packet;

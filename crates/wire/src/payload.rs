@@ -19,10 +19,18 @@
 //! remainder is the information needed to recover the coordinates' original
 //! precision".
 
+/// Upper bound on parts a scheme may define (the richest is `[1, 8, 23]`).
+/// Keeping the bound small lets layouts and parsed-section tables live
+/// inline: the per-packet paths construct them without heap allocation.
+pub const MAX_PARTS: usize = 4;
+
 /// Payload geometry for one packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PayloadLayout {
-    part_bits: Vec<u32>,
+    /// Widths, inline; slots past `n_parts` stay zero so derived equality
+    /// compares only meaningful state.
+    part_bits: [u32; MAX_PARTS],
+    used: usize,
     coord_count: usize,
 }
 
@@ -32,15 +40,20 @@ impl PayloadLayout {
     ///
     /// # Panics
     ///
-    /// Panics if `part_bits` is empty or contains zero widths, or if
-    /// `coord_count` is zero — empty packets are never built.
+    /// Panics if `part_bits` is empty, longer than [`MAX_PARTS`], or
+    /// contains zero widths, or if `coord_count` is zero — empty packets are
+    /// never built.
     #[must_use]
     pub fn new(part_bits: &[u32], coord_count: usize) -> Self {
         assert!(!part_bits.is_empty(), "at least one part required");
+        assert!(part_bits.len() <= MAX_PARTS, "more than {MAX_PARTS} parts");
         assert!(part_bits.iter().all(|&w| w > 0), "zero-width part");
         assert!(coord_count > 0, "empty packet");
+        let mut inline = [0u32; MAX_PARTS];
+        inline[..part_bits.len()].copy_from_slice(part_bits);
         Self {
-            part_bits: part_bits.to_vec(),
+            part_bits: inline,
+            used: part_bits.len(),
             coord_count,
         }
     }
@@ -48,7 +61,7 @@ impl PayloadLayout {
     /// Number of parts.
     #[must_use]
     pub fn n_parts(&self) -> usize {
-        self.part_bits.len()
+        self.used
     }
 
     /// Coordinates carried.
@@ -60,7 +73,7 @@ impl PayloadLayout {
     /// Part widths.
     #[must_use]
     pub fn part_bits(&self) -> &[u32] {
-        &self.part_bits
+        &self.part_bits[..self.used]
     }
 
     /// Byte length of section `j`.
@@ -70,6 +83,7 @@ impl PayloadLayout {
     /// Panics if `j` is out of range.
     #[must_use]
     pub fn section_len(&self, j: usize) -> usize {
+        assert!(j < self.used, "section {j} out of range");
         (self.coord_count * self.part_bits[j] as usize).div_ceil(8)
     }
 

@@ -132,6 +132,7 @@ impl RowAssembler {
     ///
     /// Parse/validation errors, or [`WireError::BadField`] when the packet
     /// belongs to a different row or exceeds the row bounds.
+    // trimlint: hot-path -- per-packet reassembly on the receive path
     pub fn ingest(&mut self, pkt: &GradPacket) -> Result<()> {
         let parsed = pkt.parse()?;
         let f = &parsed.fields;
