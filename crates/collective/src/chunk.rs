@@ -34,7 +34,8 @@ impl MessageCodec {
     ///
     /// # Panics
     ///
-    /// Panics if `row_len` is zero.
+    /// Panics if `row_len` is zero. Use [`checked`](Self::checked) when the
+    /// row length comes from untrusted configuration.
     #[must_use]
     pub fn with_row_len(scheme: SchemeId, base_seed: u64, row_len: usize) -> Self {
         assert!(row_len > 0, "zero row length");
@@ -44,6 +45,23 @@ impl MessageCodec {
             row_len,
             base_seed,
         }
+    }
+
+    /// Fallible [`with_row_len`](Self::with_row_len): returns a typed error
+    /// instead of panicking on a zero row length from untrusted config.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecConfigError::ZeroRowLen`] when `row_len` is zero.
+    pub fn checked(
+        scheme: SchemeId,
+        base_seed: u64,
+        row_len: usize,
+    ) -> Result<Self, CodecConfigError> {
+        if row_len == 0 {
+            return Err(CodecConfigError::ZeroRowLen);
+        }
+        Ok(Self::with_row_len(scheme, base_seed, row_len))
     }
 
     /// The configured scheme.
@@ -97,11 +115,33 @@ impl MessageCodec {
         msg_id: u32,
         pool: &WorkerPool,
     ) -> Vec<EncodedRow> {
+        self.encode_rows_pooled(blob, epoch, msg_id, pool)
+    }
+
+    /// Batched multi-row encode: each worker takes one contiguous stripe of
+    /// whole rows and encodes them back to back.
+    ///
+    /// This replaces the previous per-row work distribution (round-robin row
+    /// indices merged through a channel), whose per-row send/recv and
+    /// re-splitting overhead made the pooled path *slower* than serial when
+    /// spawning bought no real parallelism — the `row_encode_pipeline`
+    /// threads4 regression. Striping whole rows keeps each worker on
+    /// consecutive memory and pays one spawn/join per worker total. Row seeds
+    /// depend only on the row index, so output is bit-identical for every
+    /// pool width.
+    #[must_use]
+    pub fn encode_rows_pooled(
+        &self,
+        blob: &[f32],
+        epoch: u32,
+        msg_id: u32,
+        pool: &WorkerPool,
+    ) -> Vec<EncodedRow> {
         if blob.is_empty() {
             return Vec::new();
         }
         let n_rows = self.rows_for(blob.len());
-        pool.map_indexed(n_rows, |row_id| {
+        pool.map_striped(n_rows, |row_id| {
             let start = row_id * self.row_len;
             let row = &blob[start..blob.len().min(start + self.row_len)];
             self.scheme
@@ -158,6 +198,23 @@ impl MessageCodec {
     }
 }
 
+/// Errors from validating codec configuration sourced from untrusted input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecConfigError {
+    /// The configured row length is zero.
+    ZeroRowLen,
+}
+
+impl core::fmt::Display for CodecConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecConfigError::ZeroRowLen => f.write_str("row length must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for CodecConfigError {}
+
 impl core::fmt::Debug for MessageCodec {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("MessageCodec")
@@ -185,6 +242,31 @@ mod tests {
         assert_eq!(c.rows_for(100), 1);
         assert_eq!(c.rows_for(101), 2);
         assert_eq!(MessageCodec::new(SchemeId::RhtOneBit, 0).row_len(), 32_768);
+    }
+
+    #[test]
+    fn checked_rejects_zero_row_len() {
+        assert_eq!(
+            MessageCodec::checked(SchemeId::RhtOneBit, 0, 0).unwrap_err(),
+            CodecConfigError::ZeroRowLen
+        );
+        assert_eq!(
+            MessageCodec::checked(SchemeId::RhtOneBit, 0, 64)
+                .unwrap()
+                .row_len(),
+            64
+        );
+    }
+
+    #[test]
+    fn striped_encode_matches_serial_at_every_width() {
+        let c = MessageCodec::with_row_len(SchemeId::RhtOneBit, 11, 64);
+        let b = blob(500, 9); // 8 rows, last one partial
+        let serial = c.encode_rows_pooled(&b, 2, 3, &WorkerPool::serial());
+        for threads in [2, 3, 4, 8] {
+            let pooled = c.encode_rows_pooled(&b, 2, 3, &WorkerPool::new(threads));
+            assert_eq!(pooled, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -92,19 +92,71 @@ impl PipelineConfigBuilder {
     ///
     /// # Panics
     ///
-    /// Panics on a zero row length or an MTU too small for headers.
+    /// Panics on a zero row length or an MTU too small for headers. Use
+    /// [`try_build`](Self::try_build) when the values come from untrusted
+    /// configuration.
     #[must_use]
     pub fn build(self) -> PipelineConfig {
-        assert!(self.row_len > 0, "zero row length");
-        assert!(self.mtu > 100, "MTU too small for the header stack");
-        PipelineConfig {
+        match self.try_build() {
+            Ok(cfg) => cfg,
+            // trimlint: allow(no-panic) -- documented panicking wrapper over try_build
+            Err(PipelineConfigError::ZeroRowLen) => panic!("zero row length"),
+            Err(PipelineConfigError::MtuTooSmall { .. }) => {
+                // trimlint: allow(no-panic) -- documented panicking wrapper over try_build
+                panic!("MTU too small for the header stack")
+            }
+        }
+    }
+
+    /// Fallible [`build`](Self::build): returns a typed error instead of
+    /// panicking, for configuration sourced from untrusted input (CLI flags,
+    /// config files, remote peers).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineConfigError::ZeroRowLen`] for a zero row length,
+    /// [`PipelineConfigError::MtuTooSmall`] when the MTU cannot fit the
+    /// header stack.
+    pub fn try_build(self) -> Result<PipelineConfig, PipelineConfigError> {
+        if self.row_len == 0 {
+            return Err(PipelineConfigError::ZeroRowLen);
+        }
+        if self.mtu <= 100 {
+            return Err(PipelineConfigError::MtuTooSmall { mtu: self.mtu });
+        }
+        Ok(PipelineConfig {
             scheme: self.scheme,
             row_len: self.row_len,
             mtu: self.mtu,
             base_seed: self.base_seed,
+        })
+    }
+}
+
+/// Errors from validating a [`PipelineConfig`] sourced from untrusted input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineConfigError {
+    /// The configured row length is zero.
+    ZeroRowLen,
+    /// The configured MTU cannot fit the Ethernet/IP/UDP/TrimGrad headers.
+    MtuTooSmall {
+        /// The offending MTU.
+        mtu: usize,
+    },
+}
+
+impl core::fmt::Display for PipelineConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PipelineConfigError::ZeroRowLen => f.write_str("row length must be non-zero"),
+            PipelineConfigError::MtuTooSmall { mtu } => {
+                write!(f, "MTU {mtu} too small for the header stack")
+            }
         }
     }
 }
+
+impl std::error::Error for PipelineConfigError {}
 
 /// Sender-side output of [`TrimmablePipeline::encode`].
 #[derive(Debug)]
@@ -199,7 +251,7 @@ impl TrimmablePipeline {
         let codec = self.codec();
         let rows = codec.encode_message_pooled(blob, epoch, msg_id, &pool);
         let net = NetAddrs::between_hosts(src_host, dst_host);
-        let packetized = pool.map_indexed(rows.len(), |row_id| {
+        let packetized = pool.map_striped(rows.len(), |row_id| {
             packetize_row(
                 &rows[row_id],
                 &PacketizeConfig {
@@ -366,6 +418,20 @@ mod tests {
     #[should_panic(expected = "MTU too small")]
     fn builder_rejects_tiny_mtu() {
         let _ = PipelineConfig::builder().mtu(50).build();
+    }
+
+    #[test]
+    fn try_build_returns_typed_errors() {
+        assert_eq!(
+            PipelineConfig::builder().row_len(0).try_build().unwrap_err(),
+            PipelineConfigError::ZeroRowLen
+        );
+        assert_eq!(
+            PipelineConfig::builder().mtu(100).try_build().unwrap_err(),
+            PipelineConfigError::MtuTooSmall { mtu: 100 }
+        );
+        let cfg = PipelineConfig::builder().try_build().unwrap();
+        assert_eq!(cfg.row_len, 32_768);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::prng::derive_seed;
 use crate::rht::RandomizedHadamard;
+use crate::{Error, Result};
 use trimgrad_par::WorkerPool;
 
 /// Default row length used by the paper: 2¹⁵ coordinates.
@@ -33,7 +34,8 @@ impl BlockRht {
     ///
     /// Panics if `row_len` is zero or not a power of two — row lengths are a
     /// static protocol parameter, so this is a programming error rather than
-    /// a runtime condition.
+    /// a runtime condition. Use [`try_new`](Self::try_new) when the row
+    /// length comes from untrusted configuration.
     #[must_use]
     pub fn new(seed: u64, row_len: usize) -> Self {
         assert!(
@@ -41,6 +43,23 @@ impl BlockRht {
             "row_len {row_len} must be a non-zero power of two"
         );
         Self { seed, row_len }
+    }
+
+    /// Fallible [`new`](Self::new): returns a typed error instead of
+    /// panicking, for row lengths sourced from untrusted configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Empty`] for a zero row length, [`Error::NotPowerOfTwo`]
+    /// otherwise when the length is not a power of two.
+    pub fn try_new(seed: u64, row_len: usize) -> Result<Self> {
+        if row_len == 0 {
+            return Err(Error::Empty);
+        }
+        if !row_len.is_power_of_two() {
+            return Err(Error::NotPowerOfTwo { len: row_len });
+        }
+        Ok(Self { seed, row_len })
     }
 
     /// Creates a blocked transform with the paper's default 2¹⁵ row length.
@@ -184,6 +203,16 @@ mod tests {
     #[should_panic(expected = "must be a non-zero power of two")]
     fn rejects_zero_row_len() {
         let _ = BlockRht::new(0, 0);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        assert_eq!(BlockRht::try_new(0, 0), Err(Error::Empty));
+        assert_eq!(
+            BlockRht::try_new(0, 100),
+            Err(Error::NotPowerOfTwo { len: 100 })
+        );
+        assert_eq!(BlockRht::try_new(7, 64), Ok(BlockRht::new(7, 64)));
     }
 
     #[test]

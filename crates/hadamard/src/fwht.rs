@@ -43,8 +43,89 @@ fn butterfly_stage(data: &mut [f32], h: usize) {
     }
 }
 
+/// Two consecutive butterfly stages (widths `2h` and `4h`) fused over each
+/// `4h` block, touching every element once instead of twice.
+///
+/// Writing the quarters as `q0..q3`, stage `h` computes `(a±b, c±d)` and
+/// stage `2h` then combines those across the half-blocks; the fused body
+/// evaluates exactly the same f32 additions on the same operands in the same
+/// order, so the result is bit-identical to two [`butterfly_stage`] passes.
+fn butterfly_stage2(data: &mut [f32], h: usize) {
+    for block in data.chunks_exact_mut(4 * h) {
+        let (front, back) = block.split_at_mut(2 * h);
+        let (q0, q1) = front.split_at_mut(h);
+        let (q2, q3) = back.split_at_mut(h);
+        for (((a, b), c), d) in q0
+            .iter_mut()
+            .zip(q1.iter_mut())
+            .zip(q2.iter_mut())
+            .zip(q3.iter_mut())
+        {
+            let ab = *a + *b;
+            let amb = *a - *b;
+            let cd = *c + *d;
+            let cmd = *c - *d;
+            *a = ab + cd;
+            *b = amb + cmd;
+            *c = ab - cd;
+            *d = amb - cmd;
+        }
+    }
+}
+
+/// Block size for the cache-blocked transform: 8192 f32 = 32 KiB, small
+/// enough to stay resident in a 48 KiB L1d across all of a block's local
+/// stages while leaving room for everything else the loop touches. Larger
+/// blocks mean fewer cross-block passes over the whole row (one less for
+/// the paper's 2¹⁵ rows than a 16 KiB block).
+const BLOCK: usize = 1 << 13;
+
+/// All stages within one power-of-two slice, radix-4 fused: stages are run
+/// in the usual `h = 1, 2, 4, …` order but two at a time, halving the number
+/// of passes over the data.
+fn butterflies_local(data: &mut [f32]) {
+    let n = data.len();
+    let mut h = 1;
+    while 4 * h <= n {
+        butterfly_stage2(data, h);
+        h *= 4;
+    }
+    if h < n {
+        butterfly_stage(data, h);
+    }
+}
+
 /// All stages of the transform, without length validation.
+///
+/// Cache-blocked: every [`BLOCK`]-sized block runs all of its local stages
+/// while L1-resident (stages with butterfly width ≤ `BLOCK` touch only one
+/// block, so per-block execution performs exactly those stages of the global
+/// transform), then the remaining cross-block stages sweep the whole slice,
+/// still radix-4 fused. Bit-identical to the one-stage-per-pass reference
+/// ([`butterflies_reference`]) for every length.
 fn butterflies(data: &mut [f32]) {
+    let n = data.len();
+    if n <= BLOCK {
+        butterflies_local(data);
+        return;
+    }
+    for block in data.chunks_exact_mut(BLOCK) {
+        butterflies_local(block);
+    }
+    let mut h = BLOCK;
+    while 4 * h <= n {
+        butterfly_stage2(data, h);
+        h *= 4;
+    }
+    if h < n {
+        butterfly_stage(data, h);
+    }
+}
+
+/// Reference staged implementation: one full pass over the slice per stage.
+/// Retained as the bit-identity oracle for the blocked/fused fast path.
+#[cfg(test)]
+fn butterflies_reference(data: &mut [f32]) {
     let mut h = 1;
     while h < data.len() {
         butterfly_stage(data, h);
@@ -92,24 +173,39 @@ fn prev_pow2(x: usize) -> usize {
 // trimlint: hot-path -- per-row transform on the encode path
 pub fn fwht_inplace_pooled(data: &mut [f32], pool: &WorkerPool) -> Result<()> {
     check_pow2(data)?;
+    butterflies_pooled(data, pool);
+    Ok(())
+}
+
+/// The pooled butterfly network without length validation: `data.len()` must
+/// be a power of two or zero (empty and length-1 slices are no-ops). Lets
+/// callers that construct power-of-two buffers themselves (the padded RHT
+/// paths) stay panic-free end to end.
+pub(crate) fn butterflies_pooled(data: &mut [f32], pool: &WorkerPool) {
     let n = data.len();
+    if n <= 1 {
+        return;
+    }
     let workers = prev_pow2(pool.threads().min(n));
     if workers <= 1 || n < PAR_MIN_LEN {
         butterflies(data);
-        return Ok(());
+        return;
     }
     let seg = n / workers;
     // Stages with block width ≤ seg are fully contained in one segment;
     // running the full serial transform on a segment performs exactly those
     // stages of the global transform restricted to it.
     pool.for_each_chunk_mut(data, seg, |_, segment| butterflies(segment));
-    // Cross-segment tail: log2(workers) stages over the whole slice.
+    // Cross-segment tail: log2(workers) stages over the whole slice, radix-4
+    // fused like the serial path (same stages, same operand order).
     let mut h = seg;
-    while h < n {
-        butterfly_stage(data, h);
-        h *= 2;
+    while 4 * h <= n {
+        butterfly_stage2(data, h);
+        h *= 4;
     }
-    Ok(())
+    if h < n {
+        butterfly_stage(data, h);
+    }
 }
 
 /// Applies the orthonormal Walsh–Hadamard transform `(1/√n)·H_n` in place.
@@ -139,7 +235,7 @@ pub fn fwht_orthonormal_pooled(data: &mut [f32], pool: &WorkerPool) -> Result<()
     Ok(())
 }
 
-fn scale_by_inv_sqrt_n(data: &mut [f32]) {
+pub(crate) fn scale_by_inv_sqrt_n(data: &mut [f32]) {
     let scale = 1.0 / (data.len() as f32).sqrt();
     for v in data.iter_mut() {
         *v *= scale;
@@ -244,6 +340,36 @@ mod tests {
         assert_eq!(hadamard_entry(0, 1), 1.0);
         assert_eq!(hadamard_entry(1, 0), 1.0);
         assert_eq!(hadamard_entry(1, 1), -1.0);
+    }
+
+    #[test]
+    fn blocked_fused_path_is_bit_identical_to_reference() {
+        // Covers: radix-4 only (n = 4^k), odd final stage (n = 2·4^k), the
+        // single-block boundary (n = BLOCK), and multi-block lengths with
+        // both even and odd cross-block stage counts (2·BLOCK, 8·BLOCK).
+        for n in [
+            1usize,
+            2,
+            4,
+            8,
+            64,
+            128,
+            2048,
+            BLOCK,
+            2 * BLOCK,
+            8 * BLOCK,
+        ] {
+            let data: Vec<f32> = (0..n)
+                .map(|i| ((i * 2_654_435_761) % 1000) as f32 / 9.7 - 51.0)
+                .collect();
+            let mut fast = data.clone();
+            butterflies(&mut fast);
+            let mut reference = data;
+            butterflies_reference(&mut reference);
+            for (i, (f, r)) in fast.iter().zip(&reference).enumerate() {
+                assert_eq!(f.to_bits(), r.to_bits(), "n={n} i={i}");
+            }
+        }
     }
 
     #[test]

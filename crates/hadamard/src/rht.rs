@@ -93,24 +93,37 @@ impl RandomizedHadamard {
     }
 
     /// Forward RHT of a slice of arbitrary length: zero-pads to the next
-    /// power of two and returns the rotated (padded) vector.
+    /// power of two and returns the rotated (padded) vector. An empty input
+    /// yields an empty rotation.
+    ///
+    /// Total (no panics, no errors): the padded length is a power of two by
+    /// construction, so this goes straight to the unchecked butterfly core —
+    /// the encode hot path has no panic edge through here.
     ///
     /// The receiver must know the original length to invert; see
     /// [`inverse_padded`](Self::inverse_padded).
+    // trimlint: hot-path -- per-row rotation on the encode path
     #[must_use]
     pub fn forward_padded(&self, data: &[f32]) -> Vec<f32> {
+        if data.is_empty() {
+            return Vec::new();
+        }
         let n = crate::next_pow2(data.len());
+        // trimlint: allow(hot-path-alloc) -- one rotation buffer per row, amortized
         let mut buf = Vec::with_capacity(n);
         buf.extend_from_slice(data);
         buf.resize(n, 0.0);
-        self.forward(&mut buf)
-            .expect("padded length is a power of two");
+        let mut diag = RademacherDiagonal::new(self.seed);
+        diag.apply(&mut buf);
+        crate::fwht::butterflies_pooled(&mut buf, &WorkerPool::global());
+        crate::fwht::scale_by_inv_sqrt_n(&mut buf);
         buf
     }
 
     /// Inverts a padded rotation and truncates back to `original_len`.
     ///
-    /// `rotated.len()` must be a power of two and `original_len <= rotated.len()`.
+    /// `rotated.len()` must be a power of two (or empty, inverting to empty)
+    /// and `original_len <= rotated.len()`.
     #[must_use]
     pub fn inverse_padded(&self, rotated: &[f32], original_len: usize) -> Vec<f32> {
         assert!(
@@ -118,9 +131,15 @@ impl RandomizedHadamard {
             "original_len {original_len} exceeds rotated length {}",
             rotated.len()
         );
+        assert!(
+            rotated.is_empty() || rotated.len().is_power_of_two(),
+            "rotated length {} is not a power of two",
+            rotated.len()
+        );
         let mut buf = rotated.to_vec();
-        self.inverse(&mut buf)
-            .expect("rotated input must have power-of-two length");
+        crate::fwht::butterflies_pooled(&mut buf, &WorkerPool::global());
+        crate::fwht::scale_by_inv_sqrt_n(&mut buf);
+        RademacherDiagonal::new(self.seed).apply(&mut buf);
         buf.truncate(original_len);
         buf
     }

@@ -59,8 +59,24 @@ fn resolved_global_threads() -> usize {
             .and_then(|v| v.trim().parse::<usize>().ok());
         match from_env {
             Some(t) => t.max(1),
-            None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            None => hardware_threads(),
         }
+    })
+}
+
+/// Number of hardware execution contexts the OS reports
+/// ([`std::thread::available_parallelism`], cached; 1 when unknown).
+///
+/// Parallel regions never spawn more workers than this: on a single-core
+/// machine a 4-wide pool would pay thread spawn and merge overhead with zero
+/// concurrency in return (the `row_encode_pipeline` threads4 regression).
+/// The clamp is a pure scheduling decision — chunk↔index assignment and merge
+/// order are unchanged, so results stay bit-identical at every width.
+#[must_use]
+pub fn hardware_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     })
 }
 
@@ -114,6 +130,64 @@ impl WorkerPool {
         self.threads
     }
 
+    /// How many workers a region with `n` work items actually spawns:
+    /// the configured width, clamped to the item count and to
+    /// [`hardware_threads`]. `<= 1` means the region runs inline.
+    fn spawn_width(&self, n: usize) -> usize {
+        self.threads.min(n).min(hardware_threads())
+    }
+
+    /// Maps each index in `0..n` through `f`, returning results in index
+    /// order — bit-identical to `(0..n).map(f).collect()`, like
+    /// [`map_indexed`](Self::map_indexed), but each worker evaluates one
+    /// **contiguous** stripe of indices and writes results straight into its
+    /// stripe of the output (no per-item channel send, no merge loop).
+    ///
+    /// Prefer this over `map_indexed` when per-item results are large (e.g.
+    /// encoded gradient rows) or items are numerous: the only synchronization
+    /// is thread join, and contiguous stripes keep each worker's reads inside
+    /// one span of the input instead of striding across all of it.
+    pub fn map_striped<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.spawn_width(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        // trimlint: allow(hot-path-alloc) -- one output slot per row, amortized over the whole message
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        // Stripe i covers [i·q + min(i, r), …) where q = n / workers and
+        // r = n % workers: the first r stripes get one extra item, so sizes
+        // differ by at most one and the boundaries are a pure function of
+        // (n, workers).
+        let q = n / workers;
+        let r = n % workers;
+        std::thread::scope(|s| {
+            let f = &f;
+            let mut rest = slots.as_mut_slice();
+            let mut start = 0;
+            for w in 0..workers {
+                let len = q + usize::from(w < r);
+                let (stripe, tail) = rest.split_at_mut(len);
+                rest = tail;
+                s.spawn(move || {
+                    IN_WORKER.with(|flag| flag.set(true));
+                    for (off, slot) in stripe.iter_mut().enumerate() {
+                        *slot = Some(f(start + off));
+                    }
+                });
+                start += len;
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every index in 0..n lies in exactly one stripe"))
+            .collect()
+    }
+
     /// Maps each index in `0..n` through `f`, returning results in index
     /// order — bit-identical to `(0..n).map(f).collect()`.
     ///
@@ -125,10 +199,10 @@ impl WorkerPool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        if self.threads <= 1 || n <= 1 {
+        let workers = self.spawn_width(n);
+        if workers <= 1 {
             return (0..n).map(f).collect();
         }
-        let workers = self.threads.min(n);
         let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
         std::thread::scope(|s| {
@@ -171,13 +245,13 @@ impl WorkerPool {
     {
         assert!(chunk_len > 0, "chunk_len must be positive");
         let n_chunks = data.len().div_ceil(chunk_len);
-        if self.threads <= 1 || n_chunks <= 1 {
+        let workers = self.spawn_width(n_chunks);
+        if workers <= 1 {
             for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
                 f(i, chunk);
             }
             return;
         }
-        let workers = self.threads.min(n_chunks);
         // trimlint: allow(hot-path-alloc) -- bounded by thread count and amortized over the whole slice, not per packet
         let mut stripes: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(workers);
         stripes.resize_with(workers, Vec::new);
@@ -272,11 +346,55 @@ mod tests {
     fn nested_regions_degrade_to_serial_inside_workers() {
         let pool = WorkerPool::new(4);
         let widths = pool.map_indexed(8, |_| WorkerPool::global().threads());
-        assert!(
-            widths.iter().all(|&w| w == 1),
-            "global() inside a worker must be serial, got {widths:?}"
-        );
+        if hardware_threads() > 1 {
+            assert!(
+                widths.iter().all(|&w| w == 1),
+                "global() inside a worker must be serial, got {widths:?}"
+            );
+        } else {
+            // Single-core host: the hardware clamp keeps the region inline,
+            // so no worker flag is ever set and global() keeps its width.
+            let outer = WorkerPool::global().threads();
+            assert!(
+                widths.iter().all(|&w| w == outer),
+                "inline region must see the outer global width {outer}, got {widths:?}"
+            );
+        }
         // Outside a worker the global pool keeps its configured width.
         assert!(WorkerPool::global().threads() >= 1);
+    }
+
+    #[test]
+    fn map_striped_matches_serial_for_every_width() {
+        let f = |i: usize| (i as u64).wrapping_mul(0xD134_2543_DE82_EF95) ^ !(i as u64);
+        for n in [0usize, 1, 2, 3, 7, 8, 64, 257] {
+            let serial: Vec<u64> = (0..n).map(f).collect();
+            for threads in 1..=8 {
+                let pool = WorkerPool::new(threads);
+                assert_eq!(pool.map_striped(n, f), serial, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_striped_sets_worker_flag_when_spawning() {
+        // Whenever map_striped does spawn, nested global() must degrade;
+        // when the clamp keeps it inline, the outer width shows through.
+        let widths = WorkerPool::new(4).map_striped(8, |_| WorkerPool::global().threads());
+        if hardware_threads() > 1 {
+            assert!(widths.iter().all(|&w| w == 1), "got {widths:?}");
+        } else {
+            let outer = WorkerPool::global().threads();
+            assert!(widths.iter().all(|&w| w == outer), "got {widths:?}");
+        }
+    }
+
+    #[test]
+    fn spawn_width_clamps_to_hardware() {
+        let pool = WorkerPool::new(64);
+        assert!(pool.spawn_width(1000) <= hardware_threads());
+        assert_eq!(pool.spawn_width(0), 0);
+        assert_eq!(pool.spawn_width(1), 1);
+        assert_eq!(WorkerPool::serial().spawn_width(1000), 1);
     }
 }

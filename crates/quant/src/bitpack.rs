@@ -41,16 +41,29 @@ impl BitBuf {
 
     /// Reconstructs a buffer from raw bytes and a bit length (wire → memory).
     ///
+    /// The byte vector is normalized to exactly `len.div_ceil(8)` bytes with
+    /// the slack bits of the final byte cleared. Without this, a buffer built
+    /// from an oversized vector (or one whose final byte carried stray slack
+    /// bits) would violate the append invariant: `push_bits`/`extend` write
+    /// at byte `len / 8`, so trailing surplus bytes would shadow the appended
+    /// bits and dirty slack would OR into the next field.
+    ///
     /// # Panics
     ///
     /// Panics if `bytes` is too short to hold `len` bits.
     #[must_use]
-    pub fn from_bytes(bytes: Vec<u8>, len: usize) -> Self {
+    pub fn from_bytes(mut bytes: Vec<u8>, len: usize) -> Self {
         assert!(
             bytes.len() * 8 >= len,
             "{} bytes cannot hold {len} bits",
             bytes.len()
         );
+        bytes.truncate(len.div_ceil(8));
+        if !len.is_multiple_of(8) {
+            if let Some(last) = bytes.last_mut() {
+                *last &= (1u8 << (len % 8)) - 1;
+            }
+        }
         Self { bytes, len }
     }
 
@@ -374,6 +387,102 @@ fn read_bits_from_bytes(src: &[u8], offset: usize, width: u32) -> u64 {
     out
 }
 
+/// A word-at-a-time bitstream writer producing the same LSB-first layout as
+/// repeated [`BitBuf::push_bits`] calls, but buffering into a `u64`
+/// accumulator so the common case is one shift/or per field and one 8-byte
+/// store per 64 bits — instead of per-byte read-modify-write loops.
+///
+/// Invariants: `fill < 64`, and all accumulator bits at or above `fill` are
+/// zero (so flushing never needs masking).
+#[derive(Debug, Default)]
+pub struct BitPacker {
+    bytes: Vec<u8>,
+    acc: u64,
+    fill: u32,
+}
+
+impl BitPacker {
+    /// Creates an empty packer with capacity for `bits` bits.
+    #[must_use]
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(bits.div_ceil(8)),
+            acc: 0,
+            fill: 0,
+        }
+    }
+
+    /// Number of bits written so far.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.fill as usize
+    }
+
+    /// Appends the low `width` bits of `value` (LSB first). `width <= 64`,
+    /// and `value` must not have bits set at or above `width` — checked only
+    /// in debug builds, since every call site passes masked fields.
+    #[inline]
+    pub fn push(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64, "width {width} > 64");
+        debug_assert!(
+            width == 64 || value >> width == 0,
+            "value {value:#x} wider than {width} bits"
+        );
+        self.acc |= value << self.fill;
+        let new_fill = self.fill + width;
+        if new_fill >= 64 {
+            self.bytes.extend_from_slice(&self.acc.to_le_bytes());
+            let consumed = 64 - self.fill;
+            // `value >> 64` is UB-shaped; it only arises when the accumulator
+            // was empty and the full value already landed in `acc`.
+            self.acc = if consumed >= 64 { 0 } else { value >> consumed };
+            self.fill = new_fill - 64;
+        } else {
+            self.fill = new_fill;
+        }
+    }
+
+    /// Finalizes into a [`BitBuf`], flushing the partial accumulator word.
+    #[must_use]
+    pub fn finish(mut self) -> BitBuf {
+        let len = self.bit_len();
+        let tail_bytes = (self.fill as usize).div_ceil(8);
+        self.bytes
+            .extend_from_slice(&self.acc.to_le_bytes()[..tail_bytes]);
+        BitBuf {
+            bytes: self.bytes,
+            len,
+        }
+    }
+}
+
+/// Packs the sign bit of every value (1 = negative) into a 1-bit-per-entry
+/// buffer, gathering 64 signs into a `u64` word at a time via
+/// `f32::to_bits() >> 31` instead of one `push_bits` call per coordinate.
+// trimlint: hot-path -- sign-plane extraction for every encode scheme
+#[must_use]
+pub fn pack_signs(values: &[f32]) -> BitBuf {
+    // trimlint: allow(hot-path-alloc) -- one buffer allocation per row part, amortized
+    let mut out = BitPacker::with_capacity(values.len());
+    let mut chunks = values.chunks_exact(64);
+    for chunk in chunks.by_ref() {
+        let mut word = 0u64;
+        for (j, v) in chunk.iter().enumerate() {
+            word |= u64::from(v.to_bits() >> 31) << j;
+        }
+        out.push(word, 64);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut word = 0u64;
+        for (j, v) in rem.iter().enumerate() {
+            word |= u64::from(v.to_bits() >> 31) << j;
+        }
+        out.push(word, rem.len() as u32);
+    }
+    out.finish()
+}
+
 /// A fixed-size, bit-addressed presence mask (one bit per coordinate).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitMask {
@@ -589,6 +698,92 @@ mod tests {
     #[should_panic(expected = "cannot hold")]
     fn from_bytes_rejects_short_buffer() {
         let _ = BitBuf::from_bytes(vec![0u8; 1], 9);
+    }
+
+    #[test]
+    fn from_bytes_normalizes_oversized_vector() {
+        // Regression: surplus trailing bytes used to survive, so a later
+        // append wrote *after* them and reads at the old length hit stale
+        // data instead of the appended bits.
+        let mut b = BitBuf::from_bytes(vec![0xAB, 0xFF, 0xFF], 8);
+        assert_eq!(b.as_bytes(), &[0xAB]);
+        b.push_bits(0x5, 3);
+        assert_eq!(b.get_bits(8, 3), 0x5);
+        assert_eq!(b.len(), 11);
+    }
+
+    #[test]
+    fn from_bytes_clears_dirty_slack() {
+        // Regression: slack bits in the final byte used to survive, so a
+        // later push ORed into dirty storage and read back wrong values.
+        let mut b = BitBuf::from_bytes(vec![0xFF], 3);
+        assert_eq!(b.as_bytes(), &[0b0000_0111]);
+        b.push_bit(false);
+        assert!(!b.get_bit(3));
+        let clean = {
+            let mut c = BitBuf::new();
+            c.push_bits(0b111, 3);
+            c.push_bit(false);
+            c
+        };
+        assert_eq!(b, clean);
+    }
+
+    #[test]
+    fn bitpacker_matches_push_bits_exactly() {
+        let fields: Vec<(u64, u32)> = (0..200)
+            .map(|i| {
+                let w = 1 + (i * 7) % 64;
+                let v = (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1))
+                    & if w == 64 { u64::MAX } else { (1 << w) - 1 };
+                (v, w as u32)
+            })
+            .collect();
+        let mut reference = BitBuf::new();
+        let mut packer = BitPacker::with_capacity(0);
+        for &(v, w) in &fields {
+            reference.push_bits(v, w);
+            packer.push(v, w);
+            assert_eq!(packer.bit_len(), reference.len());
+        }
+        assert_eq!(packer.finish(), reference);
+    }
+
+    #[test]
+    fn bitpacker_empty_and_word_aligned() {
+        assert_eq!(BitPacker::with_capacity(8).finish(), BitBuf::new());
+        let mut p = BitPacker::with_capacity(128);
+        p.push(u64::MAX, 64);
+        p.push(0x0123_4567_89AB_CDEF, 64);
+        let b = p.finish();
+        assert_eq!(b.len(), 128);
+        assert_eq!(b.get_bits(0, 64), u64::MAX);
+        assert_eq!(b.get_bits(64, 64), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn pack_signs_matches_per_bit_pushes() {
+        for n in [0usize, 1, 63, 64, 65, 127, 128, 200, 1000] {
+            let values: Vec<f32> = (0..n)
+                .map(|i| {
+                    let v = ((i * 37) % 19) as f32 - 9.0;
+                    if i % 5 == 0 { -v } else { v }
+                })
+                .collect();
+            let mut reference = BitBuf::new();
+            for &v in &values {
+                reference.push_bit(v.is_sign_negative());
+            }
+            assert_eq!(pack_signs(&values), reference, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pack_signs_treats_negative_zero_as_negative() {
+        let b = pack_signs(&[-0.0, 0.0, f32::NEG_INFINITY]);
+        assert!(b.get_bit(0));
+        assert!(!b.get_bit(1));
+        assert!(b.get_bit(2));
     }
 
     #[test]

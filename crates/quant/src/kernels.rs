@@ -1,0 +1,217 @@
+//! Fused quantize+bitpack encode kernels (bit-parallel fast paths).
+//!
+//! Each scheme's `encode` used to emit one `BitBuf::push_bits` call per
+//! coordinate per part — a per-byte read-modify-write loop that dominated
+//! `encode_row_32k`. These kernels fuse the quantization decision with
+//! word-at-a-time packing: sign planes are gathered 64 coordinates per `u64`
+//! (`f32::to_bits() >> 31` shifted into lane position), and multi-bit fields
+//! stream through [`BitPacker`]'s shift/or accumulator, one 8-byte store per
+//! 64 bits. All loops are branch-light over contiguous slices, so the
+//! compiler can vectorize the gathers.
+//!
+//! Output is bit-identical to the scalar reference
+//! ([`crate::scheme::TrimmableScheme::encode_scalar`]): both produce the same
+//! LSB-first bitstream field by field, only the store granularity differs.
+//! The golden tests in `crates/quant/tests/encode_golden.rs` pin this
+//! byte-for-byte for every scheme.
+
+use crate::bitpack::{pack_signs, BitBuf, BitPacker};
+
+/// Splits IEEE-754 floats into a 1-bit sign plane and 31-bit
+/// exponent+mantissa tails — the sign-magnitude and RHT 1-bit layout.
+// trimlint: hot-path -- per-row packing kernel on the encode path
+#[must_use]
+pub fn encode_sign31_parts(values: &[f32]) -> (BitBuf, BitBuf) {
+    let heads = pack_signs(values);
+    // trimlint: allow(hot-path-alloc) -- one tail buffer per row, amortized
+    let mut tails = BitPacker::with_capacity(values.len() * 31);
+    for &v in values {
+        tails.push(u64::from(v.to_bits() & 0x7FFF_FFFF), 31);
+    }
+    (heads, tails.finish())
+}
+
+/// Splits IEEE-754 floats into 1-bit sign, 8-bit exponent, and 23-bit
+/// mantissa planes — the multi-level RHT layout.
+// trimlint: hot-path -- per-row packing kernel on the encode path
+#[must_use]
+pub fn encode_sign_exp_mant_parts(values: &[f32]) -> (BitBuf, BitBuf, BitBuf) {
+    let signs = pack_signs(values);
+    // trimlint: allow(hot-path-alloc) -- one exponent buffer per row, amortized
+    let mut exps = BitPacker::with_capacity(values.len() * 8);
+    // trimlint: allow(hot-path-alloc) -- one mantissa buffer per row, amortized
+    let mut mants = BitPacker::with_capacity(values.len() * 23);
+    for &v in values {
+        let bits = v.to_bits();
+        exps.push(u64::from((bits >> 23) & 0xFF), 8);
+        mants.push(u64::from(bits & 0x7F_FFFF), 23);
+    }
+    (signs, exps.finish(), mants.finish())
+}
+
+/// Packs the full 32-bit patterns of `values` — the SQ/SD tails.
+///
+/// A 32-bit field written at a 32-bit-aligned offset of the LSB-first
+/// stream is exactly the little-endian bytes of the value, so the whole
+/// part is a flat byte copy — no bit accumulator needed.
+// trimlint: hot-path -- per-row packing kernel on the encode path
+#[must_use]
+pub fn pack_f32_tails(values: &[f32]) -> BitBuf {
+    // trimlint: allow(hot-path-alloc) -- one tail buffer per row, amortized
+    let mut bytes = vec![0u8; values.len() * 4];
+    for (dst, &v) in bytes.chunks_exact_mut(4).zip(values) {
+        dst.copy_from_slice(&v.to_bits().to_le_bytes());
+    }
+    BitBuf::from_bytes(bytes, values.len() * 32)
+}
+
+/// Packs `n` predicate bits produced in coordinate order, gathering 64 into
+/// each `u64` word. `bit(i)` is called exactly once per coordinate, strictly
+/// in increasing `i` order — the SQ/SD encoders rely on this because their
+/// per-coordinate PRNG draws are part of the wire contract.
+// trimlint: hot-path -- head-plane packing for the stochastic encoders
+#[must_use]
+pub fn pack_bits_ordered(n: usize, mut bit: impl FnMut(usize) -> bool) -> BitBuf {
+    // trimlint: allow(hot-path-alloc) -- one head buffer per row, amortized
+    let mut out = BitPacker::with_capacity(n);
+    let mut i = 0;
+    while i + 64 <= n {
+        let mut word = 0u64;
+        for j in 0..64 {
+            word |= u64::from(bit(i + j)) << j;
+        }
+        out.push(word, 64);
+        i += 64;
+    }
+    if i < n {
+        let mut word = 0u64;
+        for j in 0..n - i {
+            word |= u64::from(bit(i + j)) << j;
+        }
+        out.push(word, (n - i) as u32);
+    }
+    out.finish()
+}
+
+/// Packs `a.len()` predicate bits of `f(a[i], b[i])`, gathering 64 per
+/// `u64` word. Iterates both slices by `chunks_exact` + `zip` so the inner
+/// loop carries no bounds checks — the closure is evaluated strictly in
+/// increasing `i` order, once per coordinate.
+// trimlint: hot-path -- head-plane packing for the stochastic encoders
+#[must_use]
+pub fn pack_bits_zip(a: &[f32], b: &[f32], mut f: impl FnMut(f32, f32) -> bool) -> BitBuf {
+    assert_eq!(a.len(), b.len(), "pack_bits_zip: slice lengths differ");
+    // trimlint: allow(hot-path-alloc) -- one head buffer per row, amortized
+    let mut out = BitPacker::with_capacity(a.len());
+    let mut ac = a.chunks_exact(64);
+    let mut bc = b.chunks_exact(64);
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        let mut word = 0u64;
+        for (j, (&x, &y)) in ca.iter().zip(cb).enumerate() {
+            word |= u64::from(f(x, y)) << j;
+        }
+        out.push(word, 64);
+    }
+    let (ra, rb) = (ac.remainder(), bc.remainder());
+    if !ra.is_empty() {
+        let mut word = 0u64;
+        for (j, (&x, &y)) in ra.iter().zip(rb).enumerate() {
+            word |= u64::from(f(x, y)) << j;
+        }
+        out.push(word, ra.len() as u32);
+    }
+    out.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let v = ((i * 37) % 101) as f32 / 7.0 - 7.0;
+                if i % 3 == 0 { -v } else { v }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sign31_matches_per_coordinate_pushes() {
+        for n in [0usize, 1, 63, 64, 65, 300, 1024] {
+            let values = sample(n);
+            let mut heads = BitBuf::with_capacity(n);
+            let mut tails = BitBuf::with_capacity(n * 31);
+            for &v in &values {
+                let bits = v.to_bits();
+                heads.push_bits(u64::from(bits >> 31), 1);
+                tails.push_bits(u64::from(bits & 0x7FFF_FFFF), 31);
+            }
+            assert_eq!(encode_sign31_parts(&values), (heads, tails), "n={n}");
+        }
+    }
+
+    #[test]
+    fn sign_exp_mant_matches_per_coordinate_pushes() {
+        for n in [0usize, 1, 64, 65, 500] {
+            let values = sample(n);
+            let mut signs = BitBuf::with_capacity(n);
+            let mut exps = BitBuf::with_capacity(n * 8);
+            let mut mants = BitBuf::with_capacity(n * 23);
+            for &v in &values {
+                let bits = v.to_bits();
+                signs.push_bits(u64::from(bits >> 31), 1);
+                exps.push_bits(u64::from((bits >> 23) & 0xFF), 8);
+                mants.push_bits(u64::from(bits & 0x7F_FFFF), 23);
+            }
+            assert_eq!(
+                encode_sign_exp_mant_parts(&values),
+                (signs, exps, mants),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_tails_match_per_coordinate_pushes() {
+        let values = sample(130);
+        let mut reference = BitBuf::with_capacity(values.len() * 32);
+        for &v in &values {
+            reference.push_bits(u64::from(v.to_bits()), 32);
+        }
+        assert_eq!(pack_f32_tails(&values), reference);
+    }
+
+    #[test]
+    fn zip_bits_match_per_coordinate_pushes() {
+        for n in [0usize, 1, 63, 64, 65, 129, 300] {
+            let a = sample(n);
+            let b: Vec<f32> = sample(n).iter().map(|v| v * 0.3 - 0.1).collect();
+            let mut reference = BitBuf::with_capacity(n);
+            for (&x, &y) in a.iter().zip(&b) {
+                reference.push_bits(u64::from(x + y < 0.0), 1);
+            }
+            assert_eq!(
+                pack_bits_zip(&a, &b, |x, y| x + y < 0.0),
+                reference,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_bits_visit_every_index_once_in_order() {
+        for n in [0usize, 1, 63, 64, 65, 129] {
+            let mut visited = Vec::new();
+            let buf = pack_bits_ordered(n, |i| {
+                visited.push(i);
+                i % 3 == 1
+            });
+            assert_eq!(visited, (0..n).collect::<Vec<_>>(), "n={n}");
+            assert_eq!(buf.len(), n);
+            for i in 0..n {
+                assert_eq!(buf.get_bit(i), i % 3 == 1, "n={n} i={i}");
+            }
+        }
+    }
+}

@@ -56,6 +56,7 @@ pub mod bitpack;
 pub mod dither;
 pub mod error;
 pub mod fcmp;
+pub mod kernels;
 pub mod multilevel;
 pub mod rht1bit;
 pub mod scheme;

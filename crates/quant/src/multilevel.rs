@@ -62,6 +62,26 @@ impl TrimmableScheme for MultiLevelRht {
         let rotated = rht.forward_padded(row);
         let f = drive_scale(&rotated);
         let n = rotated.len();
+        let (signs, exps, mants) = crate::kernels::encode_sign_exp_mant_parts(&rotated);
+        EncodedRow {
+            scheme: self.id(),
+            n,
+            parts: vec![signs, exps, mants],
+            meta: RowMeta {
+                original_len: row.len(),
+                scale: f,
+            },
+        }
+    }
+
+    fn encode_scalar(&self, row: &[f32], seed: u64) -> EncodedRow {
+        if row.is_empty() {
+            return self.encode(row, seed);
+        }
+        let rht = RandomizedHadamard::new(seed);
+        let rotated = rht.forward_padded(row);
+        let f = drive_scale(&rotated);
+        let n = rotated.len();
         let mut signs = BitBuf::with_capacity(n);
         let mut exps = BitBuf::with_capacity(n * 8);
         let mut mants = BitBuf::with_capacity(n * 23);

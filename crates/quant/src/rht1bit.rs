@@ -53,6 +53,26 @@ impl TrimmableScheme for RhtOneBit {
         let rotated = rht.forward_padded(row);
         let f = drive_scale(&rotated);
         let n = rotated.len();
+        let (heads, tails) = crate::kernels::encode_sign31_parts(&rotated);
+        EncodedRow {
+            scheme: self.id(),
+            n,
+            parts: vec![heads, tails],
+            meta: RowMeta {
+                original_len: row.len(),
+                scale: f,
+            },
+        }
+    }
+
+    fn encode_scalar(&self, row: &[f32], seed: u64) -> EncodedRow {
+        if row.is_empty() {
+            return self.encode(row, seed);
+        }
+        let rht = RandomizedHadamard::new(seed);
+        let rotated = rht.forward_padded(row);
+        let f = drive_scale(&rotated);
+        let n = rotated.len();
         let mut heads = BitBuf::with_capacity(n);
         let mut tails = BitBuf::with_capacity(n * 31);
         for &r in &rotated {

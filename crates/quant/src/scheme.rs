@@ -420,6 +420,18 @@ pub trait TrimmableScheme: Send + Sync {
     /// Encodes one gradient row with the shared `seed`.
     fn encode(&self, row: &[f32], seed: u64) -> EncodedRow;
 
+    /// Encodes via the retained scalar per-coordinate reference path.
+    ///
+    /// Bit-identical to [`encode`](Self::encode) by contract: the fused
+    /// word-at-a-time kernels in [`crate::kernels`] emit the same LSB-first
+    /// bitstream field by field, only the store granularity differs. Kept as
+    /// the differential baseline for the golden tests and benchmarks; the
+    /// default delegates to `encode` for schemes without a separate fast
+    /// path.
+    fn encode_scalar(&self, row: &[f32], seed: u64) -> EncodedRow {
+        self.encode(row, seed)
+    }
+
     /// Decodes a (possibly trimmed) row back into `meta.original_len`
     /// coordinates. Coordinates whose head was lost entirely decode to `0.0`
     /// (the neutral element of gradient averaging).

@@ -34,6 +34,19 @@ impl TrimmableScheme for SignMagnitude {
     }
 
     fn encode(&self, row: &[f32], _seed: u64) -> EncodedRow {
+        let (heads, tails) = crate::kernels::encode_sign31_parts(row);
+        EncodedRow {
+            scheme: self.id(),
+            n: row.len(),
+            parts: vec![heads, tails],
+            meta: RowMeta {
+                original_len: row.len(),
+                scale: std_dev(row),
+            },
+        }
+    }
+
+    fn encode_scalar(&self, row: &[f32], _seed: u64) -> EncodedRow {
         let mut heads = BitBuf::with_capacity(row.len());
         let mut tails = BitBuf::with_capacity(row.len() * 31);
         for &v in row {

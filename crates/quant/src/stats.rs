@@ -7,6 +7,33 @@
 //! reliable metadata packets. All accumulation is in `f64` so that rows of
 //! 2¹⁵ single-precision coordinates do not lose precision.
 
+/// Number of independent accumulators in [`lane_sum`].
+const SUM_LANES: usize = 8;
+
+/// Sums `f` over `xs` with eight independent f64 accumulators.
+///
+/// A single-accumulator float sum is a serial dependency chain (one add
+/// latency per element); eight lanes let the adds pipeline and vectorize.
+/// The lane-then-tail combination order is fixed, so the result is still
+/// fully deterministic — it is simply a *different* (and permanent) order
+/// than a plain left fold. Every scale the encoders derive goes through
+/// here on both the fused and scalar paths, so the two stay bit-identical.
+// trimlint: hot-path -- row-scale reduction on every encode
+fn lane_sum(xs: &[f32], mut f: impl FnMut(f32) -> f64) -> f64 {
+    let mut acc = [0.0f64; SUM_LANES];
+    let mut chunks = xs.chunks_exact(SUM_LANES);
+    for c in &mut chunks {
+        for (a, &v) in acc.iter_mut().zip(c) {
+            *a += f(v);
+        }
+    }
+    let mut tail = 0.0;
+    for &v in chunks.remainder() {
+        tail += f(v);
+    }
+    acc.iter().sum::<f64>() + tail
+}
+
 /// Population standard deviation of `xs` (σ with denominator `n`).
 ///
 /// Returns 0 for empty or constant input.
@@ -16,28 +43,24 @@ pub fn std_dev(xs: &[f32]) -> f32 {
         return 0.0;
     }
     let n = xs.len() as f64;
-    let mean: f64 = xs.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
-    let var: f64 = xs
-        .iter()
-        .map(|&v| {
-            let d = f64::from(v) - mean;
-            d * d
-        })
-        .sum::<f64>()
-        / n;
+    let mean = lane_sum(xs, f64::from) / n;
+    let var = lane_sum(xs, |v| {
+        let d = f64::from(v) - mean;
+        d * d
+    }) / n;
     var.sqrt() as f32
 }
 
 /// ℓ₁ norm of `xs`.
 #[must_use]
 pub fn l1_norm(xs: &[f32]) -> f64 {
-    xs.iter().map(|&v| f64::from(v).abs()).sum()
+    lane_sum(xs, |v| f64::from(v).abs())
 }
 
 /// Squared ℓ₂ norm of `xs`.
 #[must_use]
 pub fn l2_norm_sq(xs: &[f32]) -> f64 {
-    xs.iter().map(|&v| f64::from(v) * f64::from(v)).sum()
+    lane_sum(xs, |v| f64::from(v) * f64::from(v))
 }
 
 /// ℓ₂ norm of `xs`.

@@ -47,9 +47,18 @@ impl TrimmableScheme for StochasticQuantization {
     fn encode(&self, row: &[f32], seed: u64) -> EncodedRow {
         let l = self.multiplier * std_dev(row);
         let mut rng = Xoshiro256StarStar::new(seed);
-        let mut heads = BitBuf::with_capacity(row.len());
-        let mut tails = BitBuf::with_capacity(row.len() * 32);
-        for &v in row {
+        // One PRNG draw per coordinate, in order, buffered up front: the
+        // generator's state update is a serial dependency chain, so running
+        // it tight and letting the clip/divide/compare work pipeline over
+        // the buffer is much faster than interleaving them. The draw
+        // sequence (and thus the head stream) is identical to the scalar
+        // path because the draws don't depend on the data.
+        // trimlint: allow(hot-path-alloc) -- one draw buffer per row, amortized
+        let mut draws = Vec::with_capacity(row.len());
+        for _ in 0..row.len() {
+            draws.push(rng.next_f32());
+        }
+        let heads = crate::kernels::pack_bits_zip(row, &draws, |v, draw| {
             // p₊ = (L + clip(v)) / 2L; a zero range (constant row) degenerates
             // to a fair coin, which decodes to ±0 = 0 anyway.
             let p_plus = if l > 0.0 {
@@ -57,8 +66,33 @@ impl TrimmableScheme for StochasticQuantization {
             } else {
                 0.5
             };
-            let plus = rng.next_f32() < p_plus;
             // Head bit 1 encodes −L (mirroring the IEEE "1 = negative" convention).
+            !(draw < p_plus)
+        });
+        let tails = crate::kernels::pack_f32_tails(row);
+        EncodedRow {
+            scheme: self.id(),
+            n: row.len(),
+            parts: vec![heads, tails],
+            meta: RowMeta {
+                original_len: row.len(),
+                scale: l,
+            },
+        }
+    }
+
+    fn encode_scalar(&self, row: &[f32], seed: u64) -> EncodedRow {
+        let l = self.multiplier * std_dev(row);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let mut heads = BitBuf::with_capacity(row.len());
+        let mut tails = BitBuf::with_capacity(row.len() * 32);
+        for &v in row {
+            let p_plus = if l > 0.0 {
+                (l + clip(v, l)) / (2.0 * l)
+            } else {
+                0.5
+            };
+            let plus = rng.next_f32() < p_plus;
             heads.push_bits(u64::from(!plus), 1);
             tails.push_bits(u64::from(f32_bits(v)), 32);
         }

@@ -1,0 +1,136 @@
+//! Adversarial property tests for `BitBuf` bulk operations and the fused
+//! `BitPacker` writer, concentrating on the corners the fused encode kernels
+//! hit constantly: non-byte-aligned offsets, non-multiple-of-64 tails, and
+//! reconstruction from wire bytes.
+
+use proptest::prelude::*;
+use trimgrad_quant::bitpack::{pack_signs, BitBuf, BitPacker};
+
+/// Builds a buffer from explicit bits, the slow trusted way.
+fn buf_from_bits(bits: &[bool]) -> BitBuf {
+    let mut b = BitBuf::new();
+    for &bit in bits {
+        b.push_bit(bit);
+    }
+    b
+}
+
+proptest! {
+    /// `BitPacker` must be a drop-in replacement for sequential `push_bits`:
+    /// same bytes, same length, for any field sequence (including 64-bit
+    /// fields that straddle the accumulator and odd tail widths).
+    #[test]
+    fn bitpacker_is_byte_identical_to_push_bits(
+        fields in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..200)
+    ) {
+        let mut reference = BitBuf::new();
+        let mut packer = BitPacker::with_capacity(0);
+        for &(v, w) in &fields {
+            let masked = if w == 64 { v } else { v & ((1u64 << w) - 1) };
+            reference.push_bits(masked, w);
+            packer.push(masked, w);
+        }
+        let packed = packer.finish();
+        prop_assert_eq!(packed.len(), reference.len());
+        prop_assert_eq!(packed.as_bytes(), reference.as_bytes());
+    }
+
+    /// `pack_signs` agrees with per-coordinate `push_bit` for every length,
+    /// including negative zero and non-finite values (raw u32 bit patterns
+    /// cover NaN, infinities, denormals, and -0.0).
+    #[test]
+    fn pack_signs_matches_reference(
+        patterns in proptest::collection::vec(any::<u32>(), 0..200)
+    ) {
+        let values: Vec<f32> = patterns.iter().map(|&b| f32::from_bits(b)).collect();
+        let mut reference = BitBuf::new();
+        for &v in &values {
+            reference.push_bit(v.is_sign_negative());
+        }
+        prop_assert_eq!(pack_signs(&values), reference);
+    }
+
+    /// `copy_bits_to` at arbitrary (mostly unaligned) offsets produces the
+    /// same bytes as the allocating `slice`, and `write_bits_from_bytes`
+    /// round-trips them back — across byte-aligned and shifted source/dest
+    /// combinations.
+    #[test]
+    fn bulk_copy_roundtrips_at_unaligned_offsets(
+        bits in proptest::collection::vec(any::<bool>(), 1..600),
+        off_frac in 0.0f64..=1.0,
+        len_frac in 0.0f64..=1.0,
+        dst_off_frac in 0.0f64..=1.0,
+    ) {
+        let buf = buf_from_bits(&bits);
+        let off = ((bits.len() as f64) * off_frac) as usize;
+        let len = (((bits.len() - off) as f64) * len_frac) as usize;
+        let mut wire = vec![0u8; len.div_ceil(8)];
+        buf.copy_bits_to(off, len, &mut wire);
+        let sliced = buf.slice(off, len);
+        prop_assert_eq!(&wire[..], sliced.as_bytes());
+
+        // Land the wire bytes at an unrelated (unaligned) offset of a
+        // second buffer and check bit-for-bit.
+        let dst_len = len + 64;
+        let dst_off = (((dst_len - len) as f64) * dst_off_frac) as usize;
+        let mut dst = BitBuf::zeroed(dst_len);
+        dst.write_bits_from_bytes(dst_off, &wire, len);
+        for i in 0..len {
+            prop_assert_eq!(dst.get_bit(dst_off + i), bits[off + i], "bit {}", i);
+        }
+        // Surrounding bits stay zero.
+        for i in 0..dst_off {
+            prop_assert!(!dst.get_bit(i));
+        }
+        for i in dst_off + len..dst_len {
+            prop_assert!(!dst.get_bit(i));
+        }
+    }
+
+    /// Non-multiple-of-64 tails: appending after `from_bytes` must behave
+    /// exactly like appending to the buffer the bytes came from, even when
+    /// the wire handed us an oversized vector or dirty slack bits.
+    #[test]
+    fn from_bytes_normalizes_before_append(
+        bits in proptest::collection::vec(any::<bool>(), 0..200),
+        extra_bytes in proptest::collection::vec(any::<u8>(), 0..4),
+        slack_garbage in any::<u8>(),
+        appended in proptest::collection::vec(any::<bool>(), 1..80),
+    ) {
+        let clean = buf_from_bits(&bits);
+        // Adversarial wire bytes: dirty slack in the final byte plus
+        // trailing surplus bytes.
+        let mut dirty = clean.as_bytes().to_vec();
+        if !bits.len().is_multiple_of(8) {
+            if let Some(last) = dirty.last_mut() {
+                *last |= slack_garbage << (bits.len() % 8);
+            }
+        }
+        dirty.extend_from_slice(&extra_bytes);
+        let mut rebuilt = BitBuf::from_bytes(dirty, bits.len());
+        prop_assert_eq!(&rebuilt, &clean);
+
+        let mut reference = clean;
+        for &b in &appended {
+            reference.push_bit(b);
+            rebuilt.push_bit(b);
+        }
+        prop_assert_eq!(rebuilt, reference);
+    }
+
+    /// `extend` after `from_bytes` (the reassembly path) matches pushing the
+    /// same bits sequentially.
+    #[test]
+    fn extend_onto_reconstructed_buffer(
+        head_bits in proptest::collection::vec(any::<bool>(), 0..100),
+        tail_bits in proptest::collection::vec(any::<bool>(), 0..100),
+    ) {
+        let head = buf_from_bits(&head_bits);
+        let tail = buf_from_bits(&tail_bits);
+        let mut rebuilt = BitBuf::from_bytes(head.as_bytes().to_vec(), head.len());
+        rebuilt.extend(&tail);
+        let mut all = head_bits.clone();
+        all.extend_from_slice(&tail_bits);
+        prop_assert_eq!(rebuilt, buf_from_bits(&all));
+    }
+}

@@ -1,0 +1,102 @@
+//! Bit-identity golden tests: the fused word-at-a-time encode kernels must
+//! produce output byte-for-byte equal to the retained scalar reference
+//! (`TrimmableScheme::encode_scalar`) for every scheme and the row lengths
+//! the wire layer actually uses — 1 (degenerate), 64 (one packer word),
+//! 4095 (pads to 4096, odd tail), and 32768 (the paper's row size).
+//!
+//! The matching thread-width pinning (pool widths 1 and 4) lives in
+//! `crates/collective/tests/encode_golden_widths.rs`, where the pool is an
+//! explicit argument.
+
+use trimgrad_hadamard::prng::Xoshiro256StarStar;
+use trimgrad_quant::scheme::EncodedRow;
+use trimgrad_quant::{scheme_for, SchemeId};
+
+fn row(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    (0..n)
+        .map(|i| {
+            // Mix magnitudes and exact zeros so every IEEE field pattern
+            // (sign, exponent spread, zero mantissa) appears.
+            match i % 7 {
+                0 => 0.0,
+                1 => -0.0,
+                _ => rng.next_f32_range(-1.0, 1.0) * 10f32.powi((i % 9) as i32 - 4),
+            }
+        })
+        .collect()
+}
+
+fn assert_rows_identical(fast: &EncodedRow, reference: &EncodedRow, ctx: &str) {
+    assert_eq!(fast.scheme, reference.scheme, "{ctx}: scheme");
+    assert_eq!(fast.n, reference.n, "{ctx}: n");
+    assert_eq!(
+        fast.meta.original_len, reference.meta.original_len,
+        "{ctx}: original_len"
+    );
+    assert_eq!(
+        fast.meta.scale.to_bits(),
+        reference.meta.scale.to_bits(),
+        "{ctx}: scale bits"
+    );
+    assert_eq!(fast.parts.len(), reference.parts.len(), "{ctx}: part count");
+    for (k, (f, r)) in fast.parts.iter().zip(&reference.parts).enumerate() {
+        assert_eq!(f.len(), r.len(), "{ctx}: part {k} bit length");
+        assert_eq!(f.as_bytes(), r.as_bytes(), "{ctx}: part {k} bytes");
+    }
+}
+
+#[test]
+fn fused_encode_matches_scalar_reference_byte_for_byte() {
+    for scheme_id in SchemeId::ALL {
+        let scheme = scheme_for(scheme_id);
+        for n in [1usize, 64, 4095, 32768] {
+            let data = row(n, 0xBEEF ^ n as u64);
+            for seed in [0u64, 42, u64::MAX] {
+                let fast = scheme.encode(&data, seed);
+                let reference = scheme.encode_scalar(&data, seed);
+                assert_rows_identical(
+                    &fast,
+                    &reference,
+                    &format!("{scheme_id} n={n} seed={seed}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_encode_matches_scalar_on_empty_rows() {
+    for scheme_id in SchemeId::ALL {
+        let scheme = scheme_for(scheme_id);
+        let fast = scheme.encode(&[], 7);
+        let reference = scheme.encode_scalar(&[], 7);
+        assert_rows_identical(&fast, &reference, &format!("{scheme_id} empty"));
+    }
+}
+
+#[test]
+fn fused_encode_matches_scalar_on_adversarial_values() {
+    // Denormal and extreme-but-finite patterns must pack identically — the
+    // kernels only move bits. (Non-finite inputs are outside the scheme
+    // contract: the stochastic schemes derive probability ranges from the
+    // data, and NaN ranges panic identically on both paths.)
+    let data = vec![
+        f32::MIN_POSITIVE,
+        -f32::MIN_POSITIVE,
+        1e-42,
+        -1e-42,
+        1e18,
+        -1e18,
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+    ];
+    for scheme_id in SchemeId::ALL {
+        let scheme = scheme_for(scheme_id);
+        let fast = scheme.encode(&data, 3);
+        let reference = scheme.encode_scalar(&data, 3);
+        assert_rows_identical(&fast, &reference, &format!("{scheme_id} adversarial"));
+    }
+}

@@ -33,7 +33,7 @@ run fig4_ttba          # Fig 4 time-to-baseline-accuracy (~35 min)
 # "Parallel speedup" is built from these files.
 echo "=== microbenches ==="
 # Absolute paths: cargo runs bench binaries with cwd = crates/bench.
-cargo bench -p trimgrad-bench --bench encode_decode -- --json "$PWD/results/BENCH_encode.json"
+cargo bench -p trimgrad-bench --bench encode_decode -- --json "$PWD/results/BENCH_encode.json" --assert-encode-pool-not-slower 10 --assert-encode-vectorized-not-slower 0
 cargo bench -p trimgrad-bench --bench wire          -- --json "$PWD/results/BENCH_wire.json"
 cargo bench -p trimgrad-bench --bench netsim        -- --json "$PWD/results/BENCH_netsim.json" --assert-calendar-not-slower 10
 
