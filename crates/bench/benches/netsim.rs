@@ -10,12 +10,21 @@
 //! the cost, and `--assert-calendar-not-slower <pct>` turns the comparison
 //! into a CI gate.
 //!
+//! The `scale` group applies the same discipline to the data plane: each
+//! fat-tree size runs on the dense port table and on the retained
+//! `BTreePortMap` oracle (`_btree` labels),
+//! `tests/port_map_differential.rs` pins behavioral equality, and
+//! `--assert-dense-ports-not-slower <pct>` gates the 4096-host comparison.
+//! The `arena_high_water_4096_hosts` record is not a timing — it carries
+//! the peak live boxed-packet count, a proxy for peak data-plane memory.
+//!
 //! [`EventQueue`]: trimgrad::netsim::event::EventQueue
 //! [`HeapEventQueue`]: trimgrad::netsim::event::HeapEventQueue
 
 use trimgrad::hadamard::prng::Xoshiro256StarStar;
 use trimgrad::netsim::crosstraffic::install_incast;
 use trimgrad::netsim::event::{EventKind, EventQueue, HeapEventQueue};
+use trimgrad::netsim::ports::{BTreePortMap, DensePortTable, PortMap};
 use trimgrad::netsim::sim::Simulator;
 use trimgrad::netsim::switch::QueuePolicy;
 use trimgrad::netsim::time::{gbps, SimTime};
@@ -105,50 +114,118 @@ fn bench_incast(opts: &BenchOpts, records: &mut Vec<BenchRecord>) {
     records.extend(g.finish());
 }
 
-/// One seeded incast storm on a prebuilt fat-tree: `fan_in` senders, two
-/// MTU-sized packets each, all released at t = 0. Returns events dispatched
-/// (deterministic for a given topology/schedule/seed).
-fn run_fat_tree_incast(topo: &Topology, routes: &Routes, sched: &FlowSchedule, seed: u64) -> u64 {
-    let mut sim = Simulator::with_routes(topo.clone(), routes.clone(), seed);
+/// One seeded incast storm on a prebuilt fat-tree, generic over the port
+/// map so the dense table and the retained `BTreeMap` oracle replay the
+/// identical schedule: `fan_in` senders, two MTU-sized packets each, all
+/// released at t = 0. Returns (events dispatched, arena high-water mark) —
+/// both deterministic for a given topology/schedule/seed.
+fn run_fat_tree_incast<P: PortMap>(
+    topo: &Topology,
+    routes: &Routes,
+    sched: &FlowSchedule,
+    seed: u64,
+) -> (u64, u64) {
+    let mut sim = Simulator::<P>::with_routes_in(topo.clone(), routes.clone(), seed);
     sched.install(&mut sim);
     sim.run_until(SimTime::from_secs(1));
-    sim.events_fired()
+    (sim.events_fired(), sim.arena().high_water())
+}
+
+fn fat_tree_scale_case(k: usize, fan_in: usize) -> (Topology, Routes, FlowSchedule) {
+    let (topo, hosts) = Topology::fat_tree(
+        k,
+        gbps(100.0),
+        gbps(100.0),
+        SimTime::from_micros(1),
+        QueuePolicy::trim_default(),
+    );
+    let sched = FlowSchedule::incast(&hosts, fan_in, 3_000, 1_500, 0xA5);
+    let routes = topo.build_routes_towards(&sched.destinations());
+    (topo, routes, sched)
 }
 
 /// Events/s at datacenter scale: k-ary fat-trees sized so 64, 512, and 4096
-/// hosts storm one receiver. Topology and routes (built only toward the
+/// hosts storm one receiver, each size timed on the dense port table (what
+/// the simulator ships) and on the `BTreeMap` oracle (`_btree` labels, the
+/// pre-dense data plane). Topology and routes (built only toward the
 /// workload's destinations — the full table is quadratic in fabric size) are
 /// constructed once outside the timed loop; each iteration clones them,
-/// replays the schedule, and counts dispatched events.
-fn bench_scale(opts: &BenchOpts, records: &mut Vec<BenchRecord>) {
+/// replays the schedule, and counts dispatched events. Also records the
+/// 4096-host arena high-water mark (live boxed packets, a peak-memory
+/// proxy). Returns how much slower the dense plane was than the oracle at
+/// 4096 hosts, in percent (negative = dense faster).
+fn bench_scale(opts: &BenchOpts, records: &mut Vec<BenchRecord>) -> f64 {
     let mut g = Group::new("scale");
     opts.configure(&mut g);
     g.quick();
+    let mut high_water_4096 = 0u64;
     for (k, fan_in) in [(8usize, 64usize), (16, 512), (26, 4096)] {
-        let (topo, hosts) = Topology::fat_tree(
-            k,
-            gbps(100.0),
-            gbps(100.0),
-            SimTime::from_micros(1),
-            QueuePolicy::trim_default(),
-        );
-        let sched = FlowSchedule::incast(&hosts, fan_in, 3_000, 1_500, 0xA5);
-        let routes = topo.build_routes_towards(&sched.destinations());
-        // A pilot run pins the deterministic event count for the rate.
-        let events = run_fat_tree_incast(&topo, &routes, &sched, 0xA5);
+        let (topo, routes, sched) = fat_tree_scale_case(k, fan_in);
+        // A pilot run pins the deterministic event count for the rate (and
+        // the arena's high-water mark, identical across repetitions).
+        let (events, high_water) =
+            run_fat_tree_incast::<DensePortTable>(&topo, &routes, &sched, 0xA5);
+        if fan_in == 4096 {
+            high_water_4096 = high_water;
+        }
         g.throughput(Throughput::Elements(events));
         g.bench(&format!("events_per_s_{fan_in}_hosts"), || {
-            run_fat_tree_incast(&topo, &routes, &sched, 0xA5)
+            run_fat_tree_incast::<DensePortTable>(&topo, &routes, &sched, 0xA5)
+        });
+        g.bench(&format!("events_per_s_{fan_in}_hosts_btree"), || {
+            run_fat_tree_incast::<BTreePortMap>(&topo, &routes, &sched, 0xA5)
         });
     }
-    records.extend(g.finish());
+    let rec = g.finish();
+    let pct = dense_over_btree_pct(&rec, 4096);
+    records.extend(rec);
+    // Not a timing: the record carries the peak count of live boxed packets
+    // at 4096 hosts, the arena's proxy for peak data-plane memory.
+    records.push(BenchRecord {
+        group: "scale".into(),
+        label: "arena_high_water_4096_hosts".into(),
+        best_ns: high_water_4096 as f64,
+        mean_ns: high_water_4096 as f64,
+        rate: Some((high_water_4096 as f64, "live packets peak")),
+    });
+    pct
 }
 
-/// Parses `--assert-calendar-not-slower <pct>` (ignored by [`BenchOpts`]).
-fn calendar_not_slower_limit() -> Option<f64> {
+/// Dense-over-oracle slowdown in percent at `fan_in` hosts, from a finished
+/// scale group's records.
+fn dense_over_btree_pct(rec: &[BenchRecord], fan_in: usize) -> f64 {
+    let best = |label: String| {
+        rec.iter()
+            .find(|r| r.label == label)
+            .map(|r| r.best_ns)
+            .unwrap_or(f64::NAN)
+    };
+    let dense = best(format!("events_per_s_{fan_in}_hosts"));
+    let btree = best(format!("events_per_s_{fan_in}_hosts_btree"));
+    (dense - btree) / btree * 100.0
+}
+
+/// Re-times only the 4096-host dense-vs-oracle pair (for gate retries, so a
+/// loaded CI machine gets fresh numbers without re-running the full sweep).
+fn bench_scale_4096_retry(opts: &BenchOpts) -> f64 {
+    let (topo, routes, sched) = fat_tree_scale_case(26, 4096);
+    let mut g = Group::new("scale_retry");
+    opts.configure(&mut g);
+    g.quick();
+    g.bench("events_per_s_4096_hosts", || {
+        run_fat_tree_incast::<DensePortTable>(&topo, &routes, &sched, 0xA5)
+    });
+    g.bench("events_per_s_4096_hosts_btree", || {
+        run_fat_tree_incast::<BTreePortMap>(&topo, &routes, &sched, 0xA5)
+    });
+    dense_over_btree_pct(&g.finish(), 4096)
+}
+
+/// Parses `--assert-<which>-not-slower <pct>` (ignored by [`BenchOpts`]).
+fn not_slower_limit(flag: &str) -> Option<f64> {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--assert-calendar-not-slower" {
+        if a == flag {
             return args.next().and_then(|v| v.parse().ok());
         }
     }
@@ -160,9 +237,33 @@ fn main() {
     let mut records = Vec::new();
     let mut calendar_over_heap_pct = bench_event_queue(&opts, &mut records);
     bench_incast(&opts, &mut records);
-    bench_scale(&opts, &mut records);
+    let mut dense_over_btree = bench_scale(&opts, &mut records);
     opts.write("netsim", &records);
-    if let Some(limit) = calendar_not_slower_limit() {
+    if let Some(limit) = not_slower_limit("--assert-dense-ports-not-slower") {
+        // Same retry discipline as the calendar gate: best-of-batch timing
+        // jitters on loaded CI machines, so re-time before failing.
+        let mut worst = f64::NEG_INFINITY;
+        let mut ok = false;
+        for attempt in 1..=3 {
+            println!(
+                "dense ports vs btree oracle (4096 hosts), attempt {attempt}: \
+                 {dense_over_btree:+.2}% (limit +{limit}%)"
+            );
+            if dense_over_btree <= limit {
+                ok = true;
+                break;
+            }
+            worst = worst.max(dense_over_btree);
+            if attempt < 3 {
+                dense_over_btree = bench_scale_4096_retry(&opts);
+            }
+        }
+        if !ok {
+            // trimlint: allow(no-panic) -- the whole point of the flag is to fail CI
+            panic!("dense port table is {worst:.2}% slower than the BTreeMap oracle (limit +{limit}%)");
+        }
+    }
+    if let Some(limit) = not_slower_limit("--assert-calendar-not-slower") {
         // Best-of-batch timing still jitters on loaded CI machines; give the
         // check a few independent attempts before declaring a regression.
         let mut scratch = Vec::new();

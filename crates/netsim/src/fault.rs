@@ -459,6 +459,7 @@ fn corrupt_packet(packet: &mut Packet, rng: &mut Xoshiro256StarStar) -> bool {
     let PacketBody::GradData(frame) = &mut packet.body else {
         return false;
     };
+    // trimlint: allow(hot-path-alloc) -- corruption fires only on fault-injected packets, never on the clean fast path
     let mut bytes = frame.as_bytes().to_vec();
     if bytes.is_empty() {
         return false;
@@ -481,6 +482,7 @@ fn truncate_packet(packet: &mut Packet, rng: &mut Xoshiro256StarStar) -> bool {
                 return false;
             }
             let cut = 1 + usize::try_from(rng.next_u64() % (full as u64 - 1)).unwrap_or(0);
+            // trimlint: allow(hot-path-alloc) -- dishonest-cut faults clone the frame; fires only when the fault plan draws a truncation
             let mut bytes = frame.as_bytes().to_vec();
             bytes.truncate(cut);
             *frame = GradPacket::from_frame(bytes);

@@ -4,17 +4,25 @@
 //! the installed apps, and the statistics. Time advances strictly
 //! monotonically through the deterministic [`crate::event::EventQueue`];
 //! identical inputs (topology, apps, seed) produce bit-identical runs.
+//!
+//! The data plane is flat: port state lives in a [`DensePortTable`] (O(1)
+//! indexing by precomputed [`crate::ports::PortId`], cached link params, a
+//! dense queue-depth mirror), packet boxes are recycled through a
+//! [`PacketArena`] instead of being allocated once per packet lifetime, and
+//! conservation is tracked incrementally so [`Simulator::conservation_holds`]
+//! is O(1). The simulator is generic over [`PortMap`] so the retained
+//! [`crate::ports::BTreePortMap`] oracle can replay identical runs.
 
 use crate::event::{EventKind, EventQueue};
 use crate::fault::{FaultPlan, FaultStats};
 use crate::host::{App, HostApi, SinkApp};
-use crate::packet::{Packet, PacketSpec};
+use crate::packet::{Packet, PacketArena, PacketSpec};
+use crate::ports::{DensePortTable, PortMap};
 use crate::stats::{ConservationViolation, Stats};
-use crate::switch::{EnqueueOutcome, PortState, QueuePolicy};
+use crate::switch::{EnqueueOutcome, PortCounters, QueuePolicy};
 use crate::time::SimTime;
 use crate::topology::{NodeKind, Routes, Topology};
 use crate::NodeId;
-use std::collections::BTreeMap;
 use trimgrad_hadamard::prng::Xoshiro256StarStar;
 use trimgrad_telemetry::{Registry, Snapshot};
 use trimgrad_trace::{sat32, DropReason, TraceEvent, Tracer};
@@ -31,10 +39,20 @@ fn host_nic_policy() -> QueuePolicy {
 }
 
 /// The discrete-event network simulator.
-pub struct Simulator {
+///
+/// Generic over the egress-port storage `P` (see [`crate::ports`]): the
+/// default [`DensePortTable`] is the production data plane; the retained
+/// [`crate::ports::BTreePortMap`] oracle replays bit-identical runs for
+/// differential testing. Construct oracle-backed simulators with
+/// [`Simulator::with_seed_in`] / [`Simulator::with_routes_in`].
+pub struct Simulator<P: PortMap = DensePortTable> {
     topo: Topology,
     routes: Routes,
-    ports: BTreeMap<(usize, usize), PortState>,
+    ports: P,
+    /// Running roll-up of every port's counters, updated at each enqueue
+    /// and dequeue so the conservation check never re-scans the table.
+    port_totals: PortCounters,
+    arena: PacketArena,
     apps: Vec<Option<Box<dyn App>>>,
     started: bool,
     queue: EventQueue,
@@ -60,8 +78,7 @@ impl Simulator {
     /// Builds with an explicit seed for the random-loss generator.
     #[must_use]
     pub fn with_seed(topo: Topology, seed: u64) -> Self {
-        let routes = topo.build_routes();
-        Self::with_routes(topo, routes, seed)
+        Self::with_seed_in(topo, seed)
     }
 
     /// Builds with a caller-supplied routing table. Datacenter-scale runs
@@ -70,6 +87,22 @@ impl Simulator {
     /// fabric size.
     #[must_use]
     pub fn with_routes(topo: Topology, routes: Routes, seed: u64) -> Self {
+        Self::with_routes_in(topo, routes, seed)
+    }
+}
+
+impl<P: PortMap> Simulator<P> {
+    /// [`Simulator::with_seed`] for an explicit port storage `P` — how the
+    /// differential tests build [`crate::ports::BTreePortMap`] oracles.
+    #[must_use]
+    pub fn with_seed_in(topo: Topology, seed: u64) -> Self {
+        let routes = topo.build_routes();
+        Self::with_routes_in(topo, routes, seed)
+    }
+
+    /// [`Simulator::with_routes`] for an explicit port storage `P`.
+    #[must_use]
+    pub fn with_routes_in(topo: Topology, routes: Routes, seed: u64) -> Self {
         let n = topo.len();
         let mut apps: Vec<Option<Box<dyn App>>> = Vec::with_capacity(n);
         for i in 0..n {
@@ -83,10 +116,13 @@ impl Simulator {
         // event ring across simulations, but each simulator's handle
         // aggregates span counters into its own registry.
         let tracer = Tracer::global().clone().with_registry(registry.clone());
+        let ports = P::new(&topo);
         Self {
             topo,
             routes,
-            ports: BTreeMap::new(),
+            ports,
+            port_totals: PortCounters::default(),
+            arena: PacketArena::new(),
             apps,
             started: false,
             queue: EventQueue::new(),
@@ -188,6 +224,23 @@ impl Simulator {
         self.queue.total_fired()
     }
 
+    /// The packet-box recycler. Its `live` count equals
+    /// [`Simulator::in_flight`] at all times, and its high-water mark is the
+    /// peak number of simultaneously boxed packets (the scale bench's
+    /// memory proxy).
+    #[must_use]
+    pub fn arena(&self) -> &PacketArena {
+        &self.arena
+    }
+
+    /// The running roll-up of every port's counters (the incremental side
+    /// of the conservation check). Tests cross-check it against a full
+    /// scan of [`crate::switch::PortCounters`] per port.
+    #[must_use]
+    pub fn port_totals(&self) -> PortCounters {
+        self.port_totals
+    }
+
     /// The simulation-wide telemetry registry. The fabric's `netsim.*`
     /// counters live here, and every installed [`App`] sees the same registry
     /// through [`HostApi::telemetry`].
@@ -206,7 +259,7 @@ impl Simulator {
     #[must_use]
     pub fn telemetry_snapshot(&self) -> Snapshot {
         let scratch = Registry::new();
-        for (&(from, to), port) in &self.ports {
+        for ((from, to), port) in self.ports.ports_touched() {
             let label = crate::link::channel_label(NodeId(from), NodeId(to));
             let prefix = format!("netsim.port.{label}");
             port.counters.export_to(&scratch, &prefix);
@@ -283,21 +336,27 @@ impl Simulator {
     }
 
     /// Verifies packet conservation (see [`Stats::conservation_holds`]):
-    /// every per-port identity plus the global one.
+    /// the aggregated per-port identity plus the global one.
+    ///
+    /// O(1): the per-port roll-up is maintained incrementally at every
+    /// enqueue/dequeue instead of re-scanning the port table. The
+    /// authoritative per-port scan (which also names an offender) lives in
+    /// [`Simulator::conservation_report`]; the differential and property
+    /// tests assert the two always agree.
     #[must_use]
     pub fn conservation_holds(&self) -> bool {
-        self.conservation_report().is_ok()
+        self.port_totals.conserved() && self.stats.conservation_holds(self.in_flight)
     }
 
-    /// Like [`Simulator::conservation_holds`], but a failure names the first
-    /// offending port/counter pair (ports checked in deterministic
-    /// `(from, to)` order, then the global identity).
+    /// Like [`Simulator::conservation_holds`], but scans every port and a
+    /// failure names the first offending port/counter pair (ports checked
+    /// in deterministic `(from, to)` order, then the global identity).
     ///
     /// # Errors
     ///
     /// The first violated identity.
     pub fn conservation_report(&self) -> Result<(), ConservationViolation> {
-        for (&(from, to), port) in &self.ports {
+        for ((from, to), port) in self.ports.ports_touched() {
             let c = &port.counters;
             if !c.conserved() {
                 return Err(ConservationViolation {
@@ -349,23 +408,32 @@ impl Simulator {
     // Event dispatch
     // ------------------------------------------------------------------
 
+    // Not a lint hot-path root: dispatch also runs app/endpoint logic
+    // (timers, transports) that legitimately allocates. The data-plane
+    // spine it calls into (enqueue_on_port, port_try_start, the port
+    // table, the arena) carries the hot-path annotations instead.
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
             EventKind::Arrive { node, from, packet } => self.handle_arrive(node, from, packet),
             EventKind::PortFree { node, to } => {
-                if let Some(p) = self.ports.get_mut(&(node.0, to.0)) {
-                    p.busy = false;
+                if let Some(key) = self.ports.try_key(node, to) {
+                    // Dense fast path: clear the busy flag and bail on an
+                    // empty backlog without ever touching the (cold, ~150B)
+                    // PortState — only the small busy/queued mirrors.
+                    self.ports.set_busy(key, false);
+                    if self.ports.has_backlog(key) {
+                        self.port_try_start(node, to, key);
+                    }
                 }
-                self.port_try_start(node, to);
             }
             EventKind::AppTimer { node, token } => {
                 self.with_app(node, |app, api| app.on_timer(token, api));
             }
             EventKind::StatsSample => {
-                let depths: Vec<u32> = self.ports.values().map(PortState::low_bytes).collect();
-                for d in depths {
-                    self.stats.observe_queue(d);
-                }
+                // Allocation-free: walk the dense depth mirror (or the
+                // oracle's map) instead of collecting a scratch Vec.
+                let stats = &mut self.stats;
+                self.ports.sample_depths(&mut |d| stats.observe_queue(d));
                 if let Some(interval) = self.queue_sample_interval {
                     if !self.queue.is_empty() {
                         self.queue
@@ -376,7 +444,9 @@ impl Simulator {
         }
     }
 
-    fn handle_arrive(&mut self, node: NodeId, _from: NodeId, packet: Box<Packet>) {
+    // Delivery hands packets to app code via `with_app`, so this is not a
+    // lint hot-path root either; the spine calls it makes are annotated.
+    fn handle_arrive(&mut self, node: NodeId, _from: NodeId, mut packet: Box<Packet>) {
         match self.topo.kind(node) {
             NodeKind::Host => {
                 assert_eq!(packet.dst, node, "misrouted packet reached a host");
@@ -392,9 +462,13 @@ impl Simulator {
                         size: packet.size,
                         trimmed: packet.trimmed,
                     });
-                // Deref-move unboxes at the delivery boundary so the `App`
-                // trait keeps taking packets by value.
-                self.with_app(node, |app, api| app.on_packet(*packet, api));
+                // Move the payload out and recycle the box: the `App` trait
+                // keeps taking packets by value, while the allocation that
+                // rode the event queue returns to the arena for the next
+                // send.
+                let inner = core::mem::replace(&mut *packet, Packet::stub());
+                self.arena.free(packet);
+                self.with_app(node, |app, api| app.on_packet(inner, api));
             }
             NodeKind::Switch(policy) => {
                 self.stats.on_forwarded();
@@ -411,6 +485,7 @@ impl Simulator {
                             pkt: packet.id,
                             reason: DropReason::NoRoute,
                         });
+                    self.arena.free(packet);
                     return;
                 };
                 self.enqueue_on_port(node, next, packet, &policy);
@@ -418,6 +493,7 @@ impl Simulator {
         }
     }
 
+    // trimlint: hot-path -- switch enqueue + trim/drop accounting
     fn enqueue_on_port(
         &mut self,
         node: NodeId,
@@ -427,12 +503,29 @@ impl Simulator {
     ) {
         let was_ecn = packet.ecn;
         let (flow, pseq, pkt, size) = (packet.flow.0, packet.seq, packet.id, packet.size);
-        let port = self.ports.entry((node.0, to.0)).or_default();
+        let key = self.ports.key(node, to);
+        let port = self.ports.get_mut(key);
         let outcome = port.enqueue(packet, policy);
+        let rejected = port.take_rejected();
         // After a trim, the surviving remnant sits at the back of the
         // priority queue; read its size before the port borrow ends.
         let trimmed_size = port.high_back_size();
         let low = port.low_bytes();
+        let queued = u32::try_from(port.queued_packets()).unwrap_or(u32::MAX);
+        self.ports.record_depth(key, low, queued);
+        // Incremental conservation: mirror the port's own tally so the
+        // whole-run check never re-scans the table.
+        self.port_totals.arrived += 1;
+        match outcome {
+            EnqueueOutcome::Data => self.port_totals.queued_data += 1,
+            EnqueueOutcome::Priority => self.port_totals.queued_prio += 1,
+            EnqueueOutcome::Trimmed => self.port_totals.trimmed += 1,
+            EnqueueOutcome::DroppedDataFull => self.port_totals.dropped_data_full += 1,
+            EnqueueOutcome::DroppedPrioFull => self.port_totals.dropped_prio_full += 1,
+        }
+        if let Some(slot) = rejected {
+            self.arena.free(slot);
+        }
         self.stats.observe_queue(low);
         let at = self.now.as_nanos();
         match outcome {
@@ -494,21 +587,29 @@ impl Simulator {
                 }
             }
         }
-        self.port_try_start(node, to);
+        self.port_try_start(node, to, key);
     }
 
-    fn port_try_start(&mut self, node: NodeId, to: NodeId) {
-        let Some(port) = self.ports.get_mut(&(node.0, to.0)) else {
-            return;
-        };
-        if port.busy {
+    // trimlint: hot-path -- egress serializer start (dequeue + schedule)
+    fn port_try_start(&mut self, node: NodeId, to: NodeId, key: P::Key) {
+        // Consult the dense busy/queued mirrors first so the common
+        // "port already serializing" / "nothing queued" cases never pull a
+        // scattered PortState line into cache.
+        if self.ports.is_busy(key) || !self.ports.has_backlog(key) {
             return;
         }
+        let port = self.ports.get_mut(key);
         let Some(mut packet) = port.dequeue() else {
             return;
         };
-        port.busy = true;
-        let params = self.topo.link_params(node, to);
+        let low = port.low_bytes();
+        let queued = u32::try_from(port.queued_packets()).unwrap_or(u32::MAX);
+        self.ports.set_busy(key, true);
+        self.ports.record_depth(key, low, queued);
+        self.port_totals.dequeued += 1;
+        // Link params come from the port table's build-time cache, not a
+        // linear adjacency scan per packet.
+        let params = self.ports.params(key);
         let ser = params.rate.serialize_time(packet.size as usize);
         self.queue
             .schedule(self.now + ser, EventKind::PortFree { node, to });
@@ -525,6 +626,7 @@ impl Simulator {
                     pkt: packet.id,
                     reason: DropReason::Random,
                 });
+            self.arena.free(packet);
             return;
         }
         // Fault injection: the installed plan draws this packet's fate on
@@ -545,6 +647,7 @@ impl Simulator {
                         pkt: packet.id,
                         reason: DropReason::Fault,
                     });
+                self.arena.free(packet);
                 return;
             }
             extra_delay = outcome.extra_delay;
@@ -564,7 +667,7 @@ impl Simulator {
                     EventKind::Arrive {
                         node: to,
                         from: node,
-                        packet: Box::new(clone),
+                        packet: self.arena.alloc(clone),
                     },
                 );
             }
@@ -623,7 +726,7 @@ impl Simulator {
                 });
             return;
         };
-        let packet = Box::new(Packet {
+        let packet = self.arena.alloc(Packet {
             id: self.next_pkt_id,
             flow: spec.flow,
             src: node,
@@ -654,7 +757,7 @@ impl Simulator {
     }
 }
 
-impl core::fmt::Debug for Simulator {
+impl<P: PortMap> core::fmt::Debug for Simulator<P> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Simulator")
             .field("now", &self.now)

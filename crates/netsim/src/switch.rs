@@ -176,7 +176,14 @@ pub struct PortState {
     low: VecDeque<Box<Packet>>,
     high_bytes: u32,
     low_bytes: u32,
-    /// Whether the serializer is transmitting.
+    /// The packet the most recent [`PortState::enqueue`] rejected, parked
+    /// so the caller can recycle its allocation (see
+    /// [`PortState::take_rejected`]).
+    rejected: Option<Box<Packet>>,
+    /// Whether the serializer is transmitting. Owned by the port map: the
+    /// BTree oracle stores the live flag here, while the dense table keeps
+    /// it in a compact mirror and leaves this field untouched (see
+    /// `PortMap::is_busy`/`set_busy`).
     pub busy: bool,
     /// Deepest data-queue occupancy seen (bytes).
     pub max_low_bytes: u32,
@@ -217,10 +224,13 @@ impl PortState {
 
     /// Enqueues under `policy`, possibly trimming or dropping. The packet
     /// arrives boxed — the same allocation that rode the arrival event — and
-    /// parks in the queue without a copy.
+    /// parks in the queue without a copy. On a `Dropped*` outcome the
+    /// rejected box is parked for [`PortState::take_rejected`] so its
+    /// allocation can be recycled instead of falling to the allocator.
     // trimlint: hot-path -- switch forward path (trim/drop decision)
     pub fn enqueue(&mut self, pkt: Box<Packet>, policy: &QueuePolicy) -> EnqueueOutcome {
-        let outcome = self.enqueue_inner(pkt, policy);
+        let (outcome, rejected) = self.enqueue_inner(pkt, policy);
+        self.rejected = rejected;
         self.counters.arrived += 1;
         match outcome {
             EnqueueOutcome::Data => self.counters.queued_data += 1,
@@ -232,9 +242,25 @@ impl PortState {
         outcome
     }
 
-    fn enqueue_inner(&mut self, mut pkt: Box<Packet>, policy: &QueuePolicy) -> EnqueueOutcome {
+    /// Takes the packet the most recent [`PortState::enqueue`] rejected
+    /// (`Some` exactly when that enqueue returned a `Dropped*` outcome).
+    /// The simulator returns it to the packet arena; callers that ignore it
+    /// simply let the next enqueue (or the port's drop) release the box.
+    // trimlint: hot-path -- drop-site recycling handoff
+    pub fn take_rejected(&mut self) -> Option<Box<Packet>> {
+        self.rejected.take()
+    }
+
+    fn enqueue_inner(
+        &mut self,
+        mut pkt: Box<Packet>,
+        policy: &QueuePolicy,
+    ) -> (EnqueueOutcome, Option<Box<Packet>>) {
         if pkt.priority {
-            return self.enqueue_high(pkt, policy);
+            return match self.enqueue_high(pkt, policy) {
+                Ok(()) => (EnqueueOutcome::Priority, None),
+                Err(pkt) => (EnqueueOutcome::DroppedPrioFull, Some(pkt)),
+            };
         }
         if self.low_bytes + pkt.size <= policy.data_capacity {
             if let Some(thresh) = policy.ecn_threshold {
@@ -246,30 +272,35 @@ impl PortState {
             self.low_bytes += pkt.size;
             self.max_low_bytes = self.max_low_bytes.max(self.low_bytes);
             self.low.push_back(pkt);
-            return EnqueueOutcome::Data;
+            return (EnqueueOutcome::Data, None);
         }
         match policy.action {
-            FullAction::DropTail => EnqueueOutcome::DroppedDataFull,
+            FullAction::DropTail => (EnqueueOutcome::DroppedDataFull, Some(pkt)),
             FullAction::Trim { grad_depth } => {
                 if pkt.trim(grad_depth) {
                     match self.enqueue_high(pkt, policy) {
-                        EnqueueOutcome::Priority => EnqueueOutcome::Trimmed,
-                        dropped => dropped,
+                        Ok(()) => (EnqueueOutcome::Trimmed, None),
+                        Err(pkt) => (EnqueueOutcome::DroppedPrioFull, Some(pkt)),
                     }
                 } else {
-                    EnqueueOutcome::DroppedDataFull
+                    (EnqueueOutcome::DroppedDataFull, Some(pkt))
                 }
             }
         }
     }
 
-    fn enqueue_high(&mut self, pkt: Box<Packet>, policy: &QueuePolicy) -> EnqueueOutcome {
+    /// Queues `pkt` high-priority, or hands it back when the queue is full.
+    fn enqueue_high(
+        &mut self,
+        pkt: Box<Packet>,
+        policy: &QueuePolicy,
+    ) -> Result<(), Box<Packet>> {
         if self.high_bytes + pkt.size <= policy.prio_capacity {
             self.high_bytes += pkt.size;
             self.high.push_back(pkt);
-            EnqueueOutcome::Priority
+            Ok(())
         } else {
-            EnqueueOutcome::DroppedPrioFull
+            Err(pkt)
         }
     }
 
@@ -416,6 +447,41 @@ mod tests {
             port.enqueue(data_pkt(4, 1500), &pol),
             EnqueueOutcome::DroppedPrioFull
         );
+    }
+
+    #[test]
+    fn rejected_packets_are_parked_for_recycling() {
+        let mut port = PortState::new();
+        let pol = tiny_policy(FullAction::DropTail);
+        assert!(port.enqueue(data_pkt(1, 3000), &pol).survived());
+        assert!(port.take_rejected().is_none(), "nothing rejected yet");
+        assert_eq!(
+            port.enqueue(data_pkt(2, 1500), &pol),
+            EnqueueOutcome::DroppedDataFull
+        );
+        let rejected = port.take_rejected().expect("dropped box is parked");
+        assert_eq!(rejected.id, 2);
+        assert!(port.take_rejected().is_none(), "take drains the pocket");
+        // A successful enqueue clears any stale pocket.
+        assert_eq!(
+            port.enqueue(data_pkt(3, 1500), &pol),
+            EnqueueOutcome::DroppedDataFull
+        );
+        let _ = port.enqueue(prio_pkt(4, 64), &pol);
+        assert!(port.take_rejected().is_none());
+        // The trim path parks the trimmed remnant when the priority queue
+        // overflows too.
+        let mut port = PortState::new();
+        let pol = tiny_policy(FullAction::Trim { grad_depth: 1 });
+        port.enqueue(data_pkt(1, 3000), &pol);
+        port.enqueue(prio_pkt(2, 150), &pol);
+        assert_eq!(
+            port.enqueue(data_pkt(3, 1500), &pol),
+            EnqueueOutcome::DroppedPrioFull
+        );
+        let rejected = port.take_rejected().expect("prio-full box is parked");
+        assert_eq!(rejected.id, 3);
+        assert!(rejected.trimmed, "the remnant was trimmed before rejection");
     }
 
     #[test]

@@ -35,7 +35,7 @@ echo "=== microbenches ==="
 # Absolute paths: cargo runs bench binaries with cwd = crates/bench.
 cargo bench -p trimgrad-bench --bench encode_decode -- --json "$PWD/results/BENCH_encode.json" --assert-encode-pool-not-slower 10 --assert-encode-vectorized-not-slower 0
 cargo bench -p trimgrad-bench --bench wire          -- --json "$PWD/results/BENCH_wire.json"
-cargo bench -p trimgrad-bench --bench netsim        -- --json "$PWD/results/BENCH_netsim.json" --assert-calendar-not-slower 10
+cargo bench -p trimgrad-bench --bench netsim        -- --json "$PWD/results/BENCH_netsim.json" --assert-calendar-not-slower 10 --assert-dense-ports-not-slower 10
 
 # Human-readable digest of the flight-recorder run above; `trimgrad-trace
 # query results/trace_smoke.bin --follow FLOW:SEQ` replays any packet in it.
