@@ -18,6 +18,11 @@
 //! The `arena_high_water_4096_hosts` record is not a timing — it carries
 //! the peak live boxed-packet count, a proxy for peak data-plane memory.
 //!
+//! The `sampling` group re-times the 4096-host storm with the telemetry
+//! time-series sampler enabled (the configuration the fleet scenario runs
+//! with); `--assert-sampling-overhead <pct>` turns the instrumentation cost
+//! into a CI gate.
+//!
 //! [`EventQueue`]: trimgrad::netsim::event::EventQueue
 //! [`HeapEventQueue`]: trimgrad::netsim::event::HeapEventQueue
 
@@ -207,6 +212,52 @@ fn dense_over_btree_pct(rec: &[BenchRecord], fan_in: usize) -> f64 {
 
 /// Re-times only the 4096-host dense-vs-oracle pair (for gate retries, so a
 /// loaded CI machine gets fresh numbers without re-running the full sweep).
+/// Like [`run_fat_tree_incast`] with the telemetry time-series sampler
+/// enabled: every 50 µs of sim time the simulator snapshots its registry
+/// into the bounded ring. This is the instrumented configuration the fleet
+/// scenario runs with; `--assert-sampling-overhead` gates its cost against
+/// the unsampled run.
+fn run_fat_tree_incast_sampled<P: PortMap>(
+    topo: &Topology,
+    routes: &Routes,
+    sched: &FlowSchedule,
+    seed: u64,
+) -> (u64, u64) {
+    let mut sim = Simulator::<P>::with_routes_in(topo.clone(), routes.clone(), seed);
+    sim.enable_time_series(SimTime::from_micros(50), 256);
+    sched.install(&mut sim);
+    sim.run_until(SimTime::from_secs(1));
+    (sim.events_fired(), sim.arena().high_water())
+}
+
+/// Times the 4096-host storm with and without time-series sampling.
+/// Returns the sampling overhead in percent (negative = sampled faster,
+/// i.e. noise).
+fn bench_sampling_overhead(opts: &BenchOpts, group: &str, records: &mut Vec<BenchRecord>) -> f64 {
+    let (topo, routes, sched) = fat_tree_scale_case(26, 4096);
+    let mut g = Group::new(group);
+    opts.configure(&mut g);
+    g.quick();
+    let (events, _) = run_fat_tree_incast::<DensePortTable>(&topo, &routes, &sched, 0xA5);
+    g.throughput(Throughput::Elements(events));
+    g.bench("events_per_s_4096_hosts_unsampled", || {
+        run_fat_tree_incast::<DensePortTable>(&topo, &routes, &sched, 0xA5)
+    });
+    g.bench("events_per_s_4096_hosts_sampled", || {
+        run_fat_tree_incast_sampled::<DensePortTable>(&topo, &routes, &sched, 0xA5)
+    });
+    let rec = g.finish();
+    let best = |suffix: &str| {
+        rec.iter()
+            .find(|r| r.label.ends_with(suffix))
+            .map(|r| r.best_ns)
+            .unwrap_or(f64::NAN)
+    };
+    let pct = (best("_sampled") - best("_unsampled")) / best("_unsampled") * 100.0;
+    records.extend(rec);
+    pct
+}
+
 fn bench_scale_4096_retry(opts: &BenchOpts) -> f64 {
     let (topo, routes, sched) = fat_tree_scale_case(26, 4096);
     let mut g = Group::new("scale_retry");
@@ -238,7 +289,33 @@ fn main() {
     let mut calendar_over_heap_pct = bench_event_queue(&opts, &mut records);
     bench_incast(&opts, &mut records);
     let mut dense_over_btree = bench_scale(&opts, &mut records);
+    let mut sampling_pct = bench_sampling_overhead(&opts, "sampling", &mut records);
     opts.write("netsim", &records);
+    if let Some(limit) = not_slower_limit("--assert-sampling-overhead") {
+        // Sub-percent deltas are at the mercy of CI noise; re-time before
+        // declaring that the sampler regressed the hot loop.
+        let mut scratch = Vec::new();
+        let mut worst = f64::NEG_INFINITY;
+        let mut ok = false;
+        for attempt in 1..=3 {
+            println!(
+                "time-series sampling overhead (4096 hosts), attempt {attempt}: \
+                 {sampling_pct:+.2}% (limit +{limit}%)"
+            );
+            if sampling_pct <= limit {
+                ok = true;
+                break;
+            }
+            worst = worst.max(sampling_pct);
+            if attempt < 3 {
+                sampling_pct = bench_sampling_overhead(&opts, "sampling_retry", &mut scratch);
+            }
+        }
+        if !ok {
+            // trimlint: allow(no-panic) -- the whole point of the flag is to fail CI
+            panic!("time-series sampling costs {worst:.2}% at 4096 hosts (limit +{limit}%)");
+        }
+    }
     if let Some(limit) = not_slower_limit("--assert-dense-ports-not-slower") {
         // Same retry discipline as the calendar gate: best-of-batch timing
         // jitters on loaded CI machines, so re-time before failing.
@@ -260,7 +337,9 @@ fn main() {
         }
         if !ok {
             // trimlint: allow(no-panic) -- the whole point of the flag is to fail CI
-            panic!("dense port table is {worst:.2}% slower than the BTreeMap oracle (limit +{limit}%)");
+            panic!(
+                "dense port table is {worst:.2}% slower than the BTreeMap oracle (limit +{limit}%)"
+            );
         }
     }
     if let Some(limit) = not_slower_limit("--assert-calendar-not-slower") {

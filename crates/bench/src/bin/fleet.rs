@@ -1,0 +1,103 @@
+//! Fleet-scale SLO scenario: N concurrent tenant training jobs with
+//! seeded arrival/departure churn on a shared k=8 fat-tree, per-tenant
+//! time-series telemetry, SLO evaluation, and the HTML/SVG dashboard.
+//!
+//! Writes (under `results/`, or `$TRIMGRAD_SNAPSHOT_DIR`):
+//!   * `dashboard.html`      — the rendered fleet dashboard,
+//!   * `fleet.series.json`   — the sampled per-tenant time-series ring,
+//!   * `fleet.snapshot.json` — the final registry snapshot,
+//!   * `fleet.trace.{bin,jsonl}` — the flight-recorder dump the dashboard's
+//!     drill-down commands point at.
+//!
+//! Run: `cargo run --release -p trimgrad-bench --bin fleet --
+//!       [--tenants N] [--horizon-ms N] [--seed N]`
+
+use trimgrad::netsim::time::SimTime;
+use trimgrad_bench::fleet::{run_fleet, FleetConfig, RANKS};
+use trimgrad_bench::snapshot_dir;
+use trimgrad_slo::dashboard::check_dashboard;
+
+fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} wants a number, got '{v}'"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = FleetConfig {
+        tenants: arg_u64(&args, "--tenants", 4) as usize,
+        seed: arg_u64(&args, "--seed", 0xF1EE7),
+        horizon: SimTime::from_millis(arg_u64(&args, "--horizon-ms", 40)),
+        // Sized to retain the whole default 40 ms horizon (~2.4M records):
+        // an evicted ring would leave the dashboard's drill-down commands —
+        // pinned to each tenant's worst window, often early in the run —
+        // pointing at nothing.
+        trace_capacity: 1 << 22,
+        ..FleetConfig::default()
+    };
+    let out = run_fleet(&cfg);
+
+    println!(
+        "# fleet: {} tenants x {RANKS} ranks, horizon {}ms, seed {:#x}",
+        cfg.tenants,
+        cfg.horizon.as_nanos() / 1_000_000,
+        cfg.seed
+    );
+    println!(
+        "{:<14} {:>8} {:>8} {:>12} {:>10} {:>10}  verdict",
+        "tenant", "rounds", "stalled", "p99-step", "trim-frac", "burn"
+    );
+    for (i, t) in out.report.tenants.iter().enumerate() {
+        println!(
+            "{:<14} {:>8} {:>8} {:>10}us {:>10.3} {:>10.2}  {}",
+            t.spec.scope,
+            out.rounds_completed[i],
+            out.rounds_stalled[i],
+            (t.p99_step_ns / 1_000.0).round() as u64,
+            t.trim_fraction,
+            t.burn_rate,
+            t.verdict.name()
+        );
+    }
+    println!(
+        "trim fairness (Jain) {:.3}; series digest {:#018x}; snapshot digest {:#018x}",
+        out.report.trim_fairness, out.series_digest, out.snapshot_digest
+    );
+
+    let dir = snapshot_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    std::fs::write(dir.join("fleet.series.json"), &out.series_json).expect("write series");
+    std::fs::write(dir.join("fleet.snapshot.json"), &out.snapshot_json).expect("write snapshot");
+    let dash = dir.join("dashboard.html");
+    std::fs::write(&dash, &out.dashboard_html).expect("write dashboard");
+    if let Err(e) = check_dashboard(&out.dashboard_html, out.tenants.len()) {
+        eprintln!("fleet: dashboard failed well-formedness check: {e}");
+        std::process::exit(1);
+    }
+    match out.sim.tracer().dump(&dir, "fleet.trace") {
+        Ok(Some((bin, jsonl))) => {
+            println!(
+                "wrote {}, {} and {}",
+                dash.display(),
+                bin.display(),
+                jsonl.display()
+            );
+        }
+        Ok(None) => println!("wrote {} (tracer disabled)", dash.display()),
+        Err(e) => {
+            eprintln!("fleet: trace dump failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    assert!(
+        out.rounds_completed.iter().all(|&r| r >= 1),
+        "a tenant never completed a training round — raise --horizon-ms"
+    );
+    eprintln!("fleet: done");
+}

@@ -83,6 +83,7 @@ fn run_one(cross_bytes: u64, grad_depth: u8, scheme: SchemeId) -> (f64, f64, f64
         mtu: 1500,
         hosts,
         blob_len: BLOB_LEN,
+        flow_base: 0,
     };
     let t0 = sim.now();
     let (out, trim_frac) = run_ring_allreduce(&mut sim, &cfg, blobs, SimTime::from_secs(120));

@@ -78,6 +78,7 @@ fn main() {
         mtu: 1500,
         hosts,
         blob_len: BLOB_LEN,
+        flow_base: 0,
     };
     let (_, trim_frac) = run_ring_allreduce(&mut sim, &cfg, blobs, SimTime::from_secs(60));
     assert!(sim.conservation_holds(), "conservation violated");

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod microbench;
 
 use trimgrad::collective::hooks::{AggregateHook, BaselineHook, TrimmableHook};
@@ -238,6 +239,10 @@ pub fn run_training(cfg: &ExpConfig, epochs: u32, time_model: &TimeModel) -> Run
         let wire_bytes = (bytes_per_round as f64 * scale) as u64;
         let scaled_coords = (coords as f64 * scale) as u64;
         round_time = time_model.round_time(cfg.scheme, scaled_coords, wire_bytes, cfg.congestion);
+        // Feed the modeled round time back as the trainer's step timer so
+        // `mltrain.step_time_ns` tracks the same trajectory the TTA plots
+        // integrate (first epoch runs before a model estimate exists).
+        trainer.set_round_time_ns((round_time.total() * 1e9) as u64);
         wall += round_time.total() * f64::from(rounds_per_epoch);
         if !stats.train_loss.is_finite() || stats.train_loss > 50.0 {
             diverged = true;

@@ -1,0 +1,53 @@
+//! Fleet determinism: the per-tenant time-series ring and the final
+//! registry snapshot are a pure function of the seed.
+//!
+//! The digests below are golden values. CI runs this test with
+//! `TRIMGRAD_THREADS=1` and `TRIMGRAD_THREADS=4`; both legs must produce
+//! the same bytes, so a digest mismatch at either width means some
+//! parallel code path leaked scheduling order into telemetry.
+
+use trimgrad::netsim::time::SimTime;
+use trimgrad_bench::fleet::{run_fleet, FleetConfig};
+
+fn golden_cfg() -> FleetConfig {
+    FleetConfig {
+        tenants: 4,
+        seed: 0xF1EE7,
+        horizon: SimTime::from_millis(8),
+        round_period: SimTime::from_millis(2),
+        sample_interval: SimTime::from_micros(250),
+        ring_capacity: 128,
+        trace_capacity: 0,
+    }
+}
+
+const GOLDEN_SERIES_DIGEST: u64 = 0x8ed6_aba2_1037_703a;
+const GOLDEN_SNAPSHOT_DIGEST: u64 = 0x0b8c_bdd2_c24f_c49d;
+
+#[test]
+fn fleet_digests_match_golden_and_are_run_twice_stable() {
+    let a = run_fleet(&golden_cfg());
+    let b = run_fleet(&golden_cfg());
+    assert_eq!(
+        a.series_digest, b.series_digest,
+        "series ring differs between two identical runs"
+    );
+    assert_eq!(
+        a.snapshot_digest, b.snapshot_digest,
+        "final snapshot differs between two identical runs"
+    );
+    assert_eq!(
+        a.dashboard_html, b.dashboard_html,
+        "rendered dashboard differs between two identical runs"
+    );
+    assert_eq!(
+        a.series_digest, GOLDEN_SERIES_DIGEST,
+        "series digest drifted from golden (got {:#018x})",
+        a.series_digest
+    );
+    assert_eq!(
+        a.snapshot_digest, GOLDEN_SNAPSHOT_DIGEST,
+        "snapshot digest drifted from golden (got {:#018x})",
+        a.snapshot_digest
+    );
+}

@@ -23,7 +23,7 @@ use trimgrad_netsim::packet::{Packet, PacketBody, PacketSpec};
 use trimgrad_netsim::{FlowId, NodeId};
 use trimgrad_par::WorkerPool;
 use trimgrad_quant::SchemeId;
-use trimgrad_telemetry::{Counter, Registry};
+use trimgrad_telemetry::{Counter, Histogram, Registry};
 use trimgrad_trace::{sat32, sat64, TraceEvent};
 use trimgrad_wire::packet::NetAddrs;
 use trimgrad_wire::packetize::{packetize_row, PacketizeConfig};
@@ -47,6 +47,11 @@ pub struct RingNetConfig {
     pub hosts: Vec<NodeId>,
     /// Blob length in coordinates (identical on every worker).
     pub blob_len: usize,
+    /// Added to every worker's flow id, so concurrent rings on one fabric
+    /// keep distinct flows. Multi-tenant runs use `(tenant + 1) << 32`,
+    /// making `flow >> 32` the tenant key (see
+    /// `Simulator::set_flow_scope`); single-job runs leave it 0.
+    pub flow_base: u64,
 }
 
 impl RingNetConfig {
@@ -123,12 +128,17 @@ struct RankMetrics {
     packets_sent: Counter,
     bytes_sent: Counter,
     packets_received: Counter,
+    bytes_received: Counter,
     trimmed_received: Counter,
     parts_lost: Counter,
     meta_received: Counter,
     steps_applied: Counter,
     rejected_frames: Counter,
     rejected_meta: Counter,
+    /// Sim-time from sending a protocol step's segment to applying that
+    /// step's inbound message — the per-step latency an SLO's p99 is
+    /// computed over.
+    step_time_ns: Histogram,
 }
 
 impl RankMetrics {
@@ -138,12 +148,14 @@ impl RankMetrics {
             packets_sent: registry.counter(&name("packets_sent")),
             bytes_sent: registry.counter(&name("bytes_sent")),
             packets_received: registry.counter(&name("packets_received")),
+            bytes_received: registry.counter(&name("bytes_received")),
             trimmed_received: registry.counter(&name("trimmed_received")),
             parts_lost: registry.counter(&name("parts_lost")),
             meta_received: registry.counter(&name("meta_received")),
             steps_applied: registry.counter(&name("steps_applied")),
             rejected_frames: registry.counter(&name("rejected_frames")),
             rejected_meta: registry.counter(&name("rejected_meta")),
+            step_time_ns: registry.histogram(&name("step_time_ns")),
         }
     }
 }
@@ -165,6 +177,9 @@ pub struct RingWorkerApp {
     pub rejected_frames: u64,
     done: bool,
     metrics: Option<RankMetrics>,
+    /// Sim time when the current step's segment was sent; consumed by
+    /// `apply_step` to record `step_time_ns`.
+    step_sent_at: u64,
 }
 
 impl RingWorkerApp {
@@ -192,6 +207,7 @@ impl RingWorkerApp {
             rejected_frames: 0,
             done: false,
             metrics: None,
+            step_sent_at: 0,
         }
     }
 
@@ -218,7 +234,7 @@ impl RingWorkerApp {
     }
 
     fn flow(&self) -> FlowId {
-        FlowId(0x5249_0000 + self.rank as u64)
+        FlowId(self.cfg.flow_base + 0x5249_0000 + self.rank as u64)
     }
 
     fn next_host(&self) -> NodeId {
@@ -235,6 +251,7 @@ impl RingWorkerApp {
             step: sat32(t),
             reduce: self.cfg.is_reduce_step(t),
         });
+        self.step_sent_at = at;
         let m = self.metrics(api);
         let seg = self.cfg.send_segment(self.rank, t);
         let range = segment_range(self.cfg.blob_len, self.cfg.workers(), seg);
@@ -342,7 +359,9 @@ impl RingWorkerApp {
         } else {
             self.blob[range].copy_from_slice(&decoded);
         }
-        self.metrics(api).steps_applied.inc();
+        let m = self.metrics(api);
+        m.steps_applied.inc();
+        m.step_time_ns.record(at.saturating_sub(self.step_sent_at));
         let rank = self.rank;
         api.tracer().emit(at, || TraceEvent::StepApplied {
             rank: sat32(rank),
@@ -416,6 +435,7 @@ impl App for RingWorkerApp {
                 };
                 self.packets_received += 1;
                 m.packets_received.inc();
+                m.bytes_received.add(u64::from(pkt.size));
                 if fields.trim_depth < fields.n_parts {
                     self.trimmed_received += 1;
                     m.trimmed_received.inc();
@@ -442,6 +462,7 @@ impl App for RingWorkerApp {
             PacketBody::GradMeta(meta) => {
                 let m = self.metrics(api);
                 m.meta_received.inc();
+                m.bytes_received.add(u64::from(pkt.size));
                 let msg_id = meta.msg_id;
                 let row_id = meta.row_id as usize;
                 let asm = self.ensure_assembly(msg_id);
@@ -582,6 +603,7 @@ mod tests {
             mtu: 1500,
             hosts,
             blob_len,
+            flow_base: 0,
         }
     }
 

@@ -52,7 +52,12 @@ fn assert_rows_identical(pooled: &[EncodedRow], reference: &[EncodedRow], ctx: &
 
 /// Encodes each row with the scalar reference, serially — the ground truth
 /// the pooled vectorized path must reproduce exactly.
-fn scalar_reference(codec: &MessageCodec, blob: &[f32], epoch: u32, msg_id: u32) -> Vec<EncodedRow> {
+fn scalar_reference(
+    codec: &MessageCodec,
+    blob: &[f32],
+    epoch: u32,
+    msg_id: u32,
+) -> Vec<EncodedRow> {
     let row_len = codec.row_len();
     (0..codec.rows_for(blob.len()))
         .map(|row_id| {

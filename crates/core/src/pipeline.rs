@@ -423,7 +423,10 @@ mod tests {
     #[test]
     fn try_build_returns_typed_errors() {
         assert_eq!(
-            PipelineConfig::builder().row_len(0).try_build().unwrap_err(),
+            PipelineConfig::builder()
+                .row_len(0)
+                .try_build()
+                .unwrap_err(),
             PipelineConfigError::ZeroRowLen
         );
         assert_eq!(

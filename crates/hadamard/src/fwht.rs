@@ -347,18 +347,7 @@ mod tests {
         // Covers: radix-4 only (n = 4^k), odd final stage (n = 2·4^k), the
         // single-block boundary (n = BLOCK), and multi-block lengths with
         // both even and odd cross-block stage counts (2·BLOCK, 8·BLOCK).
-        for n in [
-            1usize,
-            2,
-            4,
-            8,
-            64,
-            128,
-            2048,
-            BLOCK,
-            2 * BLOCK,
-            8 * BLOCK,
-        ] {
+        for n in [1usize, 2, 4, 8, 64, 128, 2048, BLOCK, 2 * BLOCK, 8 * BLOCK] {
             let data: Vec<f32> = (0..n)
                 .map(|i| ((i * 2_654_435_761) % 1000) as f32 / 9.7 - 51.0)
                 .collect();

@@ -97,7 +97,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "trace-event-naming",
-        "flight-recorder span/mark names must be dot-separated lowercase",
+        "flight-recorder span/mark and telemetry metric/scope names must be dot-separated lowercase",
     ),
     (
         "hot-path-panic",

@@ -295,12 +295,19 @@ pub fn unchecked_len_index(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
 }
 
 /// `trace-event-naming`: span and mark names handed to the flight recorder
-/// must be dot-separated lowercase segments of `[a-z0-9_]` — the convention
-/// every built-in event kind (`pkt.trimmed`, `step.applied`, …) follows, and
-/// what keeps span counters (`trace.span.<name>.calls`) and trace queries
-/// greppable. Matches the `span!` macro plus `.span(…)` / `.span_at(…)` /
-/// `.mark(…)` method calls whose name argument is a string literal; names
-/// built at runtime are out of reach and stay unchecked.
+/// — and metric names registered in the telemetry registry — must be
+/// dot-separated lowercase segments of `[a-z0-9_]`: the convention every
+/// built-in event kind (`pkt.trimmed`, `step.applied`, …) and metric
+/// (`netsim.trim_bytes`, `collective.rank.0.steps_applied`, …) follows,
+/// and what keeps span counters, scoped tenant prefixes, and trace/series
+/// queries greppable. Matches the `span!` macro plus `.span(…)` /
+/// `.span_at(…)` / `.mark(…)` method calls whose name argument is a string
+/// literal anywhere in the call, and `.counter(…)` / `.gauge(…)` /
+/// `.float_gauge(…)` / `.histogram(…)` / `.scoped(…)` calls whose *first*
+/// argument (past a leading `&`) is a string literal — the telemetry
+/// accessors routinely take `&format!(…)` names whose literal fragments
+/// must not be judged in isolation. Names built at runtime are out of
+/// reach and stay unchecked.
 #[must_use]
 pub fn trace_event_naming(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
     let toks = &out.toks;
@@ -310,14 +317,16 @@ pub fn trace_event_naming(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
             continue;
         }
         let name = toks[i].text.as_str();
+        let is_method =
+            i > 0 && toks[i - 1].is_punct(".") && i + 1 < toks.len() && toks[i + 1].is_punct("(");
+        let telemetry = is_method
+            && matches!(
+                name,
+                "counter" | "gauge" | "float_gauge" | "histogram" | "scoped"
+            );
         let open = if name == "span" && i + 1 < toks.len() && toks[i + 1].is_punct("!") {
             (i + 2 < toks.len() && toks[i + 2].is_punct("(")).then_some(i + 2)
-        } else if matches!(name, "span" | "span_at" | "mark")
-            && i > 0
-            && toks[i - 1].is_punct(".")
-            && i + 1 < toks.len()
-            && toks[i + 1].is_punct("(")
-        {
+        } else if (is_method && matches!(name, "span" | "span_at" | "mark")) || telemetry {
             Some(i + 1)
         } else {
             None
@@ -328,17 +337,29 @@ pub fn trace_event_naming(out: &LexOut, mask: &[bool]) -> Vec<Finding> {
         let Some(close) = matching(toks, open, "(", ")") else {
             continue;
         };
-        let Some(lit) = toks[open + 1..close]
-            .iter()
-            .find(|t| t.kind == TokKind::Str)
-        else {
+        let lit = if telemetry {
+            // Only a *direct* literal first argument is a registered name;
+            // `&format!("rank.{r}.x")` or `&key("loss")` literals are
+            // fragments of a runtime-built name.
+            let mut j = open + 1;
+            while j < close && toks[j].is_punct("&") {
+                j += 1;
+            }
+            (j < close && toks[j].kind == TokKind::Str).then(|| &toks[j])
+        } else {
+            toks[open + 1..close]
+                .iter()
+                .find(|t| t.kind == TokKind::Str)
+        };
+        let Some(lit) = lit else {
             continue;
         };
         if !valid_trace_name(&lit.text) {
+            let what = if telemetry { "metric" } else { "trace" };
             f.push((
                 lit.line,
                 format!(
-                    "trace name `{}` must be dot-separated lowercase \
+                    "{what} name `{}` must be dot-separated lowercase \
                      (`[a-z0-9_]` segments, e.g. `ring.send_step`)",
                     lit.text
                 ),

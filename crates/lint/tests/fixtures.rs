@@ -331,6 +331,47 @@ fn span(_s: &str) {}
 }
 
 #[test]
+fn trace_event_naming_flags_literal_metric_names() {
+    let src = "\
+fn f(reg: &Registry) {
+    let _a = reg.counter(\"Bad.Name\");
+    let _b = reg.gauge(\"netsim queue\");
+    let _c = reg.float_gauge(\"Train-Loss\");
+    let _d = reg.histogram(\"steps..applied\");
+    let _e = reg.scoped(\"Tenant.Job0\");
+}
+";
+    assert_eq!(
+        lint_netsim(src),
+        vec![
+            (2, "trace-event-naming"),
+            (3, "trace-event-naming"),
+            (4, "trace-event-naming"),
+            (5, "trace-event-naming"),
+            (6, "trace-event-naming"),
+        ]
+    );
+}
+
+#[test]
+fn trace_event_naming_accepts_metric_convention_and_runtime_names() {
+    let src = "\
+fn f(reg: &Registry, rank: usize) {
+    let _a = reg.counter(\"netsim.trim_bytes\");
+    let _b = reg.scoped(\"tenant.job0\").histogram(\"mltrain.step_time_ns\");
+    // A literal inside a runtime-built name is a fragment, not the name:
+    // judging `Loss` or `rank.{rank}.x` in isolation would misfire.
+    let _c = reg.float_gauge(&format!(\"collective.rank.{rank}.x\"));
+    let _d = reg.counter(&name(\"Train Loss\"));
+    let _e = counter(\"Not A Method Call\");
+}
+fn name(_s: &str) -> String { String::new() }
+fn counter(_s: &str) {}
+";
+    assert_eq!(lint_netsim(src), vec![]);
+}
+
+#[test]
 fn trace_event_naming_respects_suppression_and_test_mask() {
     let suppressed = "\
 fn f(tracer: &Tracer) {

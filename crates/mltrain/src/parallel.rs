@@ -13,7 +13,7 @@ use crate::model::Mlp;
 use crate::optim::{SgdMomentum, StepLr};
 use trimgrad_collective::hooks::AggregateHook;
 use trimgrad_hadamard::prng::Xoshiro256StarStar;
-use trimgrad_telemetry::Registry;
+use trimgrad_telemetry::{Histogram, Registry};
 use trimgrad_trace::{TraceEvent, Tracer};
 
 /// Trainer configuration.
@@ -84,6 +84,11 @@ pub struct DataParallelTrainer {
     round: u32,
     epoch: u32,
     telemetry: Option<Registry>,
+    /// Modeled wall time of one synchronous round, recorded per round into
+    /// the `mltrain.step_time_ns` histogram (see
+    /// [`set_round_time_ns`](Self::set_round_time_ns)).
+    round_time_ns: Option<u64>,
+    step_hist: Option<Histogram>,
     tracer: Tracer,
 }
 
@@ -118,6 +123,8 @@ impl DataParallelTrainer {
             round: 0,
             epoch: 0,
             telemetry: None,
+            round_time_ns: None,
+            step_hist: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -127,7 +134,18 @@ impl DataParallelTrainer {
     /// rolling totals `mltrain.epochs`, `mltrain.rounds`,
     /// `mltrain.bytes_sent`.
     pub fn attach_telemetry(&mut self, registry: Registry) {
+        self.step_hist = None; // re-register against the new registry
         self.telemetry = Some(registry);
+    }
+
+    /// Sets the modeled wall time of one synchronous round. While set and a
+    /// registry is attached, every [`run_round`](Self::run_round) records
+    /// the value into the `mltrain.step_time_ns` histogram — the trainer's
+    /// step timer. Passing a registry scoped with
+    /// `Registry::scoped("tenant.jobN")` lands it under the tenant's prefix.
+    /// Drivers with a per-round time model re-set this as the model evolves.
+    pub fn set_round_time_ns(&mut self, ns: u64) {
+        self.round_time_ns = Some(ns);
     }
 
     /// Attaches a flight recorder. Each [`run_epoch`](Self::run_epoch) then
@@ -183,6 +201,11 @@ impl DataParallelTrainer {
             model.set_params_flat(&params);
         }
         self.round += 1;
+        if let (Some(reg), Some(ns)) = (&self.telemetry, self.round_time_ns) {
+            self.step_hist
+                .get_or_insert_with(|| reg.histogram("mltrain.step_time_ns"))
+                .record(ns);
+        }
         RoundStats {
             loss: loss_sum / self.cfg.workers as f32,
             epoch: self.epoch,
@@ -372,6 +395,32 @@ mod tests {
         assert!(
             (snap.float("mltrain.epoch.1.train_loss") - f64::from(e1.train_loss)).abs() < 1e-12
         );
+    }
+
+    #[test]
+    fn step_timer_records_rounds_under_the_registry_scope() {
+        let (train, test) = task(7);
+        let mut t = DataParallelTrainer::new(
+            &[16, 24, 5],
+            train,
+            test,
+            Box::new(BaselineHook::new(2)),
+            ParallelConfig {
+                workers: 2,
+                ..cfg()
+            },
+        );
+        let reg = Registry::new();
+        t.attach_telemetry(reg.scoped("tenant.job3"));
+        t.set_round_time_ns(55_000_000);
+        t.run_epoch();
+        let snap = reg.snapshot();
+        let (count, sum, _) = snap
+            .histogram("tenant.job3.mltrain.step_time_ns")
+            .expect("step timer registered under the scope");
+        assert_eq!(count, 10); // one per round
+        assert_eq!(sum, 10 * 55_000_000);
+        assert_eq!(snap.counter("tenant.job3.mltrain.epochs"), 1);
     }
 
     #[test]

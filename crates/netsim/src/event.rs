@@ -53,6 +53,9 @@ pub enum EventKind {
     },
     /// The periodic statistics sampler.
     StatsSample,
+    /// The periodic telemetry time-series sampler: snapshots the registry
+    /// into the simulator's bounded [`trimgrad_telemetry::TimeSeries`] ring.
+    TelemetrySample,
 }
 
 /// One scheduled event.

@@ -382,11 +382,7 @@ mod tests {
         // Enumerate (from, to) in lexicographic order; keys must be 0..8.
         let mut expect = Vec::new();
         for from in 0..t.len() {
-            let mut ns: Vec<usize> = t
-                .neighbors(NodeId(from))
-                .iter()
-                .map(|(v, _)| v.0)
-                .collect();
+            let mut ns: Vec<usize> = t.neighbors(NodeId(from)).iter().map(|(v, _)| v.0).collect();
             ns.sort_unstable();
             for to in ns {
                 expect.push((from, to));
@@ -415,8 +411,8 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_host();
         let b = t.add_host();
-        let p = crate::link::LinkParams::new(gbps(40.0), SimTime::from_micros(3))
-            .with_drop_prob(0.25);
+        let p =
+            crate::link::LinkParams::new(gbps(40.0), SimTime::from_micros(3)).with_drop_prob(0.25);
         t.link_with(a, b, p);
         let mut table = DensePortTable::new(&t);
         let k = table.key(a, b);
@@ -473,7 +469,10 @@ mod tests {
         dense.get_mut(dk).enqueue(mk(), &policy);
         let ok = oracle.key(NodeId(0), NodeId(2));
         oracle.get_mut(ok).enqueue(mk(), &policy);
-        let d: Vec<_> = dense.ports_touched().map(|(k, p)| (k, p.counters)).collect();
+        let d: Vec<_> = dense
+            .ports_touched()
+            .map(|(k, p)| (k, p.counters))
+            .collect();
         let o: Vec<_> = oracle
             .ports_touched()
             .map(|(k, p)| (k, p.counters))

@@ -23,8 +23,9 @@ use crate::switch::{EnqueueOutcome, PortCounters, QueuePolicy};
 use crate::time::SimTime;
 use crate::topology::{NodeKind, Routes, Topology};
 use crate::NodeId;
+use std::collections::BTreeMap;
 use trimgrad_hadamard::prng::Xoshiro256StarStar;
-use trimgrad_telemetry::{Registry, Snapshot};
+use trimgrad_telemetry::{Counter, Registry, Snapshot, TimeSeries};
 use trimgrad_trace::{sat32, DropReason, TraceEvent, Tracer};
 
 /// The host NIC queue policy: deep FIFO, no trimming (the sending host can
@@ -63,8 +64,23 @@ pub struct Simulator<P: PortMap = DensePortTable> {
     rng: Xoshiro256StarStar,
     queue_sample_interval: Option<SimTime>,
     registry: Registry,
+    /// Per-host scoped registries (see [`Simulator::set_node_scope`]); hosts
+    /// absent here publish through the unscoped `registry`.
+    node_scopes: BTreeMap<usize, Registry>,
+    /// Per-tenant trim attribution (see [`Simulator::set_flow_scope`]),
+    /// keyed by `flow.0 >> 32`.
+    flow_scopes: BTreeMap<u64, TenantTrim>,
+    time_series_interval: Option<SimTime>,
+    time_series: Option<TimeSeries>,
     fault_plan: Option<FaultPlan>,
     tracer: Tracer,
+}
+
+/// Per-tenant fabric-side trim counters, bumped as the switch trims packets
+/// belonging to that tenant's flows.
+struct TenantTrim {
+    trimmed: Counter,
+    trim_bytes: Counter,
 }
 
 impl Simulator {
@@ -133,6 +149,10 @@ impl<P: PortMap> Simulator<P> {
             rng: Xoshiro256StarStar::new(seed),
             queue_sample_interval: None,
             registry,
+            node_scopes: BTreeMap::new(),
+            flow_scopes: BTreeMap::new(),
+            time_series_interval: None,
+            time_series: None,
             fault_plan: None,
             tracer,
         }
@@ -197,6 +217,74 @@ impl<P: PortMap> Simulator<P> {
     pub fn enable_queue_sampling(&mut self, interval: SimTime) {
         assert!(interval > SimTime::ZERO, "zero sampling interval");
         self.queue_sample_interval = Some(interval);
+    }
+
+    /// Enables the telemetry time-series sampler: every `interval` of sim
+    /// time, the registry is snapshotted into a bounded
+    /// [`TimeSeries`] ring of `capacity` points (counter/histogram deltas,
+    /// gauge levels). Driven entirely by the event clock, so the resulting
+    /// series is bit-identical per seed at any thread width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval or if the simulation already started.
+    pub fn enable_time_series(&mut self, interval: SimTime, capacity: usize) {
+        assert!(interval > SimTime::ZERO, "zero time-series interval");
+        assert!(
+            !self.started,
+            "time series must be enabled before the first run"
+        );
+        self.time_series_interval = Some(interval);
+        self.time_series = Some(TimeSeries::new(capacity));
+    }
+
+    /// The sampled telemetry time series, if [`Simulator::enable_time_series`]
+    /// was called.
+    #[must_use]
+    pub fn time_series(&self) -> Option<&TimeSeries> {
+        self.time_series.as_ref()
+    }
+
+    /// Publishes everything the apps on `node` emit through
+    /// [`HostApi::telemetry`] under `scope.` (via [`Registry::scoped`]),
+    /// instead of the registry root. Fabric-side `netsim.*` metrics are
+    /// unaffected — scope those per flow with [`Simulator::set_flow_scope`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is a switch or the simulation already started.
+    pub fn set_node_scope(&mut self, node: NodeId, scope: &str) {
+        assert!(
+            matches!(self.topo.kind(node), NodeKind::Host),
+            "{node} is not a host"
+        );
+        assert!(
+            !self.started,
+            "node scopes must be set before the first run"
+        );
+        self.node_scopes.insert(node.0, self.registry.scoped(scope));
+    }
+
+    /// Attributes fabric-side trimming of flows whose `flow.0 >> 32` equals
+    /// `tenant_key` to `scope.netsim.{trimmed,trim_bytes}` counters — the
+    /// per-tenant inputs of a trim-fairness (Jain's index) computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already started.
+    pub fn set_flow_scope(&mut self, tenant_key: u64, scope: &str) {
+        assert!(
+            !self.started,
+            "flow scopes must be set before the first run"
+        );
+        let scoped = self.registry.scoped(scope);
+        self.flow_scopes.insert(
+            tenant_key,
+            TenantTrim {
+                trimmed: scoped.counter("netsim.trimmed"),
+                trim_bytes: scoped.counter("netsim.trim_bytes"),
+            },
+        );
     }
 
     /// Current simulated time.
@@ -310,6 +398,10 @@ impl<P: PortMap> Simulator<P> {
             if let Some(interval) = self.queue_sample_interval {
                 self.queue
                     .schedule(self.now + interval, EventKind::StatsSample);
+            }
+            if let Some(interval) = self.time_series_interval {
+                self.queue
+                    .schedule(self.now + interval, EventKind::TelemetrySample);
             }
         }
         while let Some(at) = self.queue.peek_time() {
@@ -441,6 +533,21 @@ impl<P: PortMap> Simulator<P> {
                     }
                 }
             }
+            EventKind::TelemetrySample => {
+                // Registry-only snapshot: the per-port export in
+                // `telemetry_snapshot` formats thousands of names per call
+                // at datacenter scale, far too hot for a periodic sampler.
+                let snap = self.registry.snapshot();
+                if let Some(ts) = &mut self.time_series {
+                    ts.sample(self.now.as_nanos(), &snap);
+                }
+                if let Some(interval) = self.time_series_interval {
+                    if !self.queue.is_empty() {
+                        self.queue
+                            .schedule(self.now + interval, EventKind::TelemetrySample);
+                    }
+                }
+            }
         }
     }
 
@@ -542,6 +649,13 @@ impl<P: PortMap> Simulator<P> {
             }
             EnqueueOutcome::Trimmed => {
                 self.stats.on_trimmed();
+                if !self.flow_scopes.is_empty() {
+                    if let Some(t) = self.flow_scopes.get(&(flow >> 32)) {
+                        t.trimmed.inc();
+                        t.trim_bytes
+                            .add(u64::from(size.saturating_sub(trimmed_size.unwrap_or(0))));
+                    }
+                }
                 self.tracer.emit(at, || TraceEvent::PktTrimmed {
                     node: sat32(node.0),
                     to: sat32(to.0),
@@ -688,7 +802,14 @@ impl<P: PortMap> Simulator<P> {
         let Some(mut app) = self.apps[node.0].take() else {
             return;
         };
-        let mut api = HostApi::new(self.now, node, self.registry.clone(), self.tracer.clone());
+        // Hosts carry their tenant's scoped registry when one was set; the
+        // common (unscoped) case is a pair of Arc bumps either way.
+        let registry = self
+            .node_scopes
+            .get(&node.0)
+            .unwrap_or(&self.registry)
+            .clone();
+        let mut api = HostApi::new(self.now, node, registry, self.tracer.clone());
         f(app.as_mut(), &mut api);
         self.apps[node.0] = Some(app);
         let HostApi {
@@ -1142,6 +1263,59 @@ mod tests {
 
         // Same seed ⇒ byte-identical trace.
         assert_eq!(trace.to_binary(), run().to_binary());
+    }
+
+    #[test]
+    fn time_series_samples_on_the_event_clock_and_is_deterministic() {
+        let run = || {
+            let (t, a, b) = line_topology(QueuePolicy::trim_default());
+            let mut sim = Simulator::with_seed(t, 3);
+            sim.enable_time_series(SimTime::from_micros(20), 64);
+            sim.install_app(a, Box::new(BulkSenderApp::new(b, 150_000, 1500, 1)));
+            sim.run_until(SimTime::from_millis(10));
+            assert!(sim.conservation_holds());
+            sim.time_series().expect("enabled").clone()
+        };
+        let ts = run();
+        assert!(!ts.is_empty(), "sampler must fire during the run");
+        // Stamps advance by exactly the interval, starting one interval in.
+        let ats: Vec<u64> = ts.points().map(|p| p.at_ns).collect();
+        for (i, &at) in ats.iter().enumerate() {
+            assert_eq!(at, (i as u64 + 1) * 20_000);
+        }
+        // Interval deltas of `netsim.delivered` sum to the final counter.
+        let delivered: f64 = ts.series("netsim.delivered").iter().map(|p| p.1).sum();
+        assert_eq!(delivered as u64, 100);
+        assert_eq!(ts.digest(), run().digest());
+    }
+
+    #[test]
+    fn node_and_flow_scopes_attribute_per_tenant_metrics() {
+        // Fast ingress, slow egress so tenant 1's flow trims.
+        let mut t = Topology::new();
+        let a = t.add_host();
+        let b = t.add_host();
+        let s = t.add_switch(QueuePolicy {
+            data_capacity: 4500,
+            prio_capacity: 64_000,
+            ecn_threshold: None,
+            action: FullAction::Trim { grad_depth: 1 },
+        });
+        t.link(a, s, gbps(10.0), SimTime::from_micros(1));
+        t.link(s, b, gbps(1.0), SimTime::from_micros(1));
+        let mut sim = Simulator::new(t);
+        let flow = FlowId(1 << 32); // tenant key 1
+        sim.set_node_scope(b, "tenant.job0");
+        sim.set_flow_scope(1, "tenant.job0");
+        sim.install_app(a, Box::new(BulkSenderApp::new(b, 45_000, 1500, flow.0)));
+        sim.run_until(SimTime::from_millis(50));
+        assert!(sim.stats().trimmed_packets() > 0, "load must trim");
+        let snap = sim.registry().snapshot();
+        assert_eq!(
+            snap.counter("tenant.job0.netsim.trimmed"),
+            sim.stats().trimmed_packets()
+        );
+        assert!(snap.counter("tenant.job0.netsim.trim_bytes") > 0);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use crate::time::SimTime;
 use crate::FlowId;
 use std::collections::BTreeMap;
-use trimgrad_telemetry::{Counter, Gauge, Registry, Snapshot};
+use trimgrad_telemetry::{Counter, Gauge, Histogram, Registry, Snapshot};
 
 /// Per-flow record.
 #[derive(Debug, Clone, Copy, Default)]
@@ -72,6 +72,7 @@ pub struct Stats {
     injected: Counter,
     ecn_marked: Counter,
     max_queue_bytes: Gauge,
+    queue_depth: Histogram,
     flows: BTreeMap<FlowId, FlowRecord>,
 }
 
@@ -103,6 +104,7 @@ impl Stats {
         let injected = registry.counter("netsim.injected");
         let ecn_marked = registry.counter("netsim.ecn_marked");
         let max_queue_bytes = registry.gauge("netsim.queue.max_bytes");
+        let queue_depth = registry.histogram("netsim.queue.depth_bytes");
         Self {
             registry,
             sent,
@@ -117,6 +119,7 @@ impl Stats {
             injected,
             ecn_marked,
             max_queue_bytes,
+            queue_depth,
             flows: BTreeMap::new(),
         }
     }
@@ -190,6 +193,9 @@ impl Stats {
 
     pub(crate) fn observe_queue(&mut self, bytes: u32) {
         self.max_queue_bytes.set_max(u64::from(bytes));
+        // The log2 distribution behind windowed depth percentiles (the
+        // dashboard heatmap); three relaxed atomics on the enqueue path.
+        self.queue_depth.record(u64::from(bytes));
     }
 
     /// Packets handed to NICs by apps.

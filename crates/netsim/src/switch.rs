@@ -290,11 +290,7 @@ impl PortState {
     }
 
     /// Queues `pkt` high-priority, or hands it back when the queue is full.
-    fn enqueue_high(
-        &mut self,
-        pkt: Box<Packet>,
-        policy: &QueuePolicy,
-    ) -> Result<(), Box<Packet>> {
+    fn enqueue_high(&mut self, pkt: Box<Packet>, policy: &QueuePolicy) -> Result<(), Box<Packet>> {
         if self.high_bytes + pkt.size <= policy.prio_capacity {
             self.high_bytes += pkt.size;
             self.high.push_back(pkt);

@@ -56,7 +56,11 @@ fn assert_is_tagged(got: &Packet, tag: u64) {
     let (PacketBody::GradData(g), PacketBody::GradData(w)) = (&got.body, &want.body) else {
         panic!("body variant leaked: {:?}", got.body);
     };
-    assert_eq!(g.as_bytes(), w.as_bytes(), "payload bytes leaked across reuse");
+    assert_eq!(
+        g.as_bytes(),
+        w.as_bytes(),
+        "payload bytes leaked across reuse"
+    );
 }
 
 proptest! {

@@ -75,9 +75,7 @@ fn resolved_global_threads() -> usize {
 #[must_use]
 pub fn hardware_threads() -> usize {
     static HW: OnceLock<usize> = OnceLock::new();
-    *HW.get_or_init(|| {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    })
+    *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
 }
 
 /// A deterministic worker-pool configuration.

@@ -767,7 +767,11 @@ mod tests {
             let values: Vec<f32> = (0..n)
                 .map(|i| {
                     let v = ((i * 37) % 19) as f32 - 9.0;
-                    if i % 5 == 0 { -v } else { v }
+                    if i % 5 == 0 {
+                        -v
+                    } else {
+                        v
+                    }
                 })
                 .collect();
             let mut reference = BitBuf::new();

@@ -131,7 +131,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 let v = ((i * 37) % 101) as f32 / 7.0 - 7.0;
-                if i % 3 == 0 { -v } else { v }
+                if i % 3 == 0 {
+                    -v
+                } else {
+                    v
+                }
             })
             .collect()
     }

@@ -55,11 +55,7 @@ fn fused_encode_matches_scalar_reference_byte_for_byte() {
             for seed in [0u64, 42, u64::MAX] {
                 let fast = scheme.encode(&data, seed);
                 let reference = scheme.encode_scalar(&data, seed);
-                assert_rows_identical(
-                    &fast,
-                    &reference,
-                    &format!("{scheme_id} n={n} seed={seed}"),
-                );
+                assert_rows_identical(&fast, &reference, &format!("{scheme_id} n={n} seed={seed}"));
             }
         }
     }

@@ -1,0 +1,526 @@
+//! Fleet SLO evaluation over telemetry time series.
+//!
+//! The paper's claim is end-to-end — trimming buys *time-to-accuracy under
+//! congestion* — so judging a multi-tenant fabric takes more than a final
+//! snapshot: it takes trajectories. This crate turns the
+//! [`trimgrad_telemetry::TimeSeries`] a simulation samples into per-tenant
+//! service-level verdicts:
+//!
+//! * [`SloSpec`] — the targets: p99 step time, minimum goodput, maximum trim
+//!   fraction, and an error budget for burn-rate style violation detection;
+//! * [`evaluate`] — windowed quantiles from the log2 histograms
+//!   (interpolated via [`trimgrad_telemetry::histogram_quantile`]), goodput
+//!   and trim-fraction per sampling window, Jain's fairness index over
+//!   per-tenant trim bytes, and a burn-rate verdict per tenant;
+//! * [`dashboard`] — a dependency-free HTML + inline-SVG renderer
+//!   (sparklines, queue-depth heatmap strip, verdict table) plus a
+//!   well-formedness checker CI runs against the rendered page.
+//!
+//! Everything here is a pure function of the series, so two runs with the
+//! same seed render byte-identical dashboards at any thread width.
+
+#![forbid(unsafe_code)]
+
+pub mod dashboard;
+
+use trimgrad_telemetry::{histogram_quantile, MetricValue, TimeSeries, TimeSeriesPoint};
+
+/// One tenant to evaluate: where its metrics live and which flows are its.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Registry scope prefix the tenant publishes under (no trailing dot),
+    /// e.g. `tenant.job0`.
+    pub scope: String,
+    /// Base added to the tenant's collective flow ids (`(tenant + 1) << 32`
+    /// in the fleet scenario), used to name the worst-p99 flow for trace
+    /// drill-downs.
+    pub flow_base: u64,
+    /// Display label for the dashboard (encoding, trim depth, …).
+    pub label: String,
+}
+
+/// The service-level objective every tenant is held to.
+#[derive(Debug, Clone, Copy)]
+pub struct SloSpec {
+    /// Target 99th-percentile collective step time, nanoseconds.
+    pub p99_step_time_ns: u64,
+    /// Minimum acceptable goodput (gradient bytes received per second of
+    /// sim time, summed over the tenant's ranks).
+    pub min_goodput_bps: f64,
+    /// Maximum acceptable fraction of gradient packets arriving trimmed.
+    pub max_trim_fraction: f64,
+    /// Error budget: the fraction of active windows allowed to violate any
+    /// target before the tenant fails (burn rate = violated fraction over
+    /// this budget).
+    pub error_budget: f64,
+    /// Burn-rate threshold over the trailing quarter of active windows at
+    /// which a still-within-budget tenant is flagged `Warn`.
+    pub warn_burn_rate: f64,
+}
+
+impl Default for SloSpec {
+    fn default() -> Self {
+        Self {
+            p99_step_time_ns: 50_000_000,
+            min_goodput_bps: 1e6,
+            max_trim_fraction: 0.5,
+            error_budget: 0.1,
+            warn_burn_rate: 0.5,
+        }
+    }
+}
+
+/// The verdict of one tenant against the [`SloSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within budget, no concerning recent burn.
+    Pass,
+    /// Within budget overall, but the trailing windows are burning it fast.
+    Warn,
+    /// Error budget exhausted.
+    Fail,
+}
+
+impl Verdict {
+    /// Display name (`PASS` / `WARN` / `FAIL`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Pass => "PASS",
+            Verdict::Warn => "WARN",
+            Verdict::Fail => "FAIL",
+        }
+    }
+}
+
+/// One sampling window of one tenant.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowEval {
+    /// Window end, sim nanoseconds.
+    pub at_ns: u64,
+    /// Interpolated p99 of the step-time observations inside the window
+    /// (0.0 if no step completed).
+    pub p99_step_ns: f64,
+    /// Gradient bytes received per second of sim time in the window.
+    pub goodput_bps: f64,
+    /// Trimmed fraction of gradient packets received in the window.
+    pub trim_fraction: f64,
+    /// Whether any SLO target was violated in this window.
+    pub violated: bool,
+}
+
+/// Everything [`evaluate`] derives for one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantSlo {
+    /// The spec this report was computed for.
+    pub spec: TenantSpec,
+    /// Per-window evaluations, active windows only (a window is active when
+    /// the tenant received bytes or completed steps in it).
+    pub windows: Vec<WindowEval>,
+    /// Whole-series interpolated p99 step time, nanoseconds.
+    pub p99_step_ns: f64,
+    /// Mean goodput over active windows.
+    pub mean_goodput_bps: f64,
+    /// Whole-series trimmed fraction of received gradient packets.
+    pub trim_fraction: f64,
+    /// Fabric-side bytes removed from this tenant's packets by trimming.
+    pub trim_bytes: u64,
+    /// Active windows that violated at least one target.
+    pub violating_windows: usize,
+    /// Violated fraction over the error budget (≥ 1.0 ⇒ budget exhausted).
+    pub burn_rate: f64,
+    /// Burn rate over the trailing quarter of active windows.
+    pub recent_burn_rate: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Rank with the worst whole-series p99 step time.
+    pub worst_rank: usize,
+    /// Flow id of [`TenantSlo::worst_rank`] — the `--follow` target.
+    pub worst_flow: u64,
+    /// End of the worst (highest p99) violating-or-not window, for
+    /// `--between` drill-downs; 0 when the tenant never stepped.
+    pub worst_window_at_ns: u64,
+}
+
+/// The fleet-level report: every tenant plus cross-tenant fairness.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-tenant evaluations, in input order.
+    pub tenants: Vec<TenantSlo>,
+    /// Jain's fairness index over per-tenant fabric trim bytes.
+    pub trim_fairness: f64,
+    /// Per-window fabric queue-depth p90 (from the
+    /// `netsim.queue.depth_bytes` histogram deltas) — the heatmap strip.
+    pub queue_windows: Vec<(u64, f64)>,
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` over `xs`.
+///
+/// Ranges from `1/n` (one tenant takes everything) to `1.0` (perfectly
+/// even). An empty or all-zero slice — nobody was trimmed at all — is
+/// defined as perfectly fair, `1.0`.
+#[must_use]
+pub fn jain_index(xs: &[f64]) -> f64 {
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    // trimlint: allow(float-eq) -- exact zero means literally nobody was trimmed; a tolerance would misclassify tiny tenants
+    if xs.is_empty() || sq == 0.0 {
+        1.0
+    } else {
+        (sum * sum) / (xs.len() as f64 * sq)
+    }
+}
+
+/// The flow id rank `r` of a ring with flow base `b` sends on (mirrors
+/// `RingWorkerApp::flow`).
+#[must_use]
+pub fn ring_flow_id(flow_base: u64, rank: usize) -> u64 {
+    flow_base + 0x5249_0000 + rank as u64
+}
+
+/// Sums every histogram delta under `prefix` with leaf name `leaf` inside
+/// one point, returning `(count, sum, buckets)`.
+fn sum_histograms(p: &TimeSeriesPoint, prefix: &str, leaf: &str) -> (u64, u64, Vec<u64>) {
+    let mut count = 0;
+    let mut sum = 0;
+    let mut buckets = Vec::new();
+    for (name, v) in p.values.range(prefix.to_string()..) {
+        if !name.starts_with(prefix) {
+            break;
+        }
+        if !name.ends_with(leaf) {
+            continue;
+        }
+        if let MetricValue::Histogram {
+            count: c,
+            sum: s,
+            buckets: b,
+        } = v
+        {
+            count += c;
+            sum += s;
+            if buckets.len() < b.len() {
+                buckets.resize(b.len(), 0);
+            }
+            for (acc, x) in buckets.iter_mut().zip(b) {
+                *acc += x;
+            }
+        }
+    }
+    (count, sum, buckets)
+}
+
+/// Sums every counter delta under `prefix` with leaf name `leaf` inside one
+/// point.
+fn sum_counters(p: &TimeSeriesPoint, prefix: &str, leaf: &str) -> u64 {
+    let mut total = 0;
+    for (name, v) in p.values.range(prefix.to_string()..) {
+        if !name.starts_with(prefix) {
+            break;
+        }
+        if !name.ends_with(leaf) {
+            continue;
+        }
+        if let MetricValue::Counter(c) = v {
+            total += c;
+        }
+    }
+    total
+}
+
+/// Accumulates bucket-wise into `acc` (resizing as needed).
+fn add_buckets(acc: &mut Vec<u64>, b: &[u64]) {
+    if acc.len() < b.len() {
+        acc.resize(b.len(), 0);
+    }
+    for (a, x) in acc.iter_mut().zip(b) {
+        *a += x;
+    }
+}
+
+/// Evaluates every tenant of a fleet time series against one [`SloSpec`].
+///
+/// Windows are the sampling intervals of `series`; a tenant's window is
+/// *active* when it received gradient bytes or completed collective steps
+/// in it, so arrival/departure churn never charges an absent tenant with
+/// zero-goodput violations.
+#[must_use]
+pub fn evaluate(series: &TimeSeries, tenants: &[TenantSpec], spec: &SloSpec) -> FleetReport {
+    let points: Vec<&TimeSeriesPoint> = series.points().collect();
+    let mut reports = Vec::with_capacity(tenants.len());
+    for t in tenants {
+        let prefix = format!("{}.", t.scope);
+        let rank_prefix = format!("{prefix}collective.rank.");
+        let mut windows = Vec::new();
+        let mut total_count = 0u64;
+        let mut total_buckets: Vec<u64> = Vec::new();
+        let mut per_rank: Vec<(u64, Vec<u64>)> = Vec::new();
+        let mut total_packets = 0u64;
+        let mut total_trimmed_pkts = 0u64;
+        let mut trim_bytes = 0u64;
+        let mut goodput_sum = 0.0;
+        let mut prev_at = 0u64;
+        let mut worst = (0.0f64, 0u64); // (p99, window end)
+        for p in &points {
+            let window_ns = p.at_ns.saturating_sub(prev_at);
+            prev_at = p.at_ns;
+            let (count, _sum, buckets) = sum_histograms(p, &rank_prefix, ".step_time_ns");
+            let bytes = sum_counters(p, &rank_prefix, ".bytes_received");
+            let packets = sum_counters(p, &rank_prefix, ".packets_received");
+            let trimmed_pkts = sum_counters(p, &rank_prefix, ".trimmed_received");
+            trim_bytes += sum_counters(p, &prefix, "netsim.trim_bytes");
+            // Per-rank whole-series accumulation for the worst-flow pick.
+            for (name, v) in p.values.range(rank_prefix.clone()..) {
+                if !name.starts_with(&rank_prefix) {
+                    break;
+                }
+                if !name.ends_with(".step_time_ns") {
+                    continue;
+                }
+                let rank: usize = name[rank_prefix.len()..]
+                    .split('.')
+                    .next()
+                    .and_then(|r| r.parse().ok())
+                    .unwrap_or(0);
+                if let MetricValue::Histogram {
+                    count: c,
+                    buckets: b,
+                    ..
+                } = v
+                {
+                    if per_rank.len() <= rank {
+                        per_rank.resize(rank + 1, (0, Vec::new()));
+                    }
+                    per_rank[rank].0 += c;
+                    add_buckets(&mut per_rank[rank].1, b);
+                }
+            }
+            if count == 0 && bytes == 0 {
+                continue; // tenant inactive (not yet arrived, or departed)
+            }
+            total_count += count;
+            add_buckets(&mut total_buckets, &buckets);
+            total_packets += packets;
+            total_trimmed_pkts += trimmed_pkts;
+            let p99 = histogram_quantile(count, &buckets, 0.99);
+            let goodput = if window_ns == 0 {
+                0.0
+            } else {
+                bytes as f64 * 1e9 / window_ns as f64
+            };
+            goodput_sum += goodput;
+            let trim_fraction = if packets == 0 {
+                0.0
+            } else {
+                trimmed_pkts as f64 / packets as f64
+            };
+            let violated = (count > 0 && p99 > spec.p99_step_time_ns as f64)
+                || goodput < spec.min_goodput_bps
+                || trim_fraction > spec.max_trim_fraction;
+            if p99 > worst.0 {
+                worst = (p99, p.at_ns);
+            }
+            windows.push(WindowEval {
+                at_ns: p.at_ns,
+                p99_step_ns: p99,
+                goodput_bps: goodput,
+                trim_fraction,
+                violated,
+            });
+        }
+        let active = windows.len();
+        let violating = windows.iter().filter(|w| w.violated).count();
+        let burn = |bad: usize, total: usize| {
+            if total == 0 || spec.error_budget <= 0.0 {
+                0.0
+            } else {
+                (bad as f64 / total as f64) / spec.error_budget
+            }
+        };
+        let burn_rate = burn(violating, active);
+        let tail = active.div_ceil(4).max(1).min(active);
+        let recent_bad = windows[active - tail..]
+            .iter()
+            .filter(|w| w.violated)
+            .count();
+        let recent_burn_rate = burn(recent_bad, tail);
+        let verdict = if burn_rate >= 1.0 {
+            Verdict::Fail
+        } else if recent_burn_rate >= spec.warn_burn_rate {
+            Verdict::Warn
+        } else {
+            Verdict::Pass
+        };
+        let worst_rank = per_rank
+            .iter()
+            .enumerate()
+            .map(|(r, (c, b))| (r, histogram_quantile(*c, b, 0.99)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map_or(0, |(r, _)| r);
+        reports.push(TenantSlo {
+            spec: t.clone(),
+            p99_step_ns: histogram_quantile(total_count, &total_buckets, 0.99),
+            mean_goodput_bps: if active == 0 {
+                0.0
+            } else {
+                goodput_sum / active as f64
+            },
+            trim_fraction: if total_packets == 0 {
+                0.0
+            } else {
+                total_trimmed_pkts as f64 / total_packets as f64
+            },
+            trim_bytes,
+            violating_windows: violating,
+            burn_rate,
+            recent_burn_rate,
+            verdict,
+            worst_rank,
+            worst_flow: ring_flow_id(t.flow_base, worst_rank),
+            worst_window_at_ns: worst.1,
+            windows,
+        });
+    }
+    let trim_fairness = jain_index(
+        &reports
+            .iter()
+            .map(|r| r.trim_bytes as f64)
+            .collect::<Vec<_>>(),
+    );
+    let queue_windows = points
+        .iter()
+        .map(|p| {
+            let depth = match p.get("netsim.queue.depth_bytes") {
+                Some(MetricValue::Histogram { count, buckets, .. }) => {
+                    histogram_quantile(*count, buckets, 0.9)
+                }
+                _ => 0.0,
+            };
+            (p.at_ns, depth)
+        })
+        .collect();
+    FleetReport {
+        tenants: reports,
+        trim_fairness,
+        queue_windows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgrad_telemetry::Registry;
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_index(&[5.0, 5.0, 5.0]), 1.0);
+        let skewed = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((skewed - 0.25).abs() < 1e-12, "{skewed}");
+        let mid = jain_index(&[4.0, 1.0]);
+        assert!(mid > 0.25 && mid < 1.0);
+    }
+
+    #[test]
+    fn ring_flow_ids_match_the_collective_convention() {
+        assert_eq!(ring_flow_id(0, 3), 0x5249_0000 + 3);
+        assert_eq!(ring_flow_id(2 << 32, 0) >> 32, 2);
+    }
+
+    /// Builds a two-tenant series: job0 is healthy, job1 has slow steps and
+    /// all the trimming.
+    fn fleet_series() -> (TimeSeries, Vec<TenantSpec>) {
+        let reg = Registry::new();
+        let t0 = reg.scoped("tenant.job0");
+        let t1 = reg.scoped("tenant.job1");
+        let mut ts = TimeSeries::new(64);
+        for w in 1..=8u64 {
+            for (t, step_ns, bytes) in [(&t0, 1_000u64, 4_000_000u64), (&t1, 80_000, 2_000_000)] {
+                t.histogram("collective.rank.0.step_time_ns")
+                    .record(step_ns);
+                t.histogram("collective.rank.1.step_time_ns")
+                    .record(step_ns * 2);
+                t.counter("collective.rank.0.bytes_received").add(bytes);
+                t.counter("collective.rank.0.packets_received").add(100);
+            }
+            t1.counter("collective.rank.0.trimmed_received").add(80);
+            t1.counter("netsim.trim_bytes").add(10_000);
+            ts.sample(w * 1_000_000, &reg.snapshot());
+        }
+        let tenants = vec![
+            TenantSpec {
+                scope: "tenant.job0".into(),
+                flow_base: 1 << 32,
+                label: "job0 rht1".into(),
+            },
+            TenantSpec {
+                scope: "tenant.job1".into(),
+                flow_base: 2 << 32,
+                label: "job1 sign".into(),
+            },
+        ];
+        (ts, tenants)
+    }
+
+    #[test]
+    fn evaluate_splits_pass_and_fail_tenants() {
+        let (ts, tenants) = fleet_series();
+        let spec = SloSpec {
+            p99_step_time_ns: 10_000,
+            min_goodput_bps: 1e6,
+            max_trim_fraction: 0.5,
+            error_budget: 0.1,
+            warn_burn_rate: 0.5,
+        };
+        let report = evaluate(&ts, &tenants, &spec);
+        assert_eq!(report.tenants.len(), 2);
+        let (job0, job1) = (&report.tenants[0], &report.tenants[1]);
+        assert_eq!(job0.verdict, Verdict::Pass);
+        assert_eq!(job0.violating_windows, 0);
+        // job1's steps (80–160 µs) blow the 10 µs target in every window,
+        // and 80% of its packets arrive trimmed.
+        assert_eq!(job1.verdict, Verdict::Fail);
+        assert_eq!(job1.violating_windows, job1.windows.len());
+        assert!(job1.burn_rate >= 1.0);
+        assert!(job1.p99_step_ns > job0.p99_step_ns);
+        assert!(job1.trim_fraction > 0.5);
+        // Rank 1 records 2× the step time, so it is the worst flow.
+        assert_eq!(job1.worst_rank, 1);
+        assert_eq!(job1.worst_flow, ring_flow_id(2 << 32, 1));
+        // Only job1 was trimmed: fairness is the 2-tenant minimum, 1/2.
+        assert!((report.trim_fairness - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inactive_windows_are_not_charged() {
+        let reg = Registry::new();
+        let t = reg.scoped("tenant.job0");
+        let mut ts = TimeSeries::new(16);
+        // Window 1: active and healthy. Windows 2-3: departed (no deltas).
+        t.histogram("collective.rank.0.step_time_ns").record(1_000);
+        t.counter("collective.rank.0.bytes_received").add(5_000_000);
+        t.counter("collective.rank.0.packets_received").add(10);
+        ts.sample(1_000_000, &reg.snapshot());
+        ts.sample(2_000_000, &reg.snapshot());
+        ts.sample(3_000_000, &reg.snapshot());
+        let tenants = [TenantSpec {
+            scope: "tenant.job0".into(),
+            flow_base: 1 << 32,
+            label: "job0".into(),
+        }];
+        let report = evaluate(&ts, &tenants, &SloSpec::default());
+        assert_eq!(report.tenants[0].windows.len(), 1, "only the live window");
+        assert_eq!(report.tenants[0].verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let build = || {
+            let (ts, tenants) = fleet_series();
+            let r = evaluate(&ts, &tenants, &SloSpec::default());
+            format!("{r:?}")
+        };
+        assert_eq!(build(), build());
+    }
+}

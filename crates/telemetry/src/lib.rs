@@ -24,7 +24,7 @@
 
 #![forbid(unsafe_code)]
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -194,6 +194,18 @@ impl Histogram {
         }
     }
 
+    /// Estimated `q`-quantile (`q` in `[0, 1]`) with within-bucket linear
+    /// interpolation, or `0.0` if empty.
+    ///
+    /// The estimate lands inside the log2 bucket that contains the exact
+    /// rank-`⌈q·n⌉` observation, so it is within a factor of 2 of the true
+    /// quantile (bucket `i` spans `[2^i, 2^(i+1))`). See
+    /// [`histogram_quantile`] for the interpolation rule.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        histogram_quantile(self.count(), &self.bucket_counts(), q)
+    }
+
     fn bucket_counts(&self) -> Vec<u64> {
         self.inner
             .buckets
@@ -201,6 +213,61 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+}
+
+/// Lower bound of log2 histogram bucket `i` (bucket 0 holds `{0, 1}`).
+#[must_use]
+pub fn histogram_bucket_lo(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        (1u128 << i) as f64
+    }
+}
+
+/// Exclusive upper bound of log2 histogram bucket `i`.
+#[must_use]
+pub fn histogram_bucket_hi(i: usize) -> f64 {
+    (1u128 << (i + 1)) as f64
+}
+
+/// Estimates the `q`-quantile of a log2-bucketed histogram with linear
+/// interpolation inside the target bucket.
+///
+/// The target rank is `max(1, q·count)` observations from the bottom; the
+/// estimate is `lo + (hi - lo) · (rank - cum_below) / bucket_count` for the
+/// bucket where the cumulative count first reaches the rank. Because the
+/// exact rank-`⌈q·count⌉` observation lives in that same bucket, the
+/// estimate's error is bounded by the bucket width: both values lie in
+/// `[2^i, 2^(i+1))`, so `estimate / exact` is within `(1/2, 2]`.
+///
+/// Out-of-range `q` is clamped to `[0, 1]`; an empty histogram yields `0.0`.
+#[must_use]
+pub fn histogram_quantile(count: u64, buckets: &[u64], q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = (q * count as f64).max(1.0);
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let below = cum as f64;
+        cum += c;
+        if cum as f64 >= target {
+            let lo = histogram_bucket_lo(i);
+            let hi = histogram_bucket_hi(i);
+            return lo + (hi - lo) * (target - below) / c as f64;
+        }
+    }
+    // Bucket counts summed below `count` (concurrent recording mid-read):
+    // fall back to the top of the highest non-empty bucket.
+    buckets
+        .iter()
+        .rposition(|&c| c != 0)
+        .map_or(0.0, histogram_bucket_hi)
 }
 
 /// One registered metric.
@@ -217,16 +284,51 @@ enum Metric {
 /// Clones share the table. Layers register (or re-open) metrics by name once
 /// and keep the returned handle for the hot path; the registry lock is only
 /// taken at registration and snapshot time.
+///
+/// [`Registry::scoped`] derives a handle that shares the same table but
+/// prepends a tenant prefix to every name at registration time, so
+/// multi-tenant callers get isolated namespaces while unscoped callers are
+/// untouched.
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+    /// Prepended (with a trailing `.`) to every metric name at registration
+    /// time; empty for unscoped registries.
+    prefix: Arc<str>,
 }
 
 impl Registry {
     /// A fresh, empty registry.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            metrics: Arc::default(),
+            prefix: Arc::from(""),
+        }
+    }
+
+    /// A handle onto the same metric table that registers every metric under
+    /// `scope` + `.`, e.g. `registry.scoped("tenant.job0").counter("steps")`
+    /// opens `tenant.job0.steps`. Scopes nest: `scoped("a").scoped("b")`
+    /// prefixes `a.b.`.
+    #[must_use]
+    pub fn scoped(&self, scope: &str) -> Registry {
+        assert!(!scope.is_empty(), "telemetry scope must be non-empty");
+        Registry {
+            metrics: Arc::clone(&self.metrics),
+            prefix: Arc::from(format!("{}{scope}.", self.prefix)),
+        }
+    }
+
+    /// The scope prefix this handle registers under (`""` when unscoped,
+    /// otherwise ends with `.`).
+    #[must_use]
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    fn qualify(&self, name: &str) -> String {
+        format!("{}{name}", self.prefix)
     }
 
     /// Returns the counter named `name`, creating it if absent.
@@ -236,9 +338,10 @@ impl Registry {
     /// Panics if `name` is already registered as a different metric kind.
     #[must_use]
     pub fn counter(&self, name: &str) -> Counter {
+        let name = self.qualify(name);
         let mut map = self.metrics.lock().expect("telemetry registry poisoned");
         match map
-            .entry(name.to_string())
+            .entry(name.clone())
             .or_insert_with(|| Metric::Counter(Counter::new()))
         {
             Metric::Counter(c) => c.clone(),
@@ -253,9 +356,10 @@ impl Registry {
     /// Panics if `name` is already registered as a different metric kind.
     #[must_use]
     pub fn gauge(&self, name: &str) -> Gauge {
+        let name = self.qualify(name);
         let mut map = self.metrics.lock().expect("telemetry registry poisoned");
         match map
-            .entry(name.to_string())
+            .entry(name.clone())
             .or_insert_with(|| Metric::Gauge(Gauge::new()))
         {
             Metric::Gauge(g) => g.clone(),
@@ -270,9 +374,10 @@ impl Registry {
     /// Panics if `name` is already registered as a different metric kind.
     #[must_use]
     pub fn float_gauge(&self, name: &str) -> FloatGauge {
+        let name = self.qualify(name);
         let mut map = self.metrics.lock().expect("telemetry registry poisoned");
         match map
-            .entry(name.to_string())
+            .entry(name.clone())
             .or_insert_with(|| Metric::FloatGauge(FloatGauge::new()))
         {
             Metric::FloatGauge(g) => g.clone(),
@@ -287,9 +392,10 @@ impl Registry {
     /// Panics if `name` is already registered as a different metric kind.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Histogram {
+        let name = self.qualify(name);
         let mut map = self.metrics.lock().expect("telemetry registry poisoned");
         match map
-            .entry(name.to_string())
+            .entry(name.clone())
             .or_insert_with(|| Metric::Histogram(Histogram::new()))
         {
             Metric::Histogram(h) => h.clone(),
@@ -388,6 +494,28 @@ impl Snapshot {
         }
     }
 
+    /// The captured histogram `(count, sum, buckets)` of `name`, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<(u64, u64, &[u64])> {
+        match self.values.get(name) {
+            Some(MetricValue::Histogram {
+                count,
+                sum,
+                buckets,
+            }) => Some((*count, *sum, buckets.as_slice())),
+            _ => None,
+        }
+    }
+
+    /// Interpolated `q`-quantile of the captured histogram `name`, or `0.0`
+    /// if absent or empty (see [`histogram_quantile`]).
+    #[must_use]
+    pub fn quantile(&self, name: &str, q: f64) -> f64 {
+        self.histogram(name).map_or(0.0, |(count, _, buckets)| {
+            histogram_quantile(count, buckets, q)
+        })
+    }
+
     /// Sum of all counters whose name starts with `prefix`.
     ///
     /// Useful for rolling up per-port or per-rank counters, e.g.
@@ -476,31 +604,7 @@ impl Snapshot {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         for (i, (name, v)) in self.values.iter().enumerate() {
-            let _ = write!(out, "  {}: ", json_string(name));
-            match v {
-                MetricValue::Counter(n) => {
-                    let _ = write!(out, "{{\"type\":\"counter\",\"value\":{n}}}");
-                }
-                MetricValue::Gauge(n) => {
-                    let _ = write!(out, "{{\"type\":\"gauge\",\"value\":{n}}}");
-                }
-                MetricValue::Float(x) => {
-                    let _ = write!(out, "{{\"type\":\"float\",\"value\":{}}}", json_f64(*x));
-                }
-                MetricValue::Histogram {
-                    count,
-                    sum,
-                    buckets,
-                } => {
-                    let last = buckets.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
-                    let body: Vec<String> = buckets[..last].iter().map(u64::to_string).collect();
-                    let _ = write!(
-                        out,
-                        "{{\"type\":\"histogram\",\"count\":{count},\"sum\":{sum},\"buckets\":[{}]}}",
-                        body.join(",")
-                    );
-                }
-            }
+            let _ = write!(out, "  {}: {}", json_string(name), metric_value_json(v));
             out.push_str(if i + 1 < self.values.len() {
                 ",\n"
             } else {
@@ -510,6 +614,237 @@ impl Snapshot {
         out.push('}');
         out
     }
+}
+
+/// Renders one [`MetricValue`] as the JSON object used by
+/// [`Snapshot::to_json`] and [`TimeSeries::to_json`] (trailing zero histogram
+/// buckets elided).
+fn metric_value_json(v: &MetricValue) -> String {
+    match v {
+        MetricValue::Counter(n) => format!("{{\"type\":\"counter\",\"value\":{n}}}"),
+        MetricValue::Gauge(n) => format!("{{\"type\":\"gauge\",\"value\":{n}}}"),
+        MetricValue::Float(x) => format!("{{\"type\":\"float\",\"value\":{}}}", json_f64(*x)),
+        MetricValue::Histogram {
+            count,
+            sum,
+            buckets,
+        } => {
+            let last = buckets.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
+            let body: Vec<String> = buckets[..last].iter().map(u64::to_string).collect();
+            format!(
+                "{{\"type\":\"histogram\",\"count\":{count},\"sum\":{sum},\"buckets\":[{}]}}",
+                body.join(",")
+            )
+        }
+    }
+}
+
+/// One sim-time-stamped sample in a [`TimeSeries`].
+///
+/// `values` holds the *delta* since the previous sample for counters and
+/// histograms (so a point answers "what happened in this interval"), and the
+/// instantaneous value for gauges and float gauges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeriesPoint {
+    /// Simulated timestamp of the sample, in nanoseconds.
+    pub at_ns: u64,
+    /// Per-metric interval deltas (counters, histograms) or instantaneous
+    /// values (gauges, float gauges), ordered by name.
+    pub values: BTreeMap<String, MetricValue>,
+}
+
+impl TimeSeriesPoint {
+    /// The sampled value of `name`, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.values.get(name)
+    }
+}
+
+/// A bounded ring of periodic [`Snapshot`] deltas, stamped with simulated
+/// time.
+///
+/// The sampler is entirely pull-based and clock-free: something that owns a
+/// deterministic clock (the simulator's event loop, a trainer's epoch tick)
+/// calls [`TimeSeries::sample`] with the current sim time and a fresh
+/// snapshot. Counters and histograms are stored as per-interval deltas;
+/// gauges and float gauges as last values. When the ring is full the oldest
+/// point is dropped (and counted), so memory stays bounded no matter the
+/// horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    capacity: usize,
+    points: VecDeque<TimeSeriesPoint>,
+    dropped_oldest: u64,
+    prev: Snapshot,
+}
+
+impl TimeSeries {
+    /// An empty series holding at most `capacity` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "time series capacity must be non-zero");
+        Self {
+            capacity,
+            points: VecDeque::with_capacity(capacity.min(1024)),
+            dropped_oldest: 0,
+            prev: Snapshot::default(),
+        }
+    }
+
+    /// Records one sample at sim time `at_ns` from a full registry snapshot,
+    /// storing counter/histogram deltas against the previous sample and
+    /// last values for gauges.
+    pub fn sample(&mut self, at_ns: u64, snap: &Snapshot) {
+        let values = snap
+            .iter()
+            .map(|(name, v)| {
+                let delta = match (v, self.prev.get(name)) {
+                    (MetricValue::Counter(now), prev) => {
+                        let before = match prev {
+                            Some(MetricValue::Counter(b)) => *b,
+                            _ => 0,
+                        };
+                        MetricValue::Counter(now.saturating_sub(before))
+                    }
+                    (
+                        MetricValue::Histogram {
+                            count,
+                            sum,
+                            buckets,
+                        },
+                        prev,
+                    ) => {
+                        let (pc, ps, pb): (u64, u64, &[u64]) = match prev {
+                            Some(MetricValue::Histogram {
+                                count: pc,
+                                sum: ps,
+                                buckets: pb,
+                            }) => (*pc, *ps, pb.as_slice()),
+                            _ => (0, 0, &[]),
+                        };
+                        MetricValue::Histogram {
+                            count: count.saturating_sub(pc),
+                            sum: sum.saturating_sub(ps),
+                            buckets: buckets
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &b)| b.saturating_sub(pb.get(i).copied().unwrap_or(0)))
+                                .collect(),
+                        }
+                    }
+                    (v, _) => v.clone(),
+                };
+                (name.to_string(), delta)
+            })
+            .collect();
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+            self.dropped_oldest += 1;
+        }
+        self.points.push_back(TimeSeriesPoint { at_ns, values });
+        self.prev = snap.clone();
+    }
+
+    /// The retained points, oldest first.
+    pub fn points(&self) -> impl Iterator<Item = &TimeSeriesPoint> {
+        self.points.iter()
+    }
+
+    /// Number of retained points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no samples have been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Points evicted because the ring was full.
+    #[must_use]
+    pub fn dropped_oldest(&self) -> u64 {
+        self.dropped_oldest
+    }
+
+    /// One metric's trajectory as `(at_ns, value)` pairs, oldest first.
+    ///
+    /// Counters yield their per-interval delta, gauges their sampled value,
+    /// float gauges their value, histograms their per-interval observation
+    /// count. Points where the metric is absent are skipped.
+    #[must_use]
+    pub fn series(&self, name: &str) -> Vec<(u64, f64)> {
+        self.points
+            .iter()
+            .filter_map(|p| {
+                let v = match p.values.get(name)? {
+                    MetricValue::Counter(n) | MetricValue::Gauge(n) => *n as f64,
+                    MetricValue::Float(x) => *x,
+                    MetricValue::Histogram { count, .. } => *count as f64,
+                };
+                Some((p.at_ns, v))
+            })
+            .collect()
+    }
+
+    /// Serializes to deterministic JSON:
+    /// `{"capacity":N,"dropped_oldest":N,"points":[{"at_ns":T,"metrics":{...}},...]}`
+    /// with per-metric objects in the [`Snapshot::to_json`] schema.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"capacity\":{},\"dropped_oldest\":{},\"points\":[",
+            self.capacity, self.dropped_oldest
+        );
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n  {{\"at_ns\":{},\"metrics\":{{", p.at_ns);
+            for (j, (name, v)) in p.values.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_string(name), metric_value_json(v));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n]}");
+        out
+    }
+
+    /// FNV-1a digest of the serialized series — a stable fingerprint for
+    /// golden determinism tests.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        fnv1a(self.to_json().as_bytes())
+    }
+}
+
+/// FNV-1a over a byte string (the same digest the netsim workload generator
+/// uses for golden determinism tests).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Escapes a string as a JSON string literal (used by [`Snapshot::to_json`]
@@ -645,6 +980,160 @@ mod tests {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
     }
 
+    #[test]
+    fn scoped_registry_prefixes_names_and_shares_the_table() {
+        let r = Registry::new();
+        let t0 = r.scoped("tenant.job0");
+        let t1 = r.scoped("tenant.job1");
+        t0.counter("steps").add(3);
+        t1.counter("steps").add(5);
+        r.counter("fabric.events").inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("tenant.job0.steps"), 3);
+        assert_eq!(snap.counter("tenant.job1.steps"), 5);
+        assert_eq!(snap.counter("fabric.events"), 1);
+        // A scoped handle's snapshot still sees the whole shared table.
+        assert_eq!(t0.snapshot(), snap);
+    }
+
+    #[test]
+    fn scopes_nest() {
+        let r = Registry::new();
+        let inner = r.scoped("tenant.job2").scoped("collective");
+        assert_eq!(inner.prefix(), "tenant.job2.collective.");
+        inner.counter("rank.0.bytes_sent").add(7);
+        assert_eq!(
+            r.snapshot()
+                .counter("tenant.job2.collective.rank.0.bytes_sent"),
+            7
+        );
+    }
+
+    #[test]
+    fn scoped_and_unscoped_same_leaf_name_stay_distinct() {
+        let r = Registry::new();
+        r.counter("steps").add(1);
+        r.scoped("t").counter("steps").add(2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("steps"), 1);
+        assert_eq!(snap.counter("t.steps"), 2);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        assert_eq!(Histogram::new().quantile(0.5), 0.0);
+        assert_eq!(histogram_quantile(0, &[], 0.99), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        let h = Histogram::new();
+        // 100 observations, all in bucket 6 ([64, 128)).
+        for _ in 0..100 {
+            h.record(64);
+        }
+        // target = q·100 observations into a 64-wide bucket starting at 64.
+        assert_eq!(h.quantile(0.5), 64.0 + 64.0 * 0.5);
+        assert_eq!(h.quantile(1.0), 128.0);
+        // q = 0 clamps to rank 1.
+        assert_eq!(h.quantile(0.0), 64.0 + 64.0 * 0.01);
+    }
+
+    #[test]
+    fn quantile_walks_across_buckets() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(2); // bucket 1: [2, 4)
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket 9: [512, 1024)
+        }
+        assert!(h.quantile(0.5) < 4.0);
+        let p99 = h.quantile(0.99);
+        assert!((512.0..=1024.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn snapshot_quantile_reads_captured_histograms() {
+        let r = Registry::new();
+        let h = r.histogram("step_ns");
+        for v in [10, 20, 30, 40] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        assert!(snap.quantile("step_ns", 0.5) > 0.0);
+        assert_eq!(snap.quantile("missing", 0.5), 0.0);
+    }
+
+    #[test]
+    fn time_series_stores_counter_deltas_and_gauge_levels() {
+        let r = Registry::new();
+        let c = r.counter("sent");
+        let g = r.gauge("depth");
+        let mut ts = TimeSeries::new(8);
+        c.add(5);
+        g.set(3);
+        ts.sample(1_000, &r.snapshot());
+        c.add(2);
+        g.set(9);
+        ts.sample(2_000, &r.snapshot());
+        assert_eq!(ts.series("sent"), vec![(1_000, 5.0), (2_000, 2.0)]);
+        assert_eq!(ts.series("depth"), vec![(1_000, 3.0), (2_000, 9.0)]);
+    }
+
+    #[test]
+    fn time_series_histogram_deltas_cover_the_interval_only() {
+        let r = Registry::new();
+        let h = r.histogram("step_ns");
+        let mut ts = TimeSeries::new(8);
+        h.record(100);
+        ts.sample(1, &r.snapshot());
+        h.record(100);
+        h.record(200);
+        ts.sample(2, &r.snapshot());
+        let points: Vec<_> = ts.points().collect();
+        match points[1].get("step_ns") {
+            Some(MetricValue::Histogram { count, sum, .. }) => {
+                assert_eq!(*count, 2);
+                assert_eq!(*sum, 300);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn time_series_ring_drops_oldest_at_capacity() {
+        let r = Registry::new();
+        let c = r.counter("n");
+        let mut ts = TimeSeries::new(2);
+        for t in 0..5u64 {
+            c.inc();
+            ts.sample(t, &r.snapshot());
+        }
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.dropped_oldest(), 3);
+        let ats: Vec<u64> = ts.points().map(|p| p.at_ns).collect();
+        assert_eq!(ats, vec![3, 4]);
+    }
+
+    #[test]
+    fn time_series_json_and_digest_are_stable() {
+        let build = || {
+            let r = Registry::new();
+            let mut ts = TimeSeries::new(4);
+            r.counter("a").add(1);
+            r.float_gauge("loss").set(0.5);
+            ts.sample(10, &r.snapshot());
+            r.counter("a").add(2);
+            ts.sample(20, &r.snapshot());
+            ts
+        };
+        let (t1, t2) = (build(), build());
+        assert_eq!(t1.to_json(), t2.to_json());
+        assert_eq!(t1.digest(), t2.digest());
+        assert!(t1.to_json().contains("\"at_ns\":10"));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -662,6 +1151,40 @@ mod tests {
             let (s1, s2) = (build(), build());
             prop_assert_eq!(&s1, &s2);
             prop_assert_eq!(s1.to_json(), s2.to_json());
+        }
+
+        #[test]
+        fn quantile_estimate_lands_in_the_exact_values_bucket(
+            values in proptest::collection::vec(0u64..1_000_000, 1..300),
+            qs in proptest::collection::vec(0.0f64..=1.0, 1..8)
+        ) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut values = values;
+            values.sort_unstable();
+            let n = values.len();
+            for &q in &qs {
+                // Exact oracle: nearest rank ⌈q·n⌉ (min 1) over the sorted
+                // values.
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                let exact = values[rank - 1];
+                let est = h.quantile(q);
+                // The estimate interpolates inside the log2 bucket that
+                // contains the exact observation, so it must respect that
+                // bucket's bounds.
+                let idx = if exact <= 1 {
+                    0
+                } else {
+                    63 - exact.leading_zeros() as usize
+                };
+                let (lo, hi) = (histogram_bucket_lo(idx), histogram_bucket_hi(idx));
+                prop_assert!(
+                    est >= lo && est <= hi,
+                    "q={q} exact={exact} est={est} bucket=[{lo},{hi}]"
+                );
+            }
         }
 
         #[test]

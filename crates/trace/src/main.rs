@@ -4,16 +4,22 @@
 //! trimgrad-trace query TRACE.bin [--summary] [--follow FLOW:SEQ]
 //!                                [--diff OTHER.bin] [--top-trimmed N]
 //!                                [--jsonl OUT.jsonl]
+//!                                [--tenant PREFIX] [--between T0 T1]
 //! ```
 //!
-//! With no action flag, prints the summary. All output is deterministic for
-//! a given trace file, so it can be captured in CI logs and diffed.
+//! With no action flag, prints the summary. `--tenant` and `--between` are
+//! filters applied to the loaded trace before any action runs: `--tenant`
+//! keeps one tenant's flows (a scope name like `tenant.job2` or a raw
+//! `flow >> 32` key), `--between` keeps the `[T0, T1]` sim-time window in
+//! nanoseconds. All output is deterministic for a given trace file, so it
+//! can be captured in CI logs and diffed.
 
 use std::process::ExitCode;
 use trimgrad_trace::{query, Trace};
 
 const USAGE: &str = "usage: trimgrad-trace query TRACE.bin \
-[--summary] [--follow FLOW:SEQ] [--diff OTHER.bin] [--top-trimmed N] [--jsonl OUT.jsonl]";
+[--summary] [--follow FLOW:SEQ] [--diff OTHER.bin] [--top-trimmed N] [--jsonl OUT.jsonl] \
+[--tenant PREFIX] [--between T0 T1]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,10 +42,26 @@ fn run(args: &[String]) -> Result<(), String> {
 
     let mut trace_path: Option<&str> = None;
     let mut actions: Vec<Action> = Vec::new();
+    let mut tenant: Option<u64> = None;
+    let mut between: Option<(u64, u64)> = None;
     let mut it = it.peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--summary" => actions.push(Action::Summary),
+            "--tenant" => {
+                let spec = it.next().ok_or("--tenant needs a scope prefix or key")?;
+                tenant = Some(query::tenant_key(spec)?);
+            }
+            "--between" => {
+                let t0 = it.next().ok_or("--between needs T0 and T1 (ns)")?;
+                let t1 = it.next().ok_or("--between needs T0 and T1 (ns)")?;
+                let t0 = parse_u64(t0).map_err(|e| format!("--between T0: {e}"))?;
+                let t1 = parse_u64(t1).map_err(|e| format!("--between T1: {e}"))?;
+                if t0 > t1 {
+                    return Err(format!("--between: T0 {t0} is after T1 {t1}"));
+                }
+                between = Some((t0, t1));
+            }
             "--follow" => {
                 let spec = it.next().ok_or("--follow needs FLOW:SEQ")?;
                 let (flow, pseq) = parse_follow(spec)?;
@@ -73,7 +95,10 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
     let trace_path = trace_path.ok_or(USAGE)?;
-    let trace = Trace::load(std::path::Path::new(trace_path))?;
+    let mut trace = Trace::load(std::path::Path::new(trace_path))?;
+    if tenant.is_some() || between.is_some() {
+        trace = query::filter(&trace, tenant, between);
+    }
     if actions.is_empty() {
         actions.push(Action::Summary);
     }
@@ -141,5 +166,35 @@ mod tests {
         assert!(run(&["query".into()]).is_err());
         assert!(run(&["query".into(), "--follow".into()]).is_err());
         assert!(run(&["query".into(), "/no/such/trace.bin".into()]).is_err());
+    }
+
+    #[test]
+    fn filter_flags_are_validated_before_load() {
+        // Bad tenant spec and inverted window fail regardless of the file.
+        assert!(run(&["query".into(), "t.bin".into(), "--tenant".into()]).is_err());
+        let e = run(&[
+            "query".into(),
+            "t.bin".into(),
+            "--tenant".into(),
+            "tenant.job".into(),
+        ])
+        .unwrap_err();
+        assert!(e.contains("job index"), "{e}");
+        let e = run(&[
+            "query".into(),
+            "t.bin".into(),
+            "--between".into(),
+            "500".into(),
+            "100".into(),
+        ])
+        .unwrap_err();
+        assert!(e.contains("after"), "{e}");
+        assert!(run(&[
+            "query".into(),
+            "t.bin".into(),
+            "--between".into(),
+            "1".into()
+        ])
+        .is_err());
     }
 }

@@ -147,6 +147,57 @@ pub fn follow(trace: &Trace, flow: u64, pseq: u64) -> String {
     out
 }
 
+/// Resolves a `--tenant` spec to the tenant key compared against
+/// `flow >> 32`. A bare number (decimal or `0x` hex) is the key itself; a
+/// scope name with a trailing index (`tenant.job2`) maps to index + 1, the
+/// fleet convention `flow_base = (tenant + 1) << 32`.
+///
+/// # Errors
+///
+/// The spec is neither a number nor ends in a tenant index.
+pub fn tenant_key(spec: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = spec.strip_prefix("0x").or_else(|| spec.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        spec.parse().ok()
+    };
+    if let Some(key) = parsed {
+        return Ok(key);
+    }
+    let digits: String = spec
+        .chars()
+        .rev()
+        .take_while(char::is_ascii_digit)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    let idx: u64 = digits
+        .parse()
+        .map_err(|_| format!("--tenant: {spec:?} is neither a key nor ends in a job index"))?;
+    Ok(idx + 1)
+}
+
+/// A filtered copy of the trace: only records inside the `[t0, t1]`
+/// sim-time window (when given) whose flow belongs to `tenant` (when
+/// given). Tenant filtering drops flow-less records (row codec events,
+/// step markers) — they carry no flow to attribute. `dropped_oldest` is
+/// preserved so the summary still reports ring evictions.
+#[must_use]
+pub fn filter(trace: &Trace, tenant: Option<u64>, between: Option<(u64, u64)>) -> Trace {
+    let records = trace
+        .records
+        .iter()
+        .filter(|r| between.is_none_or(|(t0, t1)| r.at >= t0 && r.at <= t1))
+        .filter(|r| tenant.is_none_or(|key| r.event.flow().map(|f| f >> 32) == Some(key)))
+        .cloned()
+        .collect();
+    Trace {
+        records,
+        dropped_oldest: trace.dropped_oldest,
+    }
+}
+
 /// Compares two traces: per-kind count deltas, then the first record where
 /// the sequences diverge.
 #[must_use]
@@ -378,6 +429,41 @@ mod tests {
         );
         assert!(text.contains("msg 1 row 3: lost 924"), "{text}");
         assert!(!text.contains("row 5"), "{text}");
+    }
+
+    #[test]
+    fn tenant_key_accepts_numbers_and_scope_names() {
+        assert_eq!(tenant_key("3").unwrap(), 3);
+        assert_eq!(tenant_key("0x10").unwrap(), 16);
+        assert_eq!(tenant_key("tenant.job0").unwrap(), 1);
+        assert_eq!(tenant_key("tenant.job12").unwrap(), 13);
+        assert!(tenant_key("tenant.job").is_err());
+        assert!(tenant_key("").is_err());
+    }
+
+    #[test]
+    fn filter_applies_time_window_and_tenant() {
+        let mut t = packet_story();
+        // Give the delivered record a second-tenant flow.
+        t.records[4].event = TraceEvent::PktDelivered {
+            node: 1,
+            flow: (2 << 32) + 0x5249_0000,
+            pseq: 7,
+            pkt: 42,
+            size: 78,
+            trimmed: true,
+        };
+        let windowed = filter(&t, None, Some((150, 200)));
+        assert_eq!(windowed.records.len(), 4, "{windowed:?}");
+        assert!(windowed.records.iter().all(|r| (150..=200).contains(&r.at)));
+        // packet_story flows are 0x10 (< 2^32): tenant key 0.
+        let tenant0 = filter(&t, Some(0), None);
+        assert_eq!(tenant0.records.len(), 4, "row events dropped: {tenant0:?}");
+        let tenant2 = filter(&t, Some(2), None);
+        assert_eq!(tenant2.records.len(), 1);
+        let both = filter(&t, Some(0), Some((150, 200)));
+        assert_eq!(both.records.len(), 3);
+        assert_eq!(both.dropped_oldest, t.dropped_oldest);
     }
 
     #[test]

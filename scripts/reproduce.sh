@@ -28,6 +28,13 @@ run lowrank_ablation   # §5.2 low-rank prefix-decodable compression (instant)
 run fig3_tta           # Fig 3 TTA curves (~10 min)
 run fig4_ttba          # Fig 4 time-to-baseline-accuracy (~35 min)
 
+# Fleet SLO scenario: N tenants with per-tenant metric scopes on a k=8
+# fat-tree, churn, and cross-traffic. Writes results/fleet.series.json,
+# results/fleet.snapshot.json, results/fleet.trace.{bin,jsonl}, and the
+# dependency-free dashboard at results/dashboard.html (open in a browser;
+# EXPERIMENTS.md § "Reading the fleet dashboard" is the walkthrough).
+run fleet              # fleet SLO scenario + dashboard (seconds)
+
 # Micro-benchmark reports (best + mean ns/iter, throughput, pool width).
 # TRIMGRAD_THREADS pins the worker pool; the table in EXPERIMENTS.md §
 # "Parallel speedup" is built from these files.
@@ -35,7 +42,7 @@ echo "=== microbenches ==="
 # Absolute paths: cargo runs bench binaries with cwd = crates/bench.
 cargo bench -p trimgrad-bench --bench encode_decode -- --json "$PWD/results/BENCH_encode.json" --assert-encode-pool-not-slower 10 --assert-encode-vectorized-not-slower 0
 cargo bench -p trimgrad-bench --bench wire          -- --json "$PWD/results/BENCH_wire.json"
-cargo bench -p trimgrad-bench --bench netsim        -- --json "$PWD/results/BENCH_netsim.json" --assert-calendar-not-slower 10 --assert-dense-ports-not-slower 10
+cargo bench -p trimgrad-bench --bench netsim        -- --json "$PWD/results/BENCH_netsim.json" --assert-calendar-not-slower 10 --assert-dense-ports-not-slower 10 --assert-sampling-overhead 2
 
 # Human-readable digest of the flight-recorder run above; `trimgrad-trace
 # query results/trace_smoke.bin --follow FLOW:SEQ` replays any packet in it.

@@ -200,6 +200,7 @@ fn ring_pipeline_with_nonlossy_faults_matches_clean_run() {
         mtu: 1500,
         hosts,
         blob_len: len,
+        flow_base: 0,
     };
 
     let (t, hosts) = topo();
@@ -440,6 +441,7 @@ fn faulted_ring_is_bit_deterministic_across_runs() {
             mtu: 1500,
             hosts,
             blob_len: len,
+            flow_base: 0,
         };
         let blobs: Vec<Vec<f32>> = {
             let mut rng = Xoshiro256StarStar::new(seed);
@@ -537,6 +539,7 @@ fn trace_follow_reconstructs_a_trimmed_packets_path() {
         mtu: 1500,
         hosts,
         blob_len: len,
+        flow_base: 0,
     };
     let (_, trim_frac) = run_ring_allreduce(&mut sim, &cfg, blobs, SimTime::from_secs(60));
     assert!(trim_frac > 0.0, "congestion must trim something");

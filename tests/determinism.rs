@@ -72,6 +72,7 @@ fn congested_ring_run(base_seed: u64) -> (Vec<Vec<f32>>, Snapshot) {
         mtu: 1500,
         hosts,
         blob_len: len,
+        flow_base: 0,
     };
     let b = blobs(w, len, base_seed);
     let (out, trim_frac) = run_ring_allreduce(&mut sim, &cfg, b, SimTime::from_secs(60));

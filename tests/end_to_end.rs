@@ -86,6 +86,7 @@ fn netsim_ring_matches_in_memory_ring_when_clean() {
         mtu: 1500,
         hosts,
         blob_len: len,
+        flow_base: 0,
     };
     let (out, trim_frac) = run_ring_allreduce(&mut sim, &cfg, blobs, SimTime::from_secs(10));
     assert_eq!(trim_frac, 0.0);

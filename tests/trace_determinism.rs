@@ -71,6 +71,7 @@ fn canonical_trace() -> Trace {
         mtu: 1500,
         hosts,
         blob_len: len,
+        flow_base: 0,
     };
     let (_, trim_frac) = run_ring_allreduce(&mut sim, &cfg, blobs, SimTime::from_secs(60));
     assert!(trim_frac > 0.0, "the canonical run must congest and trim");
